@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race fuzz bench experiments examples lint clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short live-fuzz pass over every fuzz target (seeds always run under `test`).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReader -fuzztime 30s ./internal/fastq/
+	$(GO) test -run xxx -fuzz FuzzSupermerInvariants -fuzztime 30s ./internal/minimizer/
+	$(GO) test -run xxx -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/kernels/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/genomeprofile
+	$(GO) run ./examples/metagenome
+	$(GO) run ./examples/commvolume
+	$(GO) run ./examples/assembly
+
+lint:
+	gofmt -l .
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,301 @@
+// Command dedukt is the distributed k-mer counter CLI: it runs the full
+// simulated pipeline (parse & process → exchange → count) over a FASTQ/FASTA
+// file or a named synthetic dataset and reports the counted spectrum
+// together with the Summit-projected phase breakdown.
+//
+// Examples:
+//
+//	dedukt -in reads.fastq -k 17 -mode supermer -m 7 -nodes 16
+//	dedukt -dataset "E. coli 30X" -scale 0.5 -mode kmer -engine cpu
+//	dedukt -in reads.fasta.gz -k 21 -canonical -top 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dedukt/internal/cluster"
+	"dedukt/internal/dna"
+	"dedukt/internal/fastq"
+	"dedukt/internal/genome"
+	"dedukt/internal/kcount"
+	"dedukt/internal/minimizer"
+	"dedukt/internal/pipeline"
+	"dedukt/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dedukt: ")
+	var (
+		inPath    = flag.String("in", "", "input FASTQ/FASTA path (.gz supported); mutually exclusive with -dataset")
+		dataset   = flag.String("dataset", "", `synthetic Table I dataset, e.g. "E. coli 30X"`)
+		scale     = flag.Float64("scale", 1.0, "synthetic dataset scale factor")
+		k         = flag.Int("k", 17, "k-mer length (1..32)")
+		m         = flag.Int("m", 7, "minimizer length (supermer mode)")
+		window    = flag.Int("window", 15, "supermer window in k-mer positions (supermer mode)")
+		mode      = flag.String("mode", "supermer", "exchange mode: kmer or supermer")
+		engine    = flag.String("engine", "gpu", "compute engine: gpu or cpu")
+		nodes     = flag.Int("nodes", 4, "number of Summit nodes to simulate")
+		ordering  = flag.String("ordering", "value", "minimizer ordering: value, kmc2 or hashed")
+		encoding  = flag.String("encoding", "random", "base encoding: random (paper) or lex")
+		canonical = flag.Bool("canonical", false, "count canonical k-mers (kmer mode only)")
+		gpudirect = flag.Bool("gpudirect", false, "model GPUDirect transfers (skip host staging)")
+		top       = flag.Int("top", 5, "print the N most frequent k-mers")
+		histMax   = flag.Int("hist", 10, "print histogram classes up to this frequency")
+		asJSON    = flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+		trimQ     = flag.Int("trimq", 0, "quality-trim read ends below this phred score before counting (0 = off)")
+		gpuStats  = flag.Bool("gpustats", false, "print GPU kernel efficiency metrics (GPU engine only)")
+		outKCD    = flag.String("okcd", "", "write the counted k-mers to this KCD database (see cmd/kmertools)")
+	)
+	flag.Parse()
+
+	reads, err := loadReads(*inPath, *dataset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *trimQ > 0 {
+		before := len(reads)
+		reads = fastq.TrimAll(reads, *trimQ, *k)
+		log.Printf("quality trim q<%d: kept %d of %d reads", *trimQ, len(reads), before)
+	}
+
+	enc := &dna.Random
+	if *encoding == "lex" {
+		enc = &dna.Lexicographic
+	} else if *encoding != "random" {
+		log.Fatalf("unknown encoding %q", *encoding)
+	}
+	ord, err := minimizer.ByName(*ordering, enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var layout cluster.Layout
+	switch *engine {
+	case "gpu":
+		layout = cluster.SummitGPU(*nodes)
+	case "cpu":
+		layout = cluster.SummitCPU(*nodes)
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	cfg := pipeline.Config{
+		Layout:     layout,
+		Enc:        enc,
+		K:          *k,
+		M:          *m,
+		Window:     *window,
+		Ord:        ord,
+		Canonical:  *canonical,
+		GPUDirect:  *gpudirect,
+		KeepTables: *outKCD != "",
+	}
+	switch *mode {
+	case "kmer":
+		cfg.Mode = pipeline.KmerMode
+	case "supermer":
+		cfg.Mode = pipeline.SupermerMode
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	res, err := pipeline.Run(cfg, reads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		if err := reportJSON(os.Stdout, cfg, res, *top); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	report(os.Stdout, cfg, res, *top, *histMax)
+	if *gpuStats && res.GPU {
+		reportGPUStats(os.Stdout, res)
+	}
+	if *outKCD != "" {
+		if err := writeKCD(*outKCD, cfg, res); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *outKCD)
+	}
+}
+
+// writeKCD merges the per-rank tables and saves a KCD database.
+func writeKCD(path string, cfg pipeline.Config, res *pipeline.Result) error {
+	merged := res.MergedTable()
+	if merged == nil {
+		return fmt.Errorf("no tables retained")
+	}
+	var flags uint32
+	if cfg.Canonical {
+		flags |= kcount.FlagCanonical
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := kcount.FromTable(merged, cfg.K, flags).Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reportGPUStats prints the kernel-level efficiency metrics aggregated
+// across ranks and rounds.
+func reportGPUStats(w io.Writer, res *pipeline.Result) {
+	fmt.Fprintf(w, "\nGPU kernel statistics (all ranks):\n")
+	t := stats.NewTable("kernel", "threads", "compute ops", "mem transactions", "atomics", "divergence", "coalescing")
+	p := res.GPUParse
+	c := res.GPUCount
+	t.Row("parse", p.Threads, stats.Count(p.ComputeOps), stats.Count(p.MemTransactions),
+		stats.Count(p.AtomicOps), fmt.Sprintf("%.2f×", p.DivergenceWaste()),
+		fmt.Sprintf("%.2f", p.CoalescingEfficiency()))
+	t.Row("count", c.Threads, stats.Count(c.ComputeOps), stats.Count(c.MemTransactions),
+		stats.Count(c.AtomicOps), fmt.Sprintf("%.2f×", c.DivergenceWaste()),
+		fmt.Sprintf("%.2f", c.CoalescingEfficiency()))
+	fmt.Fprint(w, t)
+}
+
+// jsonReport is the machine-readable result schema of -json.
+type jsonReport struct {
+	Run       string            `json:"run"`
+	K         int               `json:"k"`
+	M         int               `json:"m,omitempty"`
+	Window    int               `json:"window,omitempty"`
+	Mode      string            `json:"mode"`
+	Nodes     int               `json:"nodes"`
+	Ranks     int               `json:"ranks"`
+	Rounds    int               `json:"rounds"`
+	ParseSec  float64           `json:"parse_sec"`
+	ExchSec   float64           `json:"exchange_sec"`
+	CountSec  float64           `json:"count_sec"`
+	TotalSec  float64           `json:"total_sec"`
+	Items     uint64            `json:"items_exchanged"`
+	Payload   uint64            `json:"payload_bytes"`
+	Fabric    uint64            `json:"fabric_bytes"`
+	Total     uint64            `json:"total_kmers"`
+	Distinct  uint64            `json:"distinct_kmers"`
+	Imbalance float64           `json:"load_imbalance"`
+	Histogram map[uint32]uint64 `json:"histogram"`
+	Top       []jsonKmer        `json:"top_kmers,omitempty"`
+}
+
+type jsonKmer struct {
+	Kmer  string `json:"kmer"`
+	Count uint32 `json:"count"`
+}
+
+func reportJSON(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top int) error {
+	rep := jsonReport{
+		Run: res.Name, K: cfg.K, Mode: res.Mode.String(),
+		Nodes: res.Nodes, Ranks: res.Ranks, Rounds: res.Rounds,
+		ParseSec: res.Modeled.Parse.Seconds(), ExchSec: res.Modeled.Exchange.Seconds(),
+		CountSec: res.Modeled.Count.Seconds(), TotalSec: res.Modeled.Total().Seconds(),
+		Items: res.ItemsExchanged, Payload: res.PayloadBytes, Fabric: res.Volume.FabricBytes,
+		Total: res.TotalKmers, Distinct: res.DistinctKmers,
+		Imbalance: res.LoadImbalance(), Histogram: res.Histogram.Counts,
+	}
+	if cfg.Mode == pipeline.SupermerMode {
+		rep.M, rep.Window = cfg.M, cfg.Window
+	}
+	if top > len(res.TopKmers) {
+		top = len(res.TopKmers)
+	}
+	for _, kv := range res.TopKmers[:top] {
+		rep.Top = append(rep.Top, jsonKmer{dna.Kmer(kv.Key).String(cfg.Enc, cfg.K), kv.Count})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func loadReads(inPath, dataset string, scale float64) ([]fastq.Record, error) {
+	switch {
+	case inPath != "" && dataset != "":
+		return nil, fmt.Errorf("-in and -dataset are mutually exclusive")
+	case inPath != "":
+		r, closer, err := fastq.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer closer.Close()
+		var out []fastq.Record
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rec.Clone())
+		}
+	case dataset != "":
+		d, err := genome.DatasetByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Reads(scale)
+	default:
+		return nil, fmt.Errorf("provide -in FILE or -dataset NAME (see -h)")
+	}
+}
+
+func report(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top, histMax int) {
+	fmt.Fprintf(w, "dedukt run: %s, k=%d", res.Name, cfg.K)
+	if cfg.Mode == pipeline.SupermerMode {
+		fmt.Fprintf(w, ", m=%d, window=%d, ordering=%s", cfg.M, cfg.Window, cfg.Ord.Name())
+	}
+	fmt.Fprintf(w, ", %d nodes × %d ranks\n\n", res.Nodes, res.Ranks/res.Nodes)
+
+	t := stats.NewTable("phase", "Summit-projected time")
+	t.Row("parse & process", res.Modeled.Parse)
+	t.Row("exchange", res.Modeled.Exchange)
+	t.Row("count", res.Modeled.Count)
+	t.Row("total (excl. I/O)", res.Modeled.Total())
+	fmt.Fprint(w, t)
+
+	fmt.Fprintf(w, "\nexchanged: %s %ss (%s payload, %s over the fabric)\n",
+		stats.Count(res.ItemsExchanged), res.Mode, stats.Bytes(res.PayloadBytes), stats.Bytes(res.Volume.FabricBytes))
+	fmt.Fprintf(w, "counted:   %s k-mer instances, %s distinct, load imbalance %.2f\n",
+		stats.Count(res.TotalKmers), stats.Count(res.DistinctKmers), res.LoadImbalance())
+
+	if len(res.Histogram.Counts) > 0 && histMax > 0 {
+		fmt.Fprintf(w, "\nk-mer frequency spectrum (f: #distinct):\n")
+		for _, f := range res.Histogram.Frequencies() {
+			if int(f) > histMax {
+				fmt.Fprintf(w, "  ...  (%d more classes)\n", remainingClasses(res.Histogram, histMax))
+				break
+			}
+			fmt.Fprintf(w, "  %3d: %d\n", f, res.Histogram.Counts[f])
+		}
+	}
+	if top > 0 && len(res.TopKmers) > 0 {
+		fmt.Fprintf(w, "\nmost frequent k-mers:\n")
+		n := top
+		if n > len(res.TopKmers) {
+			n = len(res.TopKmers)
+		}
+		for _, kv := range res.TopKmers[:n] {
+			fmt.Fprintf(w, "  %s  %d\n", dna.Kmer(kv.Key).String(cfg.Enc, cfg.K), kv.Count)
+		}
+	}
+}
+
+func remainingClasses(h kcount.Histogram, histMax int) int {
+	n := 0
+	for f := range h.Counts {
+		if int(f) > histMax {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,63 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§V) from the scaled synthetic datasets.
+//
+//	experiments -list            # show available experiments
+//	experiments -run fig6a       # one experiment
+//	experiments -run all         # the full evaluation
+//	experiments -run all -scale 0.1   # a quick pass at 1/10 size
+//
+// EXPERIMENTS.md records the paper-vs-measured comparison for each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dedukt/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		run   = flag.String("run", "", `experiment id, or "all"`)
+		scale = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default scaled sizes)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		log.Fatal("use -list, or -run <id|all>")
+	}
+
+	opts := expt.Options{Out: os.Stdout, Scale: *scale}
+	var todo []expt.Experiment
+	if *run == "all" {
+		todo = expt.All()
+	} else {
+		e, err := expt.ByID(*run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		todo = []expt.Experiment{e}
+	}
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := e.Run(opts); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,106 @@
+// Command genreads writes a synthetic FASTQ dataset: either a custom
+// genome/read-simulator configuration or a scaled stand-in for one of the
+// paper's Table I datasets.
+//
+// Examples:
+//
+//	genreads -genome-len 100000 -coverage 30 -o reads.fastq
+//	genreads -dataset "C. elegans 40X" -scale 0.5 -o celegans.fastq
+//	genreads -genome-len 50000 -coverage 10 -model short -err 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dedukt/internal/fastq"
+	"dedukt/internal/genome"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genreads: ")
+	var (
+		out        = flag.String("o", "", "output path (default stdout)")
+		dataset    = flag.String("dataset", "", `Table I dataset name, e.g. "E. coli 30X"`)
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		genomeLen  = flag.Int("genome-len", 100_000, "genome length in bases (custom mode)")
+		coverage   = flag.Float64("coverage", 30, "sequencing depth (custom mode)")
+		repeatFrac = flag.Float64("repeat-frac", 0.1, "fraction of genome covered by repeats")
+		gc         = flag.Float64("gc", 0.5, "G+C fraction")
+		model      = flag.String("model", "long", "read model: long or short")
+		meanLen    = flag.Int("mean-len", 0, "mean read length (0 = model default)")
+		errRate    = flag.Float64("err", 0.002, "per-base substitution error rate")
+		ambigRate  = flag.Float64("ambig", 0, "per-base N rate")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var (
+		reads []fastq.Record
+		err   error
+	)
+	if *dataset != "" {
+		var d genome.Dataset
+		d, err = genome.DatasetByName(*dataset)
+		if err == nil {
+			reads, err = d.Reads(*scale)
+		}
+	} else {
+		reads, err = custom(*genomeLen, *coverage, *repeatFrac, *gc, *model, *meanLen, *errRate, *ambigRate, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fw := fastq.NewWriter(w)
+	bases := 0
+	for _, rec := range reads {
+		if err := fw.Write(rec); err != nil {
+			log.Fatal(err)
+		}
+		bases += len(rec.Seq)
+	}
+	if err := fw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "genreads: wrote %d reads, %d bases\n", len(reads), bases)
+}
+
+func custom(genomeLen int, coverage, repeatFrac, gc float64, model string, meanLen int, errRate, ambigRate float64, seed int64) ([]fastq.Record, error) {
+	cfg := genome.DefaultConfig(genomeLen)
+	cfg.RepeatFraction = repeatFrac
+	cfg.GC = gc
+	cfg.Seed = seed
+	g, err := genome.Generate("synthetic", cfg)
+	if err != nil {
+		return nil, err
+	}
+	var prof genome.ReadProfile
+	switch model {
+	case "long":
+		prof = genome.DefaultLongReads()
+	case "short":
+		prof = genome.DefaultShortReads()
+	default:
+		return nil, fmt.Errorf("unknown read model %q", model)
+	}
+	if meanLen > 0 {
+		prof.MeanLen = meanLen
+	}
+	prof.ErrRate = errRate
+	prof.AmbigRate = ambigRate
+	prof.Seed = seed + 1
+	return genome.SimulateReads(g, coverage, prof)
+}

@@ -1,0 +1,3 @@
+module dedukt
+
+go 1.22

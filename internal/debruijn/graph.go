@@ -1,0 +1,244 @@
+// Package debruijn builds weighted de Bruijn graphs from counted k-mer
+// tables and compacts them into unitigs — the downstream representation the
+// paper's introduction motivates (§II-A: k-mer histograms serve "as a
+// (weighted) de Bruijn graph representation" for genome and metagenome
+// assembly [4], [11], [25]).
+//
+// Nodes are the distinct counted k-mers; a directed edge joins u→v when the
+// (k−1)-suffix of u equals the (k−1)-prefix of v and both k-mers are in the
+// table. A unitig is a maximal non-branching path — the contigs an
+// assembler's first stage emits.
+package debruijn
+
+import (
+	"fmt"
+	"sort"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kcount"
+)
+
+// Graph is a weighted de Bruijn graph over packed k-mers (k ≤ 32).
+type Graph struct {
+	k     int
+	enc   *dna.Encoding
+	nodes map[dna.Kmer]uint32 // k-mer -> multiplicity
+}
+
+// Build creates the graph from a counted table, keeping k-mers with
+// count ≥ minCount (the standard error-pruning cutoff: singletons are
+// overwhelmingly sequencing errors).
+func Build(enc *dna.Encoding, k int, table *kcount.Table, minCount uint32) (*Graph, error) {
+	if k <= 1 || k > dna.MaxK {
+		return nil, fmt.Errorf("debruijn: k=%d outside (1,%d]", k, dna.MaxK)
+	}
+	if enc == nil {
+		return nil, fmt.Errorf("debruijn: nil encoding")
+	}
+	g := &Graph{k: k, enc: enc, nodes: make(map[dna.Kmer]uint32, table.Len())}
+	table.ForEach(func(key uint64, count uint32) {
+		if count >= minCount {
+			g.nodes[dna.Kmer(key)] = count
+		}
+	})
+	return g, nil
+}
+
+// BuildFromCounts creates the graph from an explicit k-mer→count map (the
+// oracle form used by tests and small pipelines).
+func BuildFromCounts(enc *dna.Encoding, k int, counts map[dna.Kmer]uint32, minCount uint32) (*Graph, error) {
+	t := kcount.NewTable(len(counts), kcount.Linear)
+	for w, c := range counts {
+		t.Add(uint64(w), c)
+	}
+	return Build(enc, k, t, minCount)
+}
+
+// K returns the k-mer length.
+func (g *Graph) K() int { return g.k }
+
+// Nodes returns the number of k-mer nodes.
+func (g *Graph) Nodes() int { return len(g.nodes) }
+
+// Count returns a node's multiplicity (0 if absent).
+func (g *Graph) Count(w dna.Kmer) uint32 { return g.nodes[w] }
+
+// Has reports whether w is a node.
+func (g *Graph) Has(w dna.Kmer) bool { _, ok := g.nodes[w]; return ok }
+
+// suffix drops the first base: the (k-1)-mer the successors extend.
+func (g *Graph) successorsOf(w dna.Kmer) []dna.Kmer {
+	var out []dna.Kmer
+	for c := dna.Code(0); c < 4; c++ {
+		next := w.Append(g.k, c)
+		if g.Has(next) {
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// predecessorsOf lists nodes u with an edge u→w.
+func (g *Graph) predecessorsOf(w dna.Kmer) []dna.Kmer {
+	// u = c · w[0:k-1]: shift w right by one base and try each leading c.
+	base := w >> 2
+	var out []dna.Kmer
+	for c := dna.Code(0); c < 4; c++ {
+		prev := base | dna.Kmer(c)<<(2*uint(g.k-1))
+		if g.Has(prev) {
+			out = append(out, prev)
+		}
+	}
+	return out
+}
+
+// OutDegree and InDegree report branch structure.
+func (g *Graph) OutDegree(w dna.Kmer) int { return len(g.successorsOf(w)) }
+
+// InDegree reports the number of predecessors of w.
+func (g *Graph) InDegree(w dna.Kmer) int { return len(g.predecessorsOf(w)) }
+
+// Unitig is a maximal non-branching path, spelled as a base sequence of
+// length (#kmers + k - 1), with coverage statistics from the k-mer counts.
+type Unitig struct {
+	// Seq is the spelled nucleotide sequence.
+	Seq string
+	// NKmers is the number of k-mer nodes on the path.
+	NKmers int
+	// MeanCoverage is the average multiplicity along the path.
+	MeanCoverage float64
+	// MinCoverage is the lowest multiplicity along the path.
+	MinCoverage uint32
+}
+
+// Len returns the unitig length in bases.
+func (u Unitig) Len() int { return len(u.Seq) }
+
+// isPathInternal reports whether w continues a unitig: exactly one
+// successor whose only predecessor is w.
+func (g *Graph) linearNext(w dna.Kmer) (dna.Kmer, bool) {
+	succ := g.successorsOf(w)
+	if len(succ) != 1 {
+		return 0, false
+	}
+	if len(g.predecessorsOf(succ[0])) != 1 {
+		return 0, false
+	}
+	return succ[0], true
+}
+
+// Unitigs compacts the graph into its maximal non-branching paths. Every
+// node belongs to exactly one unitig; isolated cycles are broken at their
+// smallest k-mer. Output is sorted by descending length then by sequence,
+// so it is deterministic.
+func (g *Graph) Unitigs() []Unitig {
+	visited := make(map[dna.Kmer]bool, len(g.nodes))
+	var out []Unitig
+
+	// Pass 1: paths starting at nodes that cannot extend backwards
+	// (in-degree ≠ 1, or the predecessor branches forward).
+	starts := make([]dna.Kmer, 0)
+	for w := range g.nodes {
+		preds := g.predecessorsOf(w)
+		if len(preds) != 1 || len(g.successorsOf(preds[0])) != 1 {
+			starts = append(starts, w)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, s := range starts {
+		if !visited[s] {
+			out = append(out, g.walk(s, visited))
+		}
+	}
+	// Pass 2: isolated cycles (every node has in=out=1); break at the
+	// smallest unvisited k-mer.
+	cycles := make([]dna.Kmer, 0)
+	for w := range g.nodes {
+		if !visited[w] {
+			cycles = append(cycles, w)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+	for _, s := range cycles {
+		if !visited[s] {
+			out = append(out, g.walk(s, visited))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Seq) != len(out[j].Seq) {
+			return len(out[i].Seq) > len(out[j].Seq)
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// walk spells the unitig from s, marking nodes visited.
+func (g *Graph) walk(s dna.Kmer, visited map[dna.Kmer]bool) Unitig {
+	visited[s] = true
+	seq := []byte(s.String(g.enc, g.k))
+	count := g.nodes[s]
+	sum := uint64(count)
+	min := count
+	n := 1
+	cur := s
+	for {
+		next, ok := g.linearNext(cur)
+		if !ok || visited[next] {
+			break
+		}
+		visited[next] = true
+		seq = append(seq, g.enc.Decode(next.Base(g.k, g.k-1)))
+		c := g.nodes[next]
+		sum += uint64(c)
+		if c < min {
+			min = c
+		}
+		n++
+		cur = next
+	}
+	return Unitig{
+		Seq:          string(seq),
+		NKmers:       n,
+		MeanCoverage: float64(sum) / float64(n),
+		MinCoverage:  min,
+	}
+}
+
+// Stats summarizes an assembly.
+type Stats struct {
+	// NUnitigs is the number of unitigs.
+	NUnitigs int
+	// TotalBases is the summed unitig length.
+	TotalBases int
+	// LongestBases is the longest unitig.
+	LongestBases int
+	// N50 is the standard contiguity metric: the length L such that
+	// unitigs of length ≥ L cover half the total bases.
+	N50 int
+}
+
+// Summarize computes assembly statistics over unitigs.
+func Summarize(unitigs []Unitig) Stats {
+	var st Stats
+	st.NUnitigs = len(unitigs)
+	lens := make([]int, len(unitigs))
+	for i, u := range unitigs {
+		lens[i] = u.Len()
+		st.TotalBases += u.Len()
+		if u.Len() > st.LongestBases {
+			st.LongestBases = u.Len()
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	half := st.TotalBases / 2
+	acc := 0
+	for _, l := range lens {
+		acc += l
+		if acc >= half {
+			st.N50 = l
+			break
+		}
+	}
+	return st
+}

@@ -1,0 +1,194 @@
+package debruijn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kcount"
+)
+
+func graphFrom(t *testing.T, seqs []string, k int, minCount uint32) *Graph {
+	t.Helper()
+	reads := make([][]byte, len(seqs))
+	for i, s := range seqs {
+		reads[i] = []byte(s)
+	}
+	counts := kcount.SerialCount(&dna.Lexicographic, reads, k)
+	g, err := BuildFromCounts(&dna.Lexicographic, k, counts, minCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLinearSequenceSingleUnitig(t *testing.T) {
+	// A sequence with all-distinct k-mers compacts to exactly itself.
+	seq := "ACGTTGCAAGGCATCT"
+	g := graphFrom(t, []string{seq}, 5, 1)
+	if g.Nodes() != len(seq)-5+1 {
+		t.Fatalf("nodes = %d", g.Nodes())
+	}
+	unitigs := g.Unitigs()
+	if len(unitigs) != 1 {
+		t.Fatalf("%d unitigs, want 1: %+v", len(unitigs), unitigs)
+	}
+	if unitigs[0].Seq != seq {
+		t.Fatalf("unitig %q, want %q", unitigs[0].Seq, seq)
+	}
+	if unitigs[0].NKmers != g.Nodes() || unitigs[0].MeanCoverage != 1 || unitigs[0].MinCoverage != 1 {
+		t.Fatalf("unitig stats %+v", unitigs[0])
+	}
+}
+
+func TestCoverageWeights(t *testing.T) {
+	seq := "ACGTTGCAAGG"
+	g := graphFrom(t, []string{seq, seq, seq}, 5, 1)
+	unitigs := g.Unitigs()
+	if len(unitigs) != 1 {
+		t.Fatalf("%d unitigs", len(unitigs))
+	}
+	if unitigs[0].MeanCoverage != 3 || unitigs[0].MinCoverage != 3 {
+		t.Fatalf("coverage %+v, want 3", unitigs[0])
+	}
+}
+
+func TestMinCountPrunesErrors(t *testing.T) {
+	seq := strings.Repeat("ACGTTGCAAGGCATCTAGGAT", 2)[:30]
+	errRead := "ACGTTGCATGGCATC" // one substitution mid-way
+	g := graphFrom(t, []string{seq, seq, errRead}, 7, 2)
+	// Error k-mers (count 1) must be pruned.
+	for w := range g.nodes {
+		if g.Count(w) < 2 {
+			t.Fatalf("unpruned low-count node %x", w)
+		}
+	}
+}
+
+func TestBranchSplitsUnitigs(t *testing.T) {
+	// Two reads sharing a prefix then diverging: the shared prefix is one
+	// unitig, each branch another.
+	a := "AACCGGTTA"
+	b := "AACCGGTCA" // diverges at position 7
+	g := graphFrom(t, []string{a, b}, 5, 1)
+	unitigs := g.Unitigs()
+	if len(unitigs) != 3 {
+		for _, u := range unitigs {
+			t.Logf("unitig: %q", u.Seq)
+		}
+		t.Fatalf("%d unitigs, want 3 (shared prefix + 2 branches)", len(unitigs))
+	}
+	// Unitigs partition the nodes.
+	total := 0
+	for _, u := range unitigs {
+		total += u.NKmers
+	}
+	if total != g.Nodes() {
+		t.Fatalf("unitigs cover %d nodes of %d", total, g.Nodes())
+	}
+}
+
+func TestIsolatedCycle(t *testing.T) {
+	// A circular sequence: every k-mer has in=out=1; the cycle must still
+	// be emitted exactly once.
+	circ := "ACGGTCA"
+	doubled := circ + circ // k-mers of the cycle, each appearing... use k=4
+	g := graphFrom(t, []string{doubled}, 4, 1)
+	unitigs := g.Unitigs()
+	total := 0
+	for _, u := range unitigs {
+		total += u.NKmers
+	}
+	if total != g.Nodes() {
+		t.Fatalf("cycle nodes covered %d/%d", total, g.Nodes())
+	}
+	if len(unitigs) == 0 {
+		t.Fatal("no unitigs emitted for cycle")
+	}
+}
+
+func TestUnitigsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	seq := make([]byte, 400)
+	for i := range seq {
+		seq[i] = "ACGT"[rng.Intn(4)]
+	}
+	g1 := graphFrom(t, []string{string(seq)}, 9, 1)
+	g2 := graphFrom(t, []string{string(seq)}, 9, 1)
+	u1, u2 := g1.Unitigs(), g2.Unitigs()
+	if len(u1) != len(u2) {
+		t.Fatal("nondeterministic unitig count")
+	}
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			t.Fatalf("unitig %d differs", i)
+		}
+	}
+}
+
+func TestUnitigsSpellValidKmers(t *testing.T) {
+	// Property: every k-mer spelled by a unitig is a graph node, and
+	// consecutive unitig k-mers are graph edges.
+	rng := rand.New(rand.NewSource(92))
+	seq := make([]byte, 600)
+	for i := range seq {
+		seq[i] = "ACGT"[rng.Intn(4)]
+	}
+	k := 11
+	g := graphFrom(t, []string{string(seq)}, k, 1)
+	covered := 0
+	for _, u := range g.Unitigs() {
+		for i := 0; i+k <= len(u.Seq); i++ {
+			w, err := dna.KmerFromString(&dna.Lexicographic, u.Seq[i:i+k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Has(w) {
+				t.Fatalf("unitig spells non-node %q", u.Seq[i:i+k])
+			}
+			covered++
+		}
+	}
+	if covered != g.Nodes() {
+		t.Fatalf("unitigs spell %d kmers, graph has %d", covered, g.Nodes())
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := graphFrom(t, []string{"AACCGGTTA", "AACCGGTCA"}, 5, 1)
+	fork, _ := dna.KmerFromString(&dna.Lexicographic, "CCGGT")
+	if g.OutDegree(fork) != 2 {
+		t.Fatalf("fork out-degree %d, want 2", g.OutDegree(fork))
+	}
+	if g.InDegree(fork) != 1 {
+		t.Fatalf("fork in-degree %d, want 1", g.InDegree(fork))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tab := kcount.NewTable(4, kcount.Linear)
+	if _, err := Build(&dna.Lexicographic, 1, tab, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := Build(&dna.Lexicographic, 33, tab, 1); err == nil {
+		t.Error("k=33 should fail")
+	}
+	if _, err := Build(nil, 5, tab, 1); err == nil {
+		t.Error("nil encoding should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	unitigs := []Unitig{{Seq: strings.Repeat("A", 100)}, {Seq: strings.Repeat("C", 60)}, {Seq: strings.Repeat("G", 40)}}
+	st := Summarize(unitigs)
+	if st.NUnitigs != 3 || st.TotalBases != 200 || st.LongestBases != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.N50 != 100 {
+		t.Fatalf("N50 = %d, want 100 (100 covers half of 200)", st.N50)
+	}
+	if Summarize(nil).N50 != 0 {
+		t.Fatal("empty N50 should be 0")
+	}
+}

@@ -1,0 +1,79 @@
+package dna
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSeq(n int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]byte, n)
+	for i := range seq {
+		seq[i] = "ACGT"[rng.Intn(4)]
+	}
+	return seq
+}
+
+func BenchmarkEncodeSeq(b *testing.B) {
+	seq := benchSeq(64 << 10)
+	buf := make([]Code, 0, len(seq))
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Random.EncodeSeq(buf[:0], seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKmerRoll(b *testing.B) {
+	codes, _ := Random.EncodeSeq(nil, benchSeq(64<<10))
+	const k = 17
+	b.SetBytes(int64(len(codes)))
+	b.ResetTimer()
+	var w Kmer
+	for i := 0; i < b.N; i++ {
+		for _, c := range codes {
+			w = w.Append(k, c)
+		}
+	}
+	_ = w
+}
+
+func BenchmarkReverseComplement(b *testing.B) {
+	w := MustKmer(&Random, "GATTACAGATTACAGAT")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w = w.ReverseComplement(&Random, 17)
+	}
+	_ = w
+}
+
+func BenchmarkPackedSeqAppend(b *testing.B) {
+	codes, _ := Random.EncodeSeq(nil, benchSeq(4096))
+	b.SetBytes(int64(len(codes)))
+	p := NewPackedSeq(len(codes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset()
+		for _, c := range codes {
+			p.Append(c)
+		}
+	}
+}
+
+func BenchmarkPackedKmerExtract(b *testing.B) {
+	codes, _ := Random.EncodeSeq(nil, benchSeq(4096))
+	p := PackCodes(codes)
+	const k = 17
+	b.ResetTimer()
+	var w Kmer
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+k <= p.Len(); j += k {
+			w = p.Kmer(j, k)
+		}
+	}
+	_ = w
+}

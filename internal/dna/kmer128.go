@@ -1,0 +1,142 @@
+package dna
+
+import "fmt"
+
+// Max128K is the largest k-mer length representable by Kmer128.
+const Max128K = 64
+
+// Kmer128 is a 2-bit-packed k-mer of length ≤ 64 spanning two machine
+// words: Lo holds the rightmost (most recent) 32 bases exactly like Kmer,
+// and Hi holds the bases before them (packed like a Kmer of length k−32).
+// For k ≤ 32, Hi is always zero and Lo equals the Kmer representation, so
+// the two types interconvert freely in that range.
+//
+// Kmer128 extends the library to the longer k values used by long-read
+// pipelines (the paper itself evaluates k=17 only); the distributed GPU
+// pipeline remains single-word like the paper's implementation, and wide
+// k-mers are served by the serial counting path (kcount.WideTable).
+type Kmer128 struct {
+	Hi, Lo uint64
+}
+
+// Kmer128FromCodes packs up to Max128K codes.
+func Kmer128FromCodes(codes []Code) Kmer128 {
+	if len(codes) > Max128K {
+		panic(fmt.Sprintf("dna: k=%d exceeds Max128K=%d", len(codes), Max128K))
+	}
+	var w Kmer128
+	k := len(codes)
+	for _, c := range codes {
+		w = w.Append(k, c)
+	}
+	return w
+}
+
+// Kmer128FromString encodes an ASCII string of length ≤ Max128K under e.
+func Kmer128FromString(e *Encoding, s string) (Kmer128, error) {
+	if len(s) > Max128K {
+		return Kmer128{}, fmt.Errorf("dna: k=%d exceeds Max128K=%d", len(s), Max128K)
+	}
+	codes, err := e.EncodeSeq(make([]Code, 0, len(s)), []byte(s))
+	if err != nil {
+		return Kmer128{}, err
+	}
+	return Kmer128FromCodes(codes), nil
+}
+
+// MustKmer128 is Kmer128FromString that panics on invalid input; for tests.
+func MustKmer128(e *Encoding, s string) Kmer128 {
+	w, err := Kmer128FromString(e, s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// hiMask returns the mask for the Hi word of a k-mer of length k.
+func hiMask(k int) uint64 {
+	if k <= MaxK {
+		return 0
+	}
+	return uint64(KmerMask(k - MaxK))
+}
+
+// Append shifts in one base at the right end, dropping the leftmost base —
+// the O(1) rolling step, exactly like Kmer.Append.
+func (w Kmer128) Append(k int, c Code) Kmer128 {
+	if k <= MaxK {
+		return Kmer128{Lo: uint64(Kmer(w.Lo).Append(k, c))}
+	}
+	hi := (w.Hi<<2 | w.Lo>>62) & hiMask(k)
+	lo := w.Lo<<2 | uint64(c&3)
+	return Kmer128{Hi: hi, Lo: lo}
+}
+
+// Base returns the code of the base at offset i (0 = leftmost).
+func (w Kmer128) Base(k, i int) Code {
+	if i < 0 || i >= k {
+		panic(fmt.Sprintf("dna: base index %d out of range for k=%d", i, k))
+	}
+	if k <= MaxK {
+		return Kmer(w.Lo).Base(k, i)
+	}
+	hiLen := k - MaxK
+	if i < hiLen {
+		return Kmer(w.Hi).Base(hiLen, i)
+	}
+	return Kmer(w.Lo).Base(MaxK, i-hiLen)
+}
+
+// Sub extracts the length-m sub-k-mer starting at offset i (m ≤ 32),
+// returned as a single-word Kmer — the minimizer-candidate primitive.
+func (w Kmer128) Sub(k, i, m int) Kmer {
+	if m > MaxK {
+		panic(fmt.Sprintf("dna: sub length %d exceeds MaxK", m))
+	}
+	if i < 0 || m < 0 || i+m > k {
+		panic(fmt.Sprintf("dna: sub[%d:%d+%d] out of range for k=%d", i, i, m, k))
+	}
+	var out Kmer
+	for j := 0; j < m; j++ {
+		out = out<<2 | Kmer(w.Base(k, i+j))
+	}
+	return out
+}
+
+// String decodes w under e into an ASCII string of length k.
+func (w Kmer128) String(e *Encoding, k int) string {
+	buf := make([]byte, k)
+	for i := 0; i < k; i++ {
+		buf[i] = e.Decode(w.Base(k, i))
+	}
+	return string(buf)
+}
+
+// ReverseComplement returns the reverse complement under encoding e.
+func (w Kmer128) ReverseComplement(e *Encoding, k int) Kmer128 {
+	var rc Kmer128
+	for i := k - 1; i >= 0; i-- {
+		rc = rc.Append(k, e.Complement(w.Base(k, i)))
+	}
+	return rc
+}
+
+// Canonical returns the smaller of w and its reverse complement.
+func (w Kmer128) Canonical(e *Encoding, k int) Kmer128 {
+	rc := w.ReverseComplement(e, k)
+	if rc.Less(w) {
+		return rc
+	}
+	return w
+}
+
+// Less orders equal-length Kmer128s by base sequence.
+func (w Kmer128) Less(o Kmer128) bool {
+	if w.Hi != o.Hi {
+		return w.Hi < o.Hi
+	}
+	return w.Lo < o.Lo
+}
+
+// Words returns the packed words for hashing ([hi, lo]).
+func (w Kmer128) Words() [2]uint64 { return [2]uint64{w.Hi, w.Lo} }

@@ -1,0 +1,128 @@
+package dna
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKmer128RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, k := range []int{1, 17, 31, 32, 33, 45, 63, 64} {
+		s := randSeq(rng, k)
+		w := MustKmer128(&Random, s)
+		if got := w.String(&Random, k); got != s {
+			t.Fatalf("k=%d: round trip %q -> %q", k, s, got)
+		}
+	}
+}
+
+func TestKmer128MatchesKmerForShortK(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 80; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		s := randSeq(rng, k)
+		w128 := MustKmer128(&Random, s)
+		w := MustKmer(&Random, s)
+		if w128.Hi != 0 || w128.Lo != uint64(w) {
+			t.Fatalf("k=%d: Kmer128{%x,%x} != Kmer %x", k, w128.Hi, w128.Lo, uint64(w))
+		}
+	}
+}
+
+func TestKmer128AppendMatchesRebuild(t *testing.T) {
+	// Rolling Append over a sequence equals packing each window afresh.
+	rng := rand.New(rand.NewSource(73))
+	for _, k := range []int{33, 48, 64} {
+		seq := randSeq(rng, 300)
+		var w Kmer128
+		for i := 0; i < len(seq); i++ {
+			w = w.Append(k, Random.MustEncode(seq[i]))
+			if i >= k-1 {
+				want := MustKmer128(&Random, seq[i-k+1:i+1])
+				if w != want {
+					t.Fatalf("k=%d pos %d: rolling %v != packed %v", k, i, w, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKmer128BaseAndSub(t *testing.T) {
+	s := randSeq(rand.New(rand.NewSource(74)), 50)
+	k := len(s)
+	w := MustKmer128(&Random, s)
+	for i := 0; i < k; i++ {
+		if got := Random.Decode(w.Base(k, i)); got != s[i] {
+			t.Fatalf("base %d = %c, want %c", i, got, s[i])
+		}
+	}
+	for _, m := range []int{1, 7, 17, 32} {
+		for i := 0; i+m <= k; i += 5 {
+			sub := w.Sub(k, i, m)
+			if got := sub.String(&Random, m); got != s[i:i+m] {
+				t.Fatalf("sub(%d,%d) = %q, want %q", i, m, got, s[i:i+m])
+			}
+		}
+	}
+}
+
+func TestKmer128ReverseComplement(t *testing.T) {
+	s := "GATTACAGATTACAGATTACAGATTACAGATTACAGATTACA" // 42 bases
+	w := MustKmer128(&Lexicographic, s)
+	rc := w.ReverseComplement(&Lexicographic, len(s))
+	if rc.ReverseComplement(&Lexicographic, len(s)) != w {
+		t.Fatal("rc(rc(x)) != x")
+	}
+	// Spot check ends.
+	if got := Lexicographic.Decode(rc.Base(len(s), 0)); got != 'T' {
+		t.Fatalf("rc starts with %c, want T", got)
+	}
+	can := w.Canonical(&Lexicographic, len(s))
+	if can != w && can != rc {
+		t.Fatal("canonical is neither strand")
+	}
+	if rc.Canonical(&Lexicographic, len(s)) != can {
+		t.Fatal("canonical not shared")
+	}
+}
+
+func TestKmer128Less(t *testing.T) {
+	a := MustKmer128(&Lexicographic, "A"+string(make48('C')))
+	b := MustKmer128(&Lexicographic, "C"+string(make48('A')))
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("ordering by leading base broken")
+	}
+	if a.Less(a) {
+		t.Fatal("irreflexive violated")
+	}
+}
+
+func make48(c byte) []byte {
+	out := make([]byte, 48)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func TestKmer128Panics(t *testing.T) {
+	w := MustKmer128(&Random, "ACGT")
+	for _, f := range []func(){
+		func() { Kmer128FromCodes(make([]Code, 65)) },
+		func() { w.Base(4, 4) },
+		func() { w.Sub(4, 0, 33) },
+		func() { w.Sub(4, 3, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if _, err := Kmer128FromString(&Random, string(make([]byte, 70))); err == nil {
+		t.Error("k=70 should error")
+	}
+}

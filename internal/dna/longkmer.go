@@ -1,0 +1,118 @@
+package dna
+
+import "fmt"
+
+// LongKmer is a 2-bit-packed k-mer for k > MaxK, stored as big-endian words:
+// word 0 holds the first (leftmost) bases. Within the final word, bases are
+// left-aligned is *not* used — instead each word is packed exactly like Kmer
+// with the last word holding the tail in its low bits; Len tracks k.
+//
+// LongKmer extends the single-word fast path so the library supports the
+// longer k values (k = 31..127) common in long-read pipelines; the paper
+// itself evaluates k=17 only, so LongKmer is an extension feature.
+type LongKmer struct {
+	words []uint64
+	k     int
+}
+
+// NewLongKmer packs codes of arbitrary length into a LongKmer.
+func NewLongKmer(codes []Code) LongKmer {
+	k := len(codes)
+	nw := Words(k)
+	lk := LongKmer{words: make([]uint64, nw), k: k}
+	for i, c := range codes {
+		word := i / MaxK
+		lk.words[word] = lk.words[word]<<2 | uint64(c&3)
+	}
+	return lk
+}
+
+// LongKmerFromString encodes an ASCII string under e.
+func LongKmerFromString(e *Encoding, s string) (LongKmer, error) {
+	codes := make([]Code, 0, len(s))
+	codes, err := e.EncodeSeq(codes, []byte(s))
+	if err != nil {
+		return LongKmer{}, err
+	}
+	return NewLongKmer(codes), nil
+}
+
+// Len returns k.
+func (lk LongKmer) Len() int { return lk.k }
+
+// Base returns the code of the base at offset i (0 = leftmost).
+func (lk LongKmer) Base(i int) Code {
+	if i < 0 || i >= lk.k {
+		panic(fmt.Sprintf("dna: base index %d out of range for k=%d", i, lk.k))
+	}
+	word := i / MaxK
+	// Number of bases stored in this word:
+	n := MaxK
+	if word == len(lk.words)-1 {
+		n = lk.k - word*MaxK
+	}
+	off := i - word*MaxK
+	shift := 2 * uint(n-1-off)
+	return Code(lk.words[word]>>shift) & 3
+}
+
+// Codes appends all k codes to dst.
+func (lk LongKmer) Codes(dst []Code) []Code {
+	for i := 0; i < lk.k; i++ {
+		dst = append(dst, lk.Base(i))
+	}
+	return dst
+}
+
+// String decodes lk under e.
+func (lk LongKmer) String(e *Encoding) string {
+	buf := make([]byte, lk.k)
+	for i := 0; i < lk.k; i++ {
+		buf[i] = e.Decode(lk.Base(i))
+	}
+	return string(buf)
+}
+
+// Equal reports whether two LongKmers have identical length and content.
+func (lk LongKmer) Equal(o LongKmer) bool {
+	if lk.k != o.k {
+		return false
+	}
+	for i, w := range lk.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares two equal-length LongKmers in base order, returning
+// -1, 0 or +1. It panics if the lengths differ.
+func (lk LongKmer) Cmp(o LongKmer) int {
+	if lk.k != o.k {
+		panic("dna: comparing LongKmers of different length")
+	}
+	for i, w := range lk.words {
+		switch {
+		case w < o.words[i]:
+			return -1
+		case w > o.words[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Words exposes the packed words (read-only by convention) for hashing and
+// serialization.
+func (lk LongKmer) WordsRaw() []uint64 { return lk.words }
+
+// ReverseComplement returns the reverse complement under encoding e.
+func (lk LongKmer) ReverseComplement(e *Encoding) LongKmer {
+	codes := lk.Codes(make([]Code, 0, lk.k))
+	rc := make([]Code, lk.k)
+	for i, c := range codes {
+		rc[lk.k-1-i] = e.Complement(c)
+	}
+	return NewLongKmer(rc)
+}

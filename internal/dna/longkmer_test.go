@@ -1,0 +1,100 @@
+package dna
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randSeq(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte("ACGT"[rng.Intn(4)])
+	}
+	return sb.String()
+}
+
+func TestLongKmerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{1, 31, 32, 33, 55, 64, 65, 127} {
+		s := randSeq(rng, k)
+		lk, err := LongKmerFromString(&Lexicographic, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lk.Len() != k {
+			t.Fatalf("k=%d: Len = %d", k, lk.Len())
+		}
+		if got := lk.String(&Lexicographic); got != s {
+			t.Fatalf("k=%d: round trip mismatch", k)
+		}
+		if len(lk.WordsRaw()) != Words(k) {
+			t.Fatalf("k=%d: %d words, want %d", k, len(lk.WordsRaw()), Words(k))
+		}
+	}
+}
+
+func TestLongKmerMatchesKmerForShortK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		s := randSeq(rng, k)
+		lk, _ := LongKmerFromString(&Random, s)
+		w := MustKmer(&Random, s)
+		if lk.WordsRaw()[0] != uint64(w) {
+			t.Fatalf("k=%d %s: long=%x short=%x", k, s, lk.WordsRaw()[0], uint64(w))
+		}
+		for i := 0; i < k; i++ {
+			if lk.Base(i) != w.Base(k, i) {
+				t.Fatalf("k=%d base %d mismatch", k, i)
+			}
+		}
+	}
+}
+
+func TestLongKmerCmp(t *testing.T) {
+	a, _ := LongKmerFromString(&Lexicographic, randSeq(rand.New(rand.NewSource(1)), 40))
+	b := a
+	if a.Cmp(b) != 0 || !a.Equal(b) {
+		t.Fatal("equal long kmers should compare 0")
+	}
+	lo, _ := LongKmerFromString(&Lexicographic, "A"+randSeq(rand.New(rand.NewSource(2)), 39))
+	hi, _ := LongKmerFromString(&Lexicographic, "T"+randSeq(rand.New(rand.NewSource(2)), 39))
+	if lo.Cmp(hi) != -1 || hi.Cmp(lo) != 1 {
+		t.Fatal("lexicographic ordering violated")
+	}
+}
+
+func TestLongKmerCmpPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a, _ := LongKmerFromString(&Lexicographic, "ACGT")
+	b, _ := LongKmerFromString(&Lexicographic, "ACGTA")
+	a.Cmp(b)
+}
+
+func TestLongKmerReverseComplement(t *testing.T) {
+	s := "GATTACAGATTACAGATTACAGATTACAGATTACA" // 35 bases, 2 words
+	lk, _ := LongKmerFromString(&Lexicographic, s)
+	rc := lk.ReverseComplement(&Lexicographic)
+	want := "TGTAATCTGTAATCTGTAATCTGTAATCTGTAATC"
+	if got := rc.String(&Lexicographic); got != want {
+		t.Fatalf("rc = %s, want %s", got, want)
+	}
+	if !rc.ReverseComplement(&Lexicographic).Equal(lk) {
+		t.Fatal("rc(rc(x)) != x")
+	}
+}
+
+func TestLongKmerBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lk, _ := LongKmerFromString(&Lexicographic, "ACGT")
+	lk.Base(4)
+}

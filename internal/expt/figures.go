@@ -1,0 +1,231 @@
+package expt
+
+import (
+	"fmt"
+
+	"dedukt/internal/cluster"
+	"dedukt/internal/genome"
+	"dedukt/internal/pipeline"
+	"dedukt/internal/stats"
+)
+
+// RunTable1 prints the dataset inventory: the paper's rows plus the scaled
+// synthetic stand-ins actually generated.
+func RunTable1(o Options) error {
+	t := stats.NewTable("Short Name", "Species and Strain", "Paper Fastq", "Scaled genome", "Coverage", "Synthetic bases")
+	for _, d := range genome.Table1() {
+		reads, err := loadDataset(d, o)
+		if err != nil {
+			return err
+		}
+		t.Row(d.Name, d.Species,
+			fmt.Sprintf("%d MB", d.RealFastqMB),
+			stats.Count(uint64(float64(d.ScaledGenomeLen)*o.scale())),
+			fmt.Sprintf("%.0fX", d.Coverage),
+			stats.Count(uint64(totalBases(reads))))
+	}
+	fmt.Fprintln(o.Out, "Table I — datasets (paper inputs and scaled synthetic equivalents)")
+	fmt.Fprint(o.Out, t)
+	return nil
+}
+
+// RunFig3 reproduces the Fig. 3 breakdown: the CPU baseline on 64 nodes
+// (2688 cores) against the GPU k-mer counter on 64 nodes (384 GPUs) for
+// H. sapien 54X, reporting the three-module split and the compute speedup.
+func RunFig3(o Options) error {
+	d, err := genome.DatasetByName("H. sapien 54X")
+	if err != nil {
+		return err
+	}
+	reads, err := loadDataset(d, o)
+	if err != nil {
+		return err
+	}
+	cpuCfg := pipeline.Default(paperize(cluster.SummitCPU(64)), pipeline.KmerMode)
+	cpuCfg.CPULoadLift = liftFor(d, reads)
+	cpuRes, err := pipeline.Run(cpuCfg, reads)
+	if err != nil {
+		return err
+	}
+	gpuRes, err := pipeline.Run(pipeline.Default(paperize(cluster.SummitGPU(64)), pipeline.KmerMode), reads)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "Fig. 3 — runtime breakdown on 64 nodes, %s (%s bases, scale %.2f)\n",
+		d.Name, stats.Count(uint64(totalBases(reads))), o.scale())
+	t := stats.NewTable("module", "CPU 2688 cores", "GPU 384 GPUs", "speedup")
+	t.Row("parse & process kmers", cpuRes.Modeled.Parse, gpuRes.Modeled.Parse,
+		stats.Speedup(cpuRes.Modeled.Parse, gpuRes.Modeled.Parse))
+	t.Row("exchange (incl. MPI call)", cpuRes.Modeled.Exchange, gpuRes.Modeled.Exchange,
+		stats.Speedup(cpuRes.Modeled.Exchange, gpuRes.Modeled.Exchange))
+	t.Row("kmer counter", cpuRes.Modeled.Count, gpuRes.Modeled.Count,
+		stats.Speedup(cpuRes.Modeled.Count, gpuRes.Modeled.Count))
+	t.Row("total (excl. I/O)", cpuRes.Modeled.Total(), gpuRes.Modeled.Total(),
+		stats.Speedup(cpuRes.Modeled.Total(), gpuRes.Modeled.Total()))
+	fmt.Fprint(o.Out, t)
+	computeCPU := cpuRes.Modeled.Parse + cpuRes.Modeled.Count
+	computeGPU := gpuRes.Modeled.Parse + gpuRes.Modeled.Count
+	fmt.Fprintf(o.Out, "compute-only acceleration: %.0f× (paper: ~100×)\n",
+		stats.Speedup(computeCPU, computeGPU))
+	fmt.Fprintf(o.Out, "exchange share of GPU total: %.0f%% (paper: up to 80%%)\n",
+		100*gpuRes.Modeled.Exchange.Seconds()/gpuRes.Modeled.Total().Seconds())
+	return nil
+}
+
+// runFig6 is the common driver of Figs. 6a and 6b: overall speedup of the
+// three GPU configurations over the CPU baseline at equal node count.
+func runFig6(o Options, nodes int, datasets []genome.Dataset, caption string) error {
+	gpuLayout := paperize(cluster.SummitGPU(nodes))
+	cpuLayout := paperize(cluster.SummitCPU(nodes))
+	fmt.Fprintf(o.Out, "%s (scale %.2f)\n", caption, o.scale())
+	t := stats.NewTable("dataset", "CPU total", "kmer", "supermer (m=7)", "supermer (m=9)")
+	for _, d := range datasets {
+		reads, err := loadDataset(d, o)
+		if err != nil {
+			return err
+		}
+		cpuCfg := pipeline.Default(cpuLayout, pipeline.KmerMode)
+		cpuCfg.CPULoadLift = liftFor(d, reads)
+		cpuRes, err := pipeline.Run(cpuCfg, reads)
+		if err != nil {
+			return err
+		}
+		row := []any{d.Name, cpuRes.Modeled.Total()}
+		for _, gc := range gpuConfigs(gpuLayout) {
+			res, err := pipeline.Run(gc.Cfg, reads)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.1f×", stats.Speedup(cpuRes.Modeled.Total(), res.Modeled.Total())))
+		}
+		t.Row(row...)
+	}
+	fmt.Fprint(o.Out, t)
+	return nil
+}
+
+// RunFig6a reproduces Fig. 6a: the four small datasets on 16 nodes (96 GPUs
+// vs 672 cores). Paper: ~11× (kmer) and ~13× (supermer) average speedup.
+func RunFig6a(o Options) error {
+	return runFig6(o, 16, genome.SmallDatasets(),
+		"Fig. 6a — speedup over CPU baseline, 16 nodes (96 GPUs vs 672 cores)")
+}
+
+// RunFig6b reproduces Fig. 6b: C. elegans 40X and H. sapien 54X on 64 nodes
+// (384 GPUs vs 2688 cores). Paper: up to 150× for H. sapiens supermers.
+func RunFig6b(o Options) error {
+	return runFig6(o, 64, genome.LargeDatasets(),
+		"Fig. 6b — speedup over CPU baseline, 64 nodes (384 GPUs vs 2688 cores)")
+}
+
+// RunFig7 reproduces Figs. 7a/7b: the three-module breakdown of the GPU
+// pipelines (kmer, supermer m=7, supermer m=9) on 64 nodes for the two
+// large datasets. Paper: supermers add ~33% parse and ~27% count but save
+// ~33% exchange, a net win because exchange is up to 80% of the total.
+func RunFig7(o Options) error {
+	layout := paperize(cluster.SummitGPU(64))
+	for _, d := range genome.LargeDatasets() {
+		reads, err := loadDataset(d, o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "Fig. 7 — GPU runtime breakdown, 64 nodes (384 GPUs), %s (scale %.2f)\n", d.Name, o.scale())
+		t := stats.NewTable("module", "kmer", "supermer (m=7)", "supermer (m=9)")
+		var rows [3][]any
+		rows[0] = []any{"parse & process kmers"}
+		rows[1] = []any{"exchange (incl. MPI_alltoallv)"}
+		rows[2] = []any{"kmer counter"}
+		totals := []any{"total"}
+		for _, gc := range gpuConfigs(layout) {
+			res, err := pipeline.Run(gc.Cfg, reads)
+			if err != nil {
+				return err
+			}
+			rows[0] = append(rows[0], res.Modeled.Parse)
+			rows[1] = append(rows[1], res.Modeled.Exchange)
+			rows[2] = append(rows[2], res.Modeled.Count)
+			totals = append(totals, res.Modeled.Total())
+		}
+		for _, r := range rows {
+			t.Row(r...)
+		}
+		t.Row(totals...)
+		fmt.Fprint(o.Out, t)
+	}
+	return nil
+}
+
+// runFig8 reports the Alltoallv-only speedup of the two supermer
+// configurations over k-mer mode.
+func runFig8(o Options, nodes int, datasets []genome.Dataset, caption string) error {
+	layout := paperize(cluster.SummitGPU(nodes))
+	fmt.Fprintf(o.Out, "%s (scale %.2f)\n", caption, o.scale())
+	t := stats.NewTable("dataset", "alltoallv kmer", "speedup m=7", "speedup m=9")
+	for _, d := range datasets {
+		reads, err := loadDataset(d, o)
+		if err != nil {
+			return err
+		}
+		var times []any
+		var kmerT float64
+		for i, gc := range gpuConfigs(layout) {
+			res, err := pipeline.Run(gc.Cfg, reads)
+			if err != nil {
+				return err
+			}
+			sec := res.AlltoallvTime.Seconds()
+			if i == 0 {
+				kmerT = sec
+				times = append(times, res.AlltoallvTime)
+			} else {
+				times = append(times, fmt.Sprintf("%.2f×", kmerT/sec))
+			}
+		}
+		t.Row(append([]any{d.Name}, times...)...)
+	}
+	fmt.Fprint(o.Out, t)
+	return nil
+}
+
+// RunFig8 reproduces Figs. 8a (16 nodes, small datasets) and 8b (64 nodes,
+// large datasets). Paper: up to 3× Alltoallv speedup on H. sapiens.
+func RunFig8(o Options) error {
+	if err := runFig8(o, 16, genome.SmallDatasets(),
+		"Fig. 8a — Alltoallv speedup of supermers vs k-mers, 16 nodes (96 GPUs)"); err != nil {
+		return err
+	}
+	return runFig8(o, 64, genome.LargeDatasets(),
+		"Fig. 8b — Alltoallv speedup of supermers vs k-mers, 64 nodes (384 GPUs)")
+}
+
+// RunFig9 reproduces Fig. 9: scalability of the GPU computation kernels
+// (k-mer insertion rate, exchange excluded) from 4 to 128 nodes. Small
+// datasets stop at 32 nodes, as in the paper.
+func RunFig9(o Options) error {
+	fmt.Fprintf(o.Out, "Fig. 9 — k-mer insertion rate (kmers/s of kernel time, excl. exchange; scale %.2f)\n", o.scale())
+	nodeCounts := []int{4, 16, 32, 64, 128}
+	t := stats.NewTable("dataset", "4", "16", "32", "64", "128")
+	for _, d := range genome.Table1() {
+		reads, err := loadDataset(d, o)
+		if err != nil {
+			return err
+		}
+		row := []any{d.Name}
+		for _, nodes := range nodeCounts {
+			if !d.Large && nodes > 32 {
+				row = append(row, "-")
+				continue
+			}
+			cfg := pipeline.Default(paperize(cluster.SummitGPU(nodes)), pipeline.KmerMode)
+			res, err := pipeline.Run(cfg, reads)
+			if err != nil {
+				return err
+			}
+			row = append(row, stats.Count(uint64(res.InsertionRate()))+"/s")
+		}
+		t.Row(row...)
+	}
+	fmt.Fprint(o.Out, t)
+	fmt.Fprintln(o.Out, "paper: near-linear scaling; C. elegans and H. sapiens gain 2.3× from 64 to 128 nodes")
+	return nil
+}

@@ -1,0 +1,162 @@
+package genome
+
+import (
+	"fmt"
+
+	"dedukt/internal/fastq"
+)
+
+// Dataset mirrors one row of the paper's Table I, together with the scaled
+// synthetic stand-in this reproduction uses. RealFastqMB records the paper's
+// input size for reference; ScaledGenomeLen × Coverage determines how many
+// read bases the synthetic equivalent contains.
+//
+// Scaling rationale (documented per the substitution rule): every reproduced
+// metric — k-mer/supermer exchange counts per input base, communication
+// volume reduction factors, load imbalance, phase-time *ratios* — is
+// intensive in the input size; only absolute runtimes are extensive, and
+// those are reported by the Summit cost model per processed base. The scaled
+// genomes keep the paper's coverage, long-read profile, and an increasing
+// repeat fraction from bacteria to human that reproduces the skew ordering
+// of Table III.
+type Dataset struct {
+	// Name is the paper's short name, e.g. "E. coli 30X".
+	Name string
+	// Species is the full strain description from Table I.
+	Species string
+	// RealFastqMB is the paper's FASTQ size in megabytes.
+	RealFastqMB int
+	// Coverage is the sequencing depth (the "30X" in the name).
+	Coverage float64
+	// ScaledGenomeLen is the synthetic genome length used here.
+	ScaledGenomeLen int
+	// RepeatFraction controls k-mer multiplicity skew.
+	RepeatFraction float64
+	// Large marks the two datasets the paper evaluates at 64–128 nodes
+	// (C. elegans 40X and H. sapiens 54X).
+	Large bool
+}
+
+// Table1 returns the six datasets of the paper's Table I with their scaled
+// synthetic configurations.
+func Table1() []Dataset {
+	return []Dataset{
+		{
+			Name: "E. coli 30X", Species: "Escherichia coli MG1655 strain",
+			RealFastqMB: 792, Coverage: 30,
+			ScaledGenomeLen: 150_000, RepeatFraction: 0.06,
+		},
+		{
+			Name: "P. aeruginosa 30X", Species: "Pseudomonas aeruginosa PAO1",
+			RealFastqMB: 360, Coverage: 30,
+			ScaledGenomeLen: 120_000, RepeatFraction: 0.05,
+		},
+		{
+			Name: "V. vulnificus 30X", Species: "Vibrio vulnificus YJ016",
+			RealFastqMB: 297, Coverage: 30,
+			ScaledGenomeLen: 100_000, RepeatFraction: 0.08,
+		},
+		{
+			Name: "A. baumannii 30X", Species: "Acinetobacter baumannii",
+			RealFastqMB: 249, Coverage: 30,
+			ScaledGenomeLen: 80_000, RepeatFraction: 0.05,
+		},
+		{
+			Name: "C. elegans 40X", Species: "Caenorhabditis elegans Bristol mutant strain",
+			RealFastqMB: 8_900, Coverage: 40,
+			ScaledGenomeLen: 250_000, RepeatFraction: 0.15, Large: true,
+		},
+		{
+			Name: "H. sapien 54X", Species: "Homo sapiens",
+			RealFastqMB: 317_000, Coverage: 54,
+			ScaledGenomeLen: 400_000, RepeatFraction: 0.45, Large: true,
+		},
+	}
+}
+
+// DatasetByName finds a Table I dataset by its short name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Table1() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("genome: unknown dataset %q", name)
+}
+
+// SmallDatasets returns the four bacterial datasets the paper evaluates on
+// 16 nodes (Figs. 6a, 8a).
+func SmallDatasets() []Dataset {
+	var out []Dataset
+	for _, d := range Table1() {
+		if !d.Large {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LargeDatasets returns C. elegans 40X and H. sapien 54X (Figs. 6b, 7, 8b).
+func LargeDatasets() []Dataset {
+	var out []Dataset
+	for _, d := range Table1() {
+		if d.Large {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RealBases estimates the paper input's nucleotide count: a FASTQ record
+// stores each base twice (sequence + quality) plus headers, so bases ≈
+// file size / 2.
+func (d Dataset) RealBases() float64 { return float64(d.RealFastqMB) * 1e6 / 2 }
+
+// Reads synthesizes the dataset's scaled read set at the given size scale
+// (1.0 = the registry's scaled size; 0.1 = a further 10× reduction for quick
+// tests). The long-read profile matches the paper's third-generation inputs.
+func (d Dataset) Reads(scale float64) ([]fastq.Record, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("genome: non-positive scale %f", scale)
+	}
+	glen := int(float64(d.ScaledGenomeLen) * scale)
+	if glen < 2_000 {
+		glen = 2_000
+	}
+	cfg := Config{
+		Length:         glen,
+		RepeatFraction: d.RepeatFraction,
+		RepeatMinLen:   200,
+		RepeatMaxLen:   1500,
+		GC:             0.5,
+		Seed:           seedFor(d.Name),
+	}
+	g, err := Generate(d.Name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	prof := DefaultLongReads()
+	// Scaled runs shorten the reads (still "long" relative to k): at the
+	// paper's 3 kb mean a 10^-4-scale input would hold so few reads that
+	// 2,688-rank partitions become read-granular, an imbalance artifact
+	// the real runs (thousands of reads per rank) do not have. 150-base
+	// reads with a narrow spread keep every partition within a few percent
+	// of the mean at the default scales.
+	prof.MeanLen = 150
+	prof.Sigma = 0.3
+	prof.Seed = seedFor(d.Name) + 1
+	return SimulateReads(g, d.Coverage, prof)
+}
+
+// seedFor derives a stable per-dataset seed from the name.
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

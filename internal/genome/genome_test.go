@@ -1,0 +1,252 @@
+package genome
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(10_000)
+	g1, err := Generate("x", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := Generate("x", cfg)
+	if !bytes.Equal(g1.Seq, g2.Seq) {
+		t.Fatal("same seed produced different genomes")
+	}
+	cfg.Seed = 99
+	g3, _ := Generate("x", cfg)
+	if bytes.Equal(g1.Seq, g3.Seq) {
+		t.Fatal("different seeds produced identical genomes")
+	}
+}
+
+func TestGenerateLengthAndAlphabet(t *testing.T) {
+	g, err := Generate("x", DefaultConfig(5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Seq) != 5_000 {
+		t.Fatalf("len = %d", len(g.Seq))
+	}
+	for i, b := range g.Seq {
+		switch b {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("invalid base %q at %d", b, i)
+		}
+	}
+}
+
+func TestGenerateGCBias(t *testing.T) {
+	cfg := DefaultConfig(50_000)
+	cfg.RepeatFraction = 0
+	cfg.GC = 0.7
+	g, _ := Generate("x", cfg)
+	gc := 0
+	for _, b := range g.Seq {
+		if b == 'G' || b == 'C' {
+			gc++
+		}
+	}
+	frac := float64(gc) / float64(len(g.Seq))
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Fatalf("GC fraction %.3f, want ~0.7", frac)
+	}
+}
+
+func TestGenerateRepeatsIncreaseDuplication(t *testing.T) {
+	// Count distinct 21-mers: a repeat-heavy genome must have fewer.
+	distinct := func(repeatFrac float64) int {
+		cfg := DefaultConfig(60_000)
+		cfg.RepeatFraction = repeatFrac
+		g, err := Generate("x", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 21
+		seen := map[string]bool{}
+		for i := 0; i+k <= len(g.Seq); i++ {
+			seen[string(g.Seq[i:i+k])] = true
+		}
+		return len(seen)
+	}
+	plain := distinct(0)
+	repetitive := distinct(0.5)
+	if repetitive >= plain {
+		t.Fatalf("repeat genome has %d distinct 21-mers, plain has %d", repetitive, plain)
+	}
+	if float64(repetitive) > 0.8*float64(plain) {
+		t.Fatalf("repeats too weak: %d vs %d distinct", repetitive, plain)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{Length: 0, GC: 0.5},
+		{Length: 100, GC: 0},
+		{Length: 100, GC: 0.5, RepeatFraction: 0.99},
+		{Length: 100, GC: 0.5, RepeatFraction: 0.2, RepeatMinLen: 10, RepeatMaxLen: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate("x", cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestSimulateReadsCoverage(t *testing.T) {
+	g, _ := Generate("x", DefaultConfig(50_000))
+	for _, cov := range []float64{5, 30} {
+		reads, err := SimulateReads(g, cov, DefaultLongReads())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases := 0
+		for _, r := range reads {
+			bases += len(r.Seq)
+		}
+		got := float64(bases) / float64(len(g.Seq))
+		if got < cov || got > cov*1.15 {
+			t.Errorf("coverage %.1f: achieved %.2f", cov, got)
+		}
+	}
+}
+
+func TestSimulateReadsLongLengthDistribution(t *testing.T) {
+	g, _ := Generate("x", DefaultConfig(200_000))
+	prof := DefaultLongReads()
+	reads, err := SimulateReads(g, 20, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) < 100 {
+		t.Fatalf("only %d reads", len(reads))
+	}
+	sum, varied := 0, false
+	for _, r := range reads {
+		sum += len(r.Seq)
+		if len(r.Seq) != len(reads[0].Seq) {
+			varied = true
+		}
+	}
+	mean := float64(sum) / float64(len(reads))
+	if mean < float64(prof.MeanLen)*0.7 || mean > float64(prof.MeanLen)*1.3 {
+		t.Errorf("mean read length %.0f, want ~%d", mean, prof.MeanLen)
+	}
+	if !varied {
+		t.Error("long reads should have varying lengths")
+	}
+}
+
+func TestSimulateReadsShortFixedLength(t *testing.T) {
+	g, _ := Generate("x", DefaultConfig(50_000))
+	reads, err := SimulateReads(g, 5, DefaultShortReads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		if len(r.Seq) != 150 {
+			t.Fatalf("short read length %d, want 150", len(r.Seq))
+		}
+		if len(r.Qual) != len(r.Seq) {
+			t.Fatal("quality length mismatch")
+		}
+	}
+}
+
+func TestSimulateReadsErrors(t *testing.T) {
+	g, _ := Generate("x", DefaultConfig(100_000))
+	prof := DefaultShortReads()
+	prof.ErrRate = 0.05
+	prof.AmbigRate = 0.01
+	reads, err := SimulateReads(g, 3, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches, ns, total := 0, 0, 0
+	for _, r := range reads {
+		total += len(r.Seq)
+		for _, b := range r.Seq {
+			if b == 'N' {
+				ns++
+			}
+		}
+	}
+	_ = mismatches
+	nRate := float64(ns) / float64(total)
+	if nRate < 0.005 || nRate > 0.02 {
+		t.Errorf("N rate %.4f, want ~0.01", nRate)
+	}
+}
+
+func TestSimulateReadsValidation(t *testing.T) {
+	g, _ := Generate("x", DefaultConfig(1_000))
+	if _, err := SimulateReads(g, 0, DefaultLongReads()); err == nil {
+		t.Error("zero coverage should error")
+	}
+	bad := DefaultLongReads()
+	bad.MeanLen = 0
+	if _, err := SimulateReads(g, 1, bad); err == nil {
+		t.Error("zero mean length should error")
+	}
+	bad = DefaultLongReads()
+	bad.ErrRate = 0.9
+	if _, err := SimulateReads(g, 1, bad); err == nil {
+		t.Error("error rate 0.9 should error")
+	}
+}
+
+func TestTable1Registry(t *testing.T) {
+	ds := Table1()
+	if len(ds) != 6 {
+		t.Fatalf("%d datasets, want 6", len(ds))
+	}
+	wantNames := []string{
+		"E. coli 30X", "P. aeruginosa 30X", "V. vulnificus 30X",
+		"A. baumannii 30X", "C. elegans 40X", "H. sapien 54X",
+	}
+	for i, d := range ds {
+		if d.Name != wantNames[i] {
+			t.Errorf("dataset %d = %q, want %q", i, d.Name, wantNames[i])
+		}
+		if d.Coverage <= 0 || d.ScaledGenomeLen <= 0 {
+			t.Errorf("%s: bad config", d.Name)
+		}
+	}
+	if len(SmallDatasets()) != 4 || len(LargeDatasets()) != 2 {
+		t.Error("small/large split wrong")
+	}
+	if _, err := DatasetByName("E. coli 30X"); err != nil {
+		t.Error(err)
+	}
+	if _, err := DatasetByName("bogus"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestDatasetReadsScaled(t *testing.T) {
+	d, _ := DatasetByName("A. baumannii 30X")
+	reads, err := d.Reads(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := 0
+	for _, r := range reads {
+		bases += len(r.Seq)
+	}
+	// 80k * 0.05 = 4000 -> floored at 2000; coverage 30 => ~120k bases.
+	if bases < 50_000 || bases > 300_000 {
+		t.Fatalf("scaled dataset has %d bases", bases)
+	}
+	if _, err := d.Reads(0); err == nil {
+		t.Error("zero scale should error")
+	}
+	// Determinism across calls.
+	again, _ := d.Reads(0.05)
+	if len(again) != len(reads) || !bytes.Equal(again[0].Seq, reads[0].Seq) {
+		t.Error("dataset generation is not deterministic")
+	}
+}

@@ -1,0 +1,35 @@
+package gpusim
+
+import "testing"
+
+// BenchmarkLaunch measures the simulator's own per-thread overhead (a
+// simulation-cost figure, not a modeled-GPU figure).
+func BenchmarkLaunch(b *testing.B) {
+	d := MustDevice(V100())
+	base := d.Alloc(1 << 20)
+	const threads = 10_000
+	b.SetBytes(threads)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Launch(LaunchSpec{Name: "bench", Threads: threads}, func(tid int, ctx *Ctx) {
+			ctx.Compute(10)
+			ctx.Read(base+uint64(tid*8), 8)
+			if tid%7 == 0 {
+				ctx.Atomic(base, 4)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelTimeEval(b *testing.B) {
+	cfg := V100()
+	st := &KernelStats{ComputeOps: 1 << 20, MemTransactions: 1 << 16, AtomicOps: 1 << 10, MaxAtomicPerAddr: 64}
+	for i := 0; i < b.N; i++ {
+		if cfg.KernelTime(st) <= 0 {
+			b.Fatal("non-positive time")
+		}
+	}
+}

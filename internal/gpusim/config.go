@@ -1,0 +1,246 @@
+// Package gpusim is a deterministic SIMT GPU simulator with a calibrated
+// analytic cost model. It substitutes for the CUDA/V100 layer of the paper
+// (see DESIGN.md, "Substitutions").
+//
+// # Execution model
+//
+// A kernel is launched over N logical threads grouped into warps of 32 and
+// blocks of BlockSize. Thread bodies are ordinary Go functions; they compute
+// real results (the simulation is functional, not just temporal). While
+// running, each thread records its abstract work through its Ctx:
+// arithmetic ops, global-memory reads/writes (with addresses), and atomic
+// operations. The engine replays each warp's recorded accesses in lockstep
+// and applies the CUDA coalescing rule — the i-th access of the 32 lanes is
+// merged into the set of distinct 32-byte sectors it touches — yielding the
+// memory-transaction count a real GPU would issue.
+//
+// # Time model
+//
+// Kernel time is a throughput roofline over four terms:
+//
+//	compute  = warpComputeOps / (NumSMs · ALULanesPerSM · Clock)
+//	memory   = sectors · 32B / HBMBandwidth
+//	atomic   = atomicOps / (AtomicOpsPerCycle · Clock)
+//	hotspot  = MaxAtomicPerAddr · AtomicRoundTripCycles / Clock
+//	kernel   = max(compute, memory, atomic, hotspot) + LaunchOverhead
+//
+// where warpComputeOps charges every warp the maximum lane cost times the
+// warp width (lockstep divergence, §III-B.1's motivation for even work
+// distribution), and hotspot is the serialization floor of atomics aimed at
+// one address (e.g. one outgoing-buffer tail counter, or the table slot of
+// the most frequent k-mer — the skew effect of §V-E).
+package gpusim
+
+import (
+	"fmt"
+	"time"
+)
+
+// SectorBytes is the memory transaction granularity (one DRAM sector).
+const SectorBytes = 32
+
+// Config describes the simulated device.
+type Config struct {
+	// Name identifies the device in reports.
+	Name string
+	// NumSMs is the number of streaming multiprocessors.
+	NumSMs int
+	// WarpSize is the SIMT width (32 on all NVIDIA parts).
+	WarpSize int
+	// ALULanesPerSM is the per-SM scalar op throughput per cycle.
+	ALULanesPerSM int
+	// ClockGHz is the SM clock in GHz.
+	ClockGHz float64
+	// HBMBandwidthGBs is the device memory bandwidth in GB/s.
+	HBMBandwidthGBs float64
+	// AtomicOpsPerCycle is the device-wide atomic throughput (ops/cycle)
+	// when there is no address contention.
+	AtomicOpsPerCycle float64
+	// AtomicRoundTripCycles is the effective serialization cost of one
+	// atomic to a contended address. On Volta, atomics resolve in the L2
+	// atomic pipeline; back-to-back operations on one resident address
+	// sustain roughly one per 8 cycles.
+	AtomicRoundTripCycles float64
+	// LaunchOverheadUs is the fixed kernel launch cost in microseconds.
+	LaunchOverheadUs float64
+	// MemBytes is the device memory capacity.
+	MemBytes int64
+	// LinkGBs is the host-device interconnect bandwidth (NVLink on
+	// Summit: 25 GB/s per direction, §V-A).
+	LinkGBs float64
+	// LinkLatencyUs is the host-device transfer setup latency.
+	LinkLatencyUs float64
+	// SustainedFraction is the fraction of the roofline this kernel family
+	// sustains end to end (0 or unset means 1.0). The roofline above omits
+	// latency-bound scatter chains, occupancy limits and per-round launch
+	// granularity; published GPU k-mer counting systems — Gerbil, MetaHipMer
+	// kcount-gpu, and this paper's own measurement (≈167B k-mers parsed and
+	// counted in ≈8 s of kernel time on 384 V100s, i.e. ≈9 ns per k-mer per
+	// phase per GPU) — sustain a few percent of that roofline. With the
+	// scatter-dominated memory term of these kernels (≈0.1-0.2 ns/k-mer at
+	// the roofline), 0.01 calibrates the V100 preset to the measured
+	// throughput.
+	SustainedFraction float64
+}
+
+// V100 returns the configuration of one NVIDIA V100 as deployed in Summit
+// nodes (§V-A: 80 SMs, 16 GB HBM2, NVLink 25 GB/s).
+func V100() Config {
+	return Config{
+		Name:                  "V100-SXM2-16GB",
+		NumSMs:                80,
+		WarpSize:              32,
+		ALULanesPerSM:         64,
+		ClockGHz:              1.53,
+		HBMBandwidthGBs:       900,
+		AtomicOpsPerCycle:     32,
+		AtomicRoundTripCycles: 8,
+		LaunchOverheadUs:      5,
+		MemBytes:              16 << 30,
+		LinkGBs:               25,
+		LinkLatencyUs:         10,
+		SustainedFraction:     0.01,
+	}
+}
+
+// A100 returns the configuration of one NVIDIA A100-SXM4-40GB — a newer
+// part than the paper's V100s, provided for what-if projections of the
+// same pipeline on a later machine (108 SMs, 1.41 GHz, 1555 GB/s HBM2e,
+// 3rd-gen NVLink at 50 GB/s per direction). The sustained fraction carries
+// over from the V100 calibration: the kernels' scatter character, not the
+// part, determines it.
+func A100() Config {
+	return Config{
+		Name:                  "A100-SXM4-40GB",
+		NumSMs:                108,
+		WarpSize:              32,
+		ALULanesPerSM:         64,
+		ClockGHz:              1.41,
+		HBMBandwidthGBs:       1555,
+		AtomicOpsPerCycle:     32,
+		AtomicRoundTripCycles: 8,
+		LaunchOverheadUs:      4,
+		MemBytes:              40 << 30,
+		LinkGBs:               50,
+		LinkLatencyUs:         8,
+		SustainedFraction:     0.01,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return fmt.Errorf("gpusim: NumSMs=%d", c.NumSMs)
+	case c.WarpSize <= 0:
+		return fmt.Errorf("gpusim: WarpSize=%d", c.WarpSize)
+	case c.ALULanesPerSM <= 0:
+		return fmt.Errorf("gpusim: ALULanesPerSM=%d", c.ALULanesPerSM)
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("gpusim: ClockGHz=%f", c.ClockGHz)
+	case c.HBMBandwidthGBs <= 0:
+		return fmt.Errorf("gpusim: HBMBandwidthGBs=%f", c.HBMBandwidthGBs)
+	case c.AtomicOpsPerCycle <= 0:
+		return fmt.Errorf("gpusim: AtomicOpsPerCycle=%f", c.AtomicOpsPerCycle)
+	case c.SustainedFraction < 0 || c.SustainedFraction > 1:
+		return fmt.Errorf("gpusim: SustainedFraction=%f outside [0,1]", c.SustainedFraction)
+	}
+	return nil
+}
+
+// sustained returns the effective roofline fraction.
+func (c Config) sustained() float64 {
+	if c.SustainedFraction == 0 {
+		return 1
+	}
+	return c.SustainedFraction
+}
+
+// KernelStats aggregates the recorded work of one kernel launch.
+type KernelStats struct {
+	// Name is the kernel name from the LaunchSpec.
+	Name string
+	// Threads and Blocks describe the launch geometry.
+	Threads, Blocks int
+	// ComputeOps is the divergence-adjusted op count: Σ over warps of
+	// (max lane ops) × WarpSize.
+	ComputeOps uint64
+	// RawComputeOps is Σ over lanes of their op counts (no divergence
+	// charge); ComputeOps/RawComputeOps measures divergence waste.
+	RawComputeOps uint64
+	// MemTransactions is the number of 32-byte sectors moved after warp
+	// coalescing.
+	MemTransactions uint64
+	// MemBytesRequested is the total bytes the lanes asked for (before
+	// coalescing); Transactions×32/Requested measures access efficiency.
+	MemBytesRequested uint64
+	// AtomicOps is the total number of atomic operations.
+	AtomicOps uint64
+	// MaxAtomicPerAddr is the largest number of atomics aimed at a single
+	// address. The launch engine tracks it exactly for the addresses seen.
+	MaxAtomicPerAddr uint64
+}
+
+// Add accumulates other into s (for multi-launch pipelines).
+func (s *KernelStats) Add(other KernelStats) {
+	s.Threads += other.Threads
+	s.Blocks += other.Blocks
+	s.ComputeOps += other.ComputeOps
+	s.RawComputeOps += other.RawComputeOps
+	s.MemTransactions += other.MemTransactions
+	s.MemBytesRequested += other.MemBytesRequested
+	s.AtomicOps += other.AtomicOps
+	if other.MaxAtomicPerAddr > s.MaxAtomicPerAddr {
+		s.MaxAtomicPerAddr = other.MaxAtomicPerAddr
+	}
+}
+
+// DivergenceWaste returns ComputeOps/RawComputeOps (≥1; 1 = perfectly
+// converged warps).
+func (s *KernelStats) DivergenceWaste() float64 {
+	if s.RawComputeOps == 0 {
+		return 1
+	}
+	return float64(s.ComputeOps) / float64(s.RawComputeOps)
+}
+
+// CoalescingEfficiency returns requested bytes / moved bytes (≤1 is not
+// guaranteed: a fully coalesced 4-byte-per-lane warp access moves exactly
+// what one sector holds, so the ratio can reach 4 when lanes share sectors).
+func (s *KernelStats) CoalescingEfficiency() float64 {
+	if s.MemTransactions == 0 {
+		return 1
+	}
+	return float64(s.MemBytesRequested) / float64(s.MemTransactions*SectorBytes)
+}
+
+// KernelTime evaluates the roofline model for stats collected on device c.
+func (c Config) KernelTime(s *KernelStats) time.Duration {
+	clock := c.ClockGHz * 1e9
+	compute := float64(s.ComputeOps) / (float64(c.NumSMs*c.ALULanesPerSM) * clock)
+	memory := float64(s.MemTransactions*SectorBytes) / (c.HBMBandwidthGBs * 1e9)
+	atomic := float64(s.AtomicOps) / (c.AtomicOpsPerCycle * clock)
+	hotspot := float64(s.MaxAtomicPerAddr) * c.AtomicRoundTripCycles / clock
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	if atomic > t {
+		t = atomic
+	}
+	if hotspot > t {
+		t = hotspot
+	}
+	t /= c.sustained()
+	t += c.LaunchOverheadUs * 1e-6
+	return time.Duration(t * float64(time.Second))
+}
+
+// TransferTime models one host↔device copy of n bytes over the link.
+func (c Config) TransferTime(n int64) time.Duration {
+	if n < 0 {
+		panic("gpusim: negative transfer size")
+	}
+	t := c.LinkLatencyUs*1e-6 + float64(n)/(c.LinkGBs*1e9)
+	return time.Duration(t * float64(time.Second))
+}

@@ -1,0 +1,301 @@
+package gpusim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Device executes kernels under a Config.
+type Device struct {
+	cfg Config
+	// contention is a hashed per-address atomic-op counter (single-row
+	// count-min sketch). The max bucket is a deterministic upper bound on
+	// the per-address maximum, used for the hotspot roofline term.
+	contention []uint64
+	arenaNext  uint64
+}
+
+// contentionBuckets is the sketch width. Counter-style hot addresses (a few
+// hundred buffer tails) essentially never collide at this width, and table
+// slots are individually cold, so the bound stays tight. The width is kept
+// modest (512 KiB per device) because large simulations instantiate one
+// device per simulated rank.
+const contentionBuckets = 1 << 16
+
+// NewDevice validates cfg and returns a Device.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg, contention: make([]uint64, contentionBuckets), arenaNext: 1 << 12}, nil
+}
+
+// MustDevice is NewDevice for known-good configs; it panics on error.
+func MustDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Alloc reserves a 256-byte-aligned simulated device address range of the
+// given size and returns its base address. Kernels use these addresses when
+// recording accesses so coalescing analysis sees realistic layouts.
+func (d *Device) Alloc(bytes int64) uint64 {
+	if bytes < 0 {
+		panic("gpusim: negative allocation")
+	}
+	size := (uint64(bytes) + 255) &^ 255
+	end := atomic.AddUint64(&d.arenaNext, size)
+	return end - size
+}
+
+// accessKind distinguishes recorded operations.
+type accessKind uint8
+
+const (
+	accRead accessKind = iota
+	accWrite
+	accAtomic
+)
+
+type access struct {
+	kind accessKind
+	addr uint64
+	size uint32
+}
+
+// Ctx is the per-thread recorder handed to kernel bodies. It is only valid
+// during the call.
+type Ctx struct {
+	tid      int
+	ops      uint64
+	accesses []access
+}
+
+// TID returns the global thread index.
+func (c *Ctx) TID() int { return c.tid }
+
+// Compute records n abstract arithmetic/logic operations.
+func (c *Ctx) Compute(n int) { c.ops += uint64(n) }
+
+// Read records a global-memory load of size bytes at addr.
+func (c *Ctx) Read(addr uint64, size int) {
+	c.accesses = append(c.accesses, access{accRead, addr, uint32(size)})
+}
+
+// Write records a global-memory store.
+func (c *Ctx) Write(addr uint64, size int) {
+	c.accesses = append(c.accesses, access{accWrite, addr, uint32(size)})
+}
+
+// Atomic records an atomic read-modify-write at addr (e.g. atomicAdd on an
+// outgoing-buffer tail, or atomicCAS on a hash-table slot).
+func (c *Ctx) Atomic(addr uint64, size int) {
+	c.accesses = append(c.accesses, access{accAtomic, addr, uint32(size)})
+}
+
+// LaunchSpec describes kernel geometry.
+type LaunchSpec struct {
+	// Name labels the kernel in stats.
+	Name string
+	// Threads is the total logical thread count (grid × block).
+	Threads int
+	// BlockSize is threads per block; 0 defaults to 256.
+	BlockSize int
+}
+
+// Launch executes body for every thread of the spec and returns aggregated
+// stats. Bodies run with real effects (they may write Go memory; use
+// sync/atomic for shared state). Warps execute their lanes sequentially
+// inside one goroutine; distinct warps may run on different goroutines, so
+// cross-thread coordination other than atomics must not be assumed — the
+// same portability rule a real CUDA grid imposes.
+func (d *Device) Launch(spec LaunchSpec, body func(tid int, ctx *Ctx)) (KernelStats, error) {
+	if spec.Threads < 0 {
+		return KernelStats{}, fmt.Errorf("gpusim: negative thread count %d", spec.Threads)
+	}
+	block := spec.BlockSize
+	if block == 0 {
+		block = 256
+	}
+	if block <= 0 || block%d.cfg.WarpSize != 0 {
+		return KernelStats{}, fmt.Errorf("gpusim: block size %d not a positive multiple of warp size %d", block, d.cfg.WarpSize)
+	}
+	stats := KernelStats{
+		Name:    spec.Name,
+		Threads: spec.Threads,
+		Blocks:  (spec.Threads + block - 1) / block,
+	}
+	ws := d.cfg.WarpSize
+	nWarps := (spec.Threads + ws - 1) / ws
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nWarps {
+		workers = nWarps
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partials := make([]KernelStats, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[slot] = fmt.Errorf("gpusim: kernel %q panicked: %v", spec.Name, p)
+				}
+			}()
+			lanes := make([]Ctx, ws)
+			for {
+				warp := int(next.Add(1)) - 1
+				if warp >= nWarps {
+					return
+				}
+				lo := warp * ws
+				hi := lo + ws
+				if hi > spec.Threads {
+					hi = spec.Threads
+				}
+				for i := range lanes {
+					lanes[i].ops = 0
+					lanes[i].accesses = lanes[i].accesses[:0]
+				}
+				for tid := lo; tid < hi; tid++ {
+					lane := &lanes[tid-lo]
+					lane.tid = tid
+					body(tid, lane)
+				}
+				d.foldWarp(&partials[slot], lanes[:hi-lo])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return stats, e
+		}
+	}
+	for i := range partials {
+		stats.Add(partials[i]) // partials carry zero geometry, only work counters
+	}
+	// Hotspot bound from the contention sketch.
+	var maxBucket uint64
+	for _, c := range d.contention {
+		if c > maxBucket {
+			maxBucket = c
+		}
+	}
+	if maxBucket > stats.MaxAtomicPerAddr {
+		stats.MaxAtomicPerAddr = maxBucket
+	}
+	return stats, nil
+}
+
+// ResetContention clears the hotspot sketch (between kernels whose atomics
+// target different structures).
+func (d *Device) ResetContention() {
+	for i := range d.contention {
+		d.contention[i] = 0
+	}
+}
+
+// foldWarp applies lockstep coalescing to one warp's recorded lanes and
+// accumulates into st.
+func (d *Device) foldWarp(st *KernelStats, lanes []Ctx) {
+	// Divergence-adjusted compute: warps execute the union of their lanes'
+	// paths, so every lane pays for the longest lane.
+	var maxOps uint64
+	maxAcc := 0
+	for i := range lanes {
+		st.RawComputeOps += lanes[i].ops
+		if lanes[i].ops > maxOps {
+			maxOps = lanes[i].ops
+		}
+		if len(lanes[i].accesses) > maxAcc {
+			maxAcc = len(lanes[i].accesses)
+		}
+	}
+	st.ComputeOps += maxOps * uint64(d.cfg.WarpSize)
+
+	// Lockstep memory replay: the i-th access of each lane coalesces into
+	// distinct 32-byte sectors. Atomics within one warp step aimed at the
+	// same address are warp-aggregated into a single device atomic (the
+	// standard nvcc/libcu++ optimization), so both the atomic throughput
+	// term and the contention sketch see distinct addresses per step.
+	sectors := make([]uint64, 0, len(lanes)*2)
+	atomics := make([]uint64, 0, len(lanes))
+	for step := 0; step < maxAcc; step++ {
+		sectors = sectors[:0]
+		atomics = atomics[:0]
+		for i := range lanes {
+			if step >= len(lanes[i].accesses) {
+				continue // lane inactive at this step (divergence)
+			}
+			a := lanes[i].accesses[step]
+			st.MemBytesRequested += uint64(a.size)
+			first := a.addr / SectorBytes
+			last := (a.addr + uint64(a.size) - 1) / SectorBytes
+			for s := first; s <= last; s++ {
+				sectors = append(sectors, s)
+			}
+			if a.kind == accAtomic {
+				atomics = append(atomics, a.addr)
+			}
+		}
+		if len(atomics) > 0 {
+			sortU64(atomics)
+			for i, addr := range atomics {
+				if i > 0 && addr == atomics[i-1] {
+					continue // warp-aggregated
+				}
+				st.AtomicOps++
+				b := mixAddr(addr) % contentionBuckets
+				atomic.AddUint64(&d.contention[b], 1)
+			}
+		}
+		if len(sectors) == 0 {
+			continue
+		}
+		sortU64(sectors)
+		distinct := 1
+		for i := 1; i < len(sectors); i++ {
+			if sectors[i] != sectors[i-1] {
+				distinct++
+			}
+		}
+		st.MemTransactions += uint64(distinct)
+	}
+}
+
+// sortU64 is an allocation-free insertion sort for the small per-step
+// sector/atomic slices (≤ ~64 entries).
+func sortU64(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// mixAddr scrambles an address into the sketch index space.
+func mixAddr(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,112 @@
+package kcount
+
+import (
+	"fmt"
+	"math"
+
+	"dedukt/internal/hash"
+)
+
+// Bloom is a Bloom filter over packed k-mer keys, used to keep singleton
+// k-mers (overwhelmingly sequencing errors) out of the counter table — the
+// memory optimization of Melsted & Pritchard's BFCounter that diBELLA's
+// k-mer analysis (this paper's CPU baseline lineage) inherits from HipMer.
+//
+// The filter absorbs each key's first sighting; from the second sighting on
+// the key lives in the hash table. TestAndSet is the single primitive:
+// it reports whether the key was (probabilistically) seen before, and marks
+// it seen.
+type Bloom struct {
+	bits   []uint64
+	mask   uint64 // bit-index mask (len(bits)*64 is a power of two)
+	hashes int
+}
+
+// NewBloom sizes a filter for the expected number of distinct keys at the
+// target false-positive rate (classic m = -n·ln(p)/ln(2)², rounded up to a
+// power of two bits; k = m/n·ln(2) hash functions).
+func NewBloom(expected int, fpRate float64) (*Bloom, error) {
+	if expected < 1 {
+		expected = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("kcount: bloom false-positive rate %v outside (0,1)", fpRate)
+	}
+	mBits := float64(expected) * -math.Log(fpRate) / (math.Ln2 * math.Ln2)
+	bits := uint64(64)
+	for float64(bits) < mBits {
+		bits <<= 1
+	}
+	k := int(math.Round(float64(bits) / float64(expected) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Bloom{
+		bits:   make([]uint64, bits/64),
+		mask:   bits - 1,
+		hashes: k,
+	}, nil
+}
+
+// Bits returns the filter size in bits.
+func (b *Bloom) Bits() int { return len(b.bits) * 64 }
+
+// Hashes returns the number of hash functions.
+func (b *Bloom) Hashes() int { return b.hashes }
+
+// bitPositions derives the k bit indices by double hashing (Kirsch &
+// Mitzenmacher): h_i = h1 + i·h2.
+func (b *Bloom) position(key uint64, i int) uint64 {
+	h1 := hash.Mix64Seeded(key, 0xb100f11e)
+	h2 := hash.Mix64Seeded(key, 0x5eed) | 1
+	return (h1 + uint64(i)*h2) & b.mask
+}
+
+// Test reports whether key is (probabilistically) present.
+func (b *Bloom) Test(key uint64) bool {
+	for i := 0; i < b.hashes; i++ {
+		pos := b.position(key, i)
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAndSet marks key present and reports whether it already was. Not safe
+// for concurrent use — it backs the (serial per-rank) CPU pipeline's
+// singleton filter.
+func (b *Bloom) TestAndSet(key uint64) bool {
+	present := true
+	for i := 0; i < b.hashes; i++ {
+		pos := b.position(key, i)
+		word, bit := pos/64, uint64(1)<<(pos%64)
+		if b.bits[word]&bit == 0 {
+			present = false
+			b.bits[word] |= bit
+		}
+	}
+	return present
+}
+
+// FillRatio returns the fraction of set bits (diagnostic: the realized
+// false-positive rate is ≈ FillRatio^Hashes).
+func (b *Bloom) FillRatio() float64 {
+	var set int
+	for _, w := range b.bits {
+		set += popcount64(w)
+	}
+	return float64(set) / float64(b.Bits())
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

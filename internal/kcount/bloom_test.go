@@ -1,0 +1,87 @@
+package kcount
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBloomBasics(t *testing.T) {
+	b, err := NewBloom(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bits()%64 != 0 || b.Hashes() < 1 {
+		t.Fatalf("bits=%d hashes=%d", b.Bits(), b.Hashes())
+	}
+	if b.Test(42) {
+		t.Fatal("empty filter claims presence")
+	}
+	if b.TestAndSet(42) {
+		t.Fatal("first TestAndSet should report absent")
+	}
+	if !b.TestAndSet(42) {
+		t.Fatal("second TestAndSet should report present")
+	}
+	if !b.Test(42) {
+		t.Fatal("Test should see the key now")
+	}
+}
+
+func TestBloomValidation(t *testing.T) {
+	for _, fp := range []float64{0, 1, -0.5} {
+		if _, err := NewBloom(10, fp); err == nil {
+			t.Errorf("fp=%v should be rejected", fp)
+		}
+	}
+	if b, err := NewBloom(0, 0.01); err != nil || b == nil {
+		t.Error("tiny expected count should still work")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b, _ := NewBloom(10_000, 0.01)
+	rng := rand.New(rand.NewSource(51))
+	keys := make([]uint64, 10_000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		b.TestAndSet(keys[i])
+	}
+	for _, k := range keys {
+		if !b.Test(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 50_000
+	b, _ := NewBloom(n, 0.01)
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < n; i++ {
+		b.TestAndSet(rng.Uint64())
+	}
+	// Probe with fresh keys; fp rate should be within ~4x of target
+	// (power-of-two rounding makes it conservative).
+	fp := 0
+	const probes = 50_000
+	for i := 0; i < probes; i++ {
+		if b.Test(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.04 {
+		t.Fatalf("false-positive rate %.4f too high (fill %.3f)", rate, b.FillRatio())
+	}
+}
+
+func TestBloomFillRatio(t *testing.T) {
+	b, _ := NewBloom(1000, 0.01)
+	if b.FillRatio() != 0 {
+		t.Fatal("fresh filter should be empty")
+	}
+	b.TestAndSet(1)
+	if b.FillRatio() <= 0 {
+		t.Fatal("fill ratio should rise after insert")
+	}
+}

@@ -1,0 +1,229 @@
+package kcount
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// The KCD (k-mer count database) on-disk format stores a counted table
+// sorted by packed key — the library's equivalent of a KMC database
+// (the paper's §VI discusses KMC3 and its database tooling):
+//
+//	magic   "DKCD"            4 bytes
+//	version uint16            (1)
+//	k       uint16
+//	flags   uint32            bit 0: canonical counts
+//	n       uint64            entry count
+//	entries n × (key uint64, count uint32), ascending by key
+//	crc32   uint32            IEEE, over everything after the magic
+//
+// All integers are little-endian. Keys are 2-bit packed k-mers under the
+// encoding the producer used (the format does not fix one; record it out of
+// band — the CLI always uses dna.Random).
+const (
+	kcdMagic   = "DKCD"
+	kcdVersion = 1
+
+	// FlagCanonical marks databases of canonical k-mer counts.
+	FlagCanonical = 1 << 0
+)
+
+// Database is a loaded KCD: entries sorted by key.
+type Database struct {
+	// K is the k-mer length.
+	K int
+	// Flags carries FlagCanonical etc.
+	Flags uint32
+	// Entries are (key, count) pairs in ascending key order.
+	Entries []KV
+}
+
+// Canonical reports whether the database holds canonical counts.
+func (d *Database) Canonical() bool { return d.Flags&FlagCanonical != 0 }
+
+// Len returns the number of distinct k-mers.
+func (d *Database) Len() int { return len(d.Entries) }
+
+// Get returns key's count via binary search (0 if absent).
+func (d *Database) Get(key uint64) uint32 {
+	i := sort.Search(len(d.Entries), func(i int) bool { return d.Entries[i].Key >= key })
+	if i < len(d.Entries) && d.Entries[i].Key == key {
+		return d.Entries[i].Count
+	}
+	return 0
+}
+
+// Table converts the database to an in-memory counter table.
+func (d *Database) Table() *Table {
+	t := NewTable(len(d.Entries), Linear)
+	for _, e := range d.Entries {
+		t.Add(e.Key, e.Count)
+	}
+	return t
+}
+
+// Histogram computes the frequency spectrum.
+func (d *Database) Histogram() Histogram {
+	h := Histogram{Counts: make(map[uint32]uint64)}
+	for _, e := range d.Entries {
+		h.Counts[e.Count]++
+	}
+	return h
+}
+
+// FromTable builds a sorted Database from a table.
+func FromTable(t *Table, k int, flags uint32) *Database {
+	d := &Database{K: k, Flags: flags, Entries: make([]KV, 0, t.Len())}
+	t.ForEach(func(key uint64, count uint32) {
+		d.Entries = append(d.Entries, KV{key, count})
+	})
+	sort.Slice(d.Entries, func(i, j int) bool { return d.Entries[i].Key < d.Entries[j].Key })
+	return d
+}
+
+// crcWriter tees writes into a CRC.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// Write serializes the database.
+func (d *Database) Write(w io.Writer) error {
+	if d.K <= 0 || d.K > 32 {
+		return fmt.Errorf("kcount: database k=%d outside (0,32]", d.K)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(kcdMagic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	hdr := make([]byte, 2+2+4+8)
+	binary.LittleEndian.PutUint16(hdr[0:], kcdVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(d.K))
+	binary.LittleEndian.PutUint32(hdr[4:], d.Flags)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(d.Entries)))
+	if _, err := cw.Write(hdr); err != nil {
+		return err
+	}
+	var prev uint64
+	ent := make([]byte, 12)
+	for i, e := range d.Entries {
+		if i > 0 && e.Key <= prev {
+			return fmt.Errorf("kcount: entries not strictly ascending at %d", i)
+		}
+		prev = e.Key
+		binary.LittleEndian.PutUint64(ent[0:], e.Key)
+		binary.LittleEndian.PutUint32(ent[8:], e.Count)
+		if _, err := cw.Write(ent); err != nil {
+			return err
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], cw.crc)
+	if _, err := bw.Write(crc[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// StreamDatabase reads a KCD stream entry by entry without materializing
+// the whole database — the constant-memory path for databases that exceed
+// RAM. fn is invoked once per entry in ascending key order; a non-nil
+// return aborts the scan and is passed through. The header (k, flags) is
+// returned; structure and checksum are verified exactly as in ReadDatabase.
+func StreamDatabase(r io.Reader, fn func(key uint64, count uint32) error) (k int, flags uint32, err error) {
+	d, err := readKCD(r, fn)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d.K, d.Flags, nil
+}
+
+// ReadDatabase parses a KCD stream, verifying structure and checksum.
+func ReadDatabase(r io.Reader) (*Database, error) {
+	return readKCD(r, nil)
+}
+
+// readKCD is the shared KCD parser: when fn is nil, entries are collected
+// into the returned Database; otherwise they stream through fn and
+// Entries stays empty.
+func readKCD(r io.Reader, fn func(key uint64, count uint32) error) (*Database, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("kcount: reading magic: %w", err)
+	}
+	if string(magic) != kcdMagic {
+		return nil, fmt.Errorf("kcount: bad magic %q", magic)
+	}
+	crc := uint32(0)
+	readFull := func(buf []byte) error {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf)
+		return nil
+	}
+	hdr := make([]byte, 2+2+4+8)
+	if err := readFull(hdr); err != nil {
+		return nil, fmt.Errorf("kcount: reading header: %w", err)
+	}
+	version := binary.LittleEndian.Uint16(hdr[0:])
+	if version != kcdVersion {
+		return nil, fmt.Errorf("kcount: unsupported KCD version %d", version)
+	}
+	k := int(binary.LittleEndian.Uint16(hdr[2:]))
+	if k <= 0 || k > 32 {
+		return nil, fmt.Errorf("kcount: corrupt k=%d", k)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[4:])
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	const maxEntries = 1 << 34 // 16 Gi entries ≈ 192 GiB: reject nonsense sizes
+	if n > maxEntries {
+		return nil, fmt.Errorf("kcount: implausible entry count %d", n)
+	}
+	d := &Database{K: k, Flags: flags}
+	if fn == nil {
+		d.Entries = make([]KV, 0, n)
+	}
+	ent := make([]byte, 12)
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		if err := readFull(ent); err != nil {
+			return nil, fmt.Errorf("kcount: reading entry %d: %w", i, err)
+		}
+		key := binary.LittleEndian.Uint64(ent[0:])
+		count := binary.LittleEndian.Uint32(ent[8:])
+		if i > 0 && key <= prev {
+			return nil, fmt.Errorf("kcount: entries not ascending at %d", i)
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("kcount: zero count at entry %d", i)
+		}
+		prev = key
+		if fn != nil {
+			if err := fn(key, count); err != nil {
+				return nil, err
+			}
+		} else {
+			d.Entries = append(d.Entries, KV{key, count})
+		}
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, fmt.Errorf("kcount: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != crc {
+		return nil, fmt.Errorf("kcount: checksum mismatch: file %08x, computed %08x", got, crc)
+	}
+	return d, nil
+}

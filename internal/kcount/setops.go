@@ -1,0 +1,115 @@
+package kcount
+
+import "fmt"
+
+// Set operations over sorted databases, with kmc_tools semantics (the KMC3
+// companion tool the paper cites [14]): all run in one linear merge pass
+// and return sorted results.
+
+// mustCompatible rejects operand mismatches.
+func mustCompatible(a, b *Database) error {
+	if a.K != b.K {
+		return fmt.Errorf("kcount: operand k mismatch: %d vs %d", a.K, b.K)
+	}
+	if a.Canonical() != b.Canonical() {
+		return fmt.Errorf("kcount: mixing canonical and plain databases")
+	}
+	return nil
+}
+
+// Intersect keeps keys present in both operands with the minimum of the two
+// counts.
+func Intersect(a, b *Database) (*Database, error) {
+	if err := mustCompatible(a, b); err != nil {
+		return nil, err
+	}
+	out := &Database{K: a.K, Flags: a.Flags}
+	i, j := 0, 0
+	for i < len(a.Entries) && j < len(b.Entries) {
+		ka, kb := a.Entries[i].Key, b.Entries[j].Key
+		switch {
+		case ka < kb:
+			i++
+		case ka > kb:
+			j++
+		default:
+			c := a.Entries[i].Count
+			if b.Entries[j].Count < c {
+				c = b.Entries[j].Count
+			}
+			out.Entries = append(out.Entries, KV{ka, c})
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// Union keeps every key with the sum of counts (saturating at the uint32
+// maximum).
+func Union(a, b *Database) (*Database, error) {
+	if err := mustCompatible(a, b); err != nil {
+		return nil, err
+	}
+	out := &Database{K: a.K, Flags: a.Flags, Entries: make([]KV, 0, len(a.Entries)+len(b.Entries))}
+	i, j := 0, 0
+	for i < len(a.Entries) || j < len(b.Entries) {
+		switch {
+		case j >= len(b.Entries) || (i < len(a.Entries) && a.Entries[i].Key < b.Entries[j].Key):
+			out.Entries = append(out.Entries, a.Entries[i])
+			i++
+		case i >= len(a.Entries) || b.Entries[j].Key < a.Entries[i].Key:
+			out.Entries = append(out.Entries, b.Entries[j])
+			j++
+		default:
+			sum := uint64(a.Entries[i].Count) + uint64(b.Entries[j].Count)
+			if sum > 0xffffffff {
+				sum = 0xffffffff
+			}
+			out.Entries = append(out.Entries, KV{a.Entries[i].Key, uint32(sum)})
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// Subtract decrements a's counts by b's, dropping keys that reach zero
+// (kmc_tools "counters_subtract").
+func Subtract(a, b *Database) (*Database, error) {
+	if err := mustCompatible(a, b); err != nil {
+		return nil, err
+	}
+	out := &Database{K: a.K, Flags: a.Flags}
+	j := 0
+	for _, e := range a.Entries {
+		for j < len(b.Entries) && b.Entries[j].Key < e.Key {
+			j++
+		}
+		c := e.Count
+		if j < len(b.Entries) && b.Entries[j].Key == e.Key {
+			if b.Entries[j].Count >= c {
+				continue
+			}
+			c -= b.Entries[j].Count
+		}
+		out.Entries = append(out.Entries, KV{e.Key, c})
+	}
+	return out, nil
+}
+
+// FilterCounts keeps entries with minCount ≤ count ≤ maxCount
+// (maxCount 0 = unbounded) — kmc_tools "transform ... reduce".
+func FilterCounts(a *Database, minCount, maxCount uint32) *Database {
+	out := &Database{K: a.K, Flags: a.Flags}
+	for _, e := range a.Entries {
+		if e.Count < minCount {
+			continue
+		}
+		if maxCount != 0 && e.Count > maxCount {
+			continue
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	return out
+}

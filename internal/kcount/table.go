@@ -1,0 +1,291 @@
+// Package kcount implements the k-mer counter hash tables of §III-B.3: open
+// addressing with linear (or, as an ablation, quadratic) probing, slot
+// selection by MurmurHash3, and an atomic variant with the insert/increment
+// semantics of the GPU kernel. A map-based serial oracle is provided for
+// correctness testing, plus histogram/spectrum utilities over counted
+// tables.
+package kcount
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/hash"
+	"dedukt/internal/kmer"
+)
+
+// Probing selects the collision resolution sequence (§III-B.3: "a probe
+// sequence (linear, quadratic, etc). In this work, we use linear probing").
+type Probing int
+
+const (
+	// Linear probes slots h, h+1, h+2, ...
+	Linear Probing = iota
+	// Quadratic probes slots h, h+1, h+3, h+6, ... (triangular offsets,
+	// a full cycle for power-of-two capacities).
+	Quadratic
+)
+
+func (p Probing) String() string {
+	switch p {
+	case Linear:
+		return "linear"
+	case Quadratic:
+		return "quadratic"
+	default:
+		return fmt.Sprintf("Probing(%d)", int(p))
+	}
+}
+
+// tableSeed is the slot-hash seed; it must differ from the seed used for
+// destination-rank hashing so table position is independent of rank
+// assignment.
+const tableSeed = 0x9e3779b97f4a7c15
+
+// slotOf returns the home slot for a key in a table of capacity mask+1.
+func slotOf(key uint64, mask uint64) uint64 {
+	return hash.Mix64Seeded(key, tableSeed) & mask
+}
+
+// step returns the i-th probe offset (i ≥ 1) for the configured policy.
+func (p Probing) step(i uint64) uint64 {
+	if p == Quadratic {
+		return i * (i + 1) / 2
+	}
+	return i
+}
+
+// Table is a serial open-addressing counter: packed k-mer keys to uint32
+// counts. Keys are stored biased by +1 so the zero word can serve as the
+// empty sentinel; this supports every k ≤ 31 (and k = 32 except the all-T
+// k-mer under lexicographic encoding, which the constructor rejects via
+// MaxKey). The table grows by rehashing at 70% load.
+type Table struct {
+	keys   []uint64 // biased: stored = key + 1; 0 = empty
+	counts []uint32
+	mask   uint64
+	n      int // occupied slots
+	prob   Probing
+	// Probes accumulates the total number of slots inspected across all
+	// operations — the quantity the GPU cost model charges memory traffic
+	// for.
+	Probes uint64
+}
+
+// MaxKey is the largest storable key (reserved sentinel excluded).
+const MaxKey = ^uint64(0) - 1
+
+// NewTable creates a table with capacity for at least expected entries at
+// ≤50% initial load.
+func NewTable(expected int, prob Probing) *Table {
+	if expected < 1 {
+		expected = 1
+	}
+	capacity := 1 << uint(bits.Len(uint(expected*2-1)))
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Table{
+		keys:   make([]uint64, capacity),
+		counts: make([]uint32, capacity),
+		mask:   uint64(capacity - 1),
+		prob:   prob,
+	}
+}
+
+// Len returns the number of distinct keys stored.
+func (t *Table) Len() int { return t.n }
+
+// Cap returns the current slot capacity.
+func (t *Table) Cap() int { return len(t.keys) }
+
+// LoadFactor returns occupied/capacity.
+func (t *Table) LoadFactor() float64 { return float64(t.n) / float64(len(t.keys)) }
+
+// Add increments the count of key by delta, inserting it if absent, and
+// reports whether the key was newly inserted. It panics on the reserved
+// sentinel key.
+func (t *Table) Add(key uint64, delta uint32) (isNew bool) {
+	if key > MaxKey {
+		panic("kcount: key collides with empty sentinel")
+	}
+	if float64(t.n+1) > 0.7*float64(len(t.keys)) {
+		t.grow()
+	}
+	stored := key + 1
+	slot := slotOf(key, t.mask)
+	for i := uint64(0); ; i++ {
+		idx := (slot + t.prob.step(i)) & t.mask
+		t.Probes++
+		switch t.keys[idx] {
+		case 0:
+			t.keys[idx] = stored
+			t.counts[idx] = delta
+			t.n++
+			return true
+		case stored:
+			t.counts[idx] += delta
+			return false
+		}
+	}
+}
+
+// Inc is Add(key, 1) — the per-k-mer hot path of COUNTKMER.
+func (t *Table) Inc(key uint64) bool { return t.Add(key, 1) }
+
+// Get returns the count of key (0 if absent).
+func (t *Table) Get(key uint64) uint32 {
+	stored := key + 1
+	slot := slotOf(key, t.mask)
+	for i := uint64(0); ; i++ {
+		idx := (slot + t.prob.step(i)) & t.mask
+		switch t.keys[idx] {
+		case 0:
+			return 0
+		case stored:
+			return t.counts[idx]
+		}
+	}
+}
+
+// ForEach calls fn for every (key, count) pair in unspecified order.
+func (t *Table) ForEach(fn func(key uint64, count uint32)) {
+	for i, stored := range t.keys {
+		if stored != 0 {
+			fn(stored-1, t.counts[i])
+		}
+	}
+}
+
+// TotalCount sums all counts (the k-mer multiset size).
+func (t *Table) TotalCount() uint64 {
+	var total uint64
+	t.ForEach(func(_ uint64, c uint32) { total += uint64(c) })
+	return total
+}
+
+func (t *Table) grow() {
+	old := *t
+	t.keys = make([]uint64, len(old.keys)*2)
+	t.counts = make([]uint32, len(old.counts)*2)
+	t.mask = uint64(len(t.keys) - 1)
+	t.n = 0
+	for i, stored := range old.keys {
+		if stored != 0 {
+			t.Add(stored-1, old.counts[i])
+		}
+	}
+	t.Probes = old.Probes
+}
+
+// Merge folds other into t.
+func (t *Table) Merge(other *Table) {
+	other.ForEach(func(k uint64, c uint32) { t.Add(k, c) })
+}
+
+// Histogram is a k-mer frequency spectrum: Counts[f] = number of distinct
+// k-mers occurring exactly f times (f ≥ 1). The paper motivates counting by
+// exactly these histograms (§II-A).
+type Histogram struct {
+	Counts map[uint32]uint64
+}
+
+// Histogram computes the frequency spectrum of the table.
+func (t *Table) Histogram() Histogram {
+	h := Histogram{Counts: make(map[uint32]uint64)}
+	t.ForEach(func(_ uint64, c uint32) { h.Counts[c]++ })
+	return h
+}
+
+// Distinct returns the number of distinct k-mers.
+func (h Histogram) Distinct() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Total returns the total k-mer multiset size Σ f·Counts[f].
+func (h Histogram) Total() uint64 {
+	var n uint64
+	for f, c := range h.Counts {
+		n += uint64(f) * c
+	}
+	return n
+}
+
+// Singletons returns the number of k-mers seen exactly once (usually
+// sequencing errors).
+func (h Histogram) Singletons() uint64 { return h.Counts[1] }
+
+// Frequencies returns the sorted list of occupied frequency classes.
+func (h Histogram) Frequencies() []uint32 {
+	fs := make([]uint32, 0, len(h.Counts))
+	for f := range h.Counts {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	return fs
+}
+
+// Merge adds other's classes into h.
+func (h Histogram) Merge(other Histogram) {
+	for f, c := range other.Counts {
+		h.Counts[f] += c
+	}
+}
+
+// TopK returns the k highest-count (key, count) pairs of the table, counts
+// descending, keys ascending among ties — the "k-mers of scientific
+// interest by frequency" query from §II-A.
+func (t *Table) TopK(k int) []KV {
+	all := make([]KV, 0, t.Len())
+	t.ForEach(func(key uint64, c uint32) { all = append(all, KV{key, c}) })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// KV is a k-mer/count pair.
+type KV struct {
+	Key   uint64
+	Count uint32
+}
+
+// SerialCount is the reference oracle: count k-mers of all reads with a Go
+// map. Every pipeline variant must reproduce exactly this multiset.
+func SerialCount(enc *dna.Encoding, reads [][]byte, k int) map[dna.Kmer]uint32 {
+	m := make(map[dna.Kmer]uint32)
+	for _, r := range reads {
+		kmer.ForEach(enc, r, k, func(w dna.Kmer, _ int) { m[w]++ })
+	}
+	return m
+}
+
+// EqualToOracle compares a table against the oracle map, returning a
+// description of the first difference, or "" when identical.
+func (t *Table) EqualToOracle(oracle map[dna.Kmer]uint32) string {
+	if uint64(len(oracle)) != uint64(t.Len()) {
+		return fmt.Sprintf("distinct kmers: table %d, oracle %d", t.Len(), len(oracle))
+	}
+	var diff string
+	t.ForEach(func(key uint64, c uint32) {
+		if diff != "" {
+			return
+		}
+		if want := oracle[dna.Kmer(key)]; want != c {
+			diff = fmt.Sprintf("kmer %#x: table %d, oracle %d", key, c, want)
+		}
+	})
+	return diff
+}

@@ -1,0 +1,165 @@
+package kcount
+
+import (
+	"math/bits"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/hash"
+)
+
+// WideTable is the open-addressing counter for two-word (k ≤ 64) k-mers:
+// the serial counting path for k values beyond the distributed pipeline's
+// single-word range. Slots are empty when their count is zero, so no key
+// biasing is needed.
+type WideTable struct {
+	keys   [][2]uint64
+	counts []uint32
+	mask   uint64
+	n      int
+	prob   Probing
+	// Probes accumulates slot inspections, as in Table.
+	Probes uint64
+}
+
+// NewWideTable creates a table with capacity for at least expected entries
+// at ≤50% initial load.
+func NewWideTable(expected int, prob Probing) *WideTable {
+	if expected < 1 {
+		expected = 1
+	}
+	capacity := 1 << uint(bits.Len(uint(expected*2-1)))
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &WideTable{
+		keys:   make([][2]uint64, capacity),
+		counts: make([]uint32, capacity),
+		mask:   uint64(capacity - 1),
+		prob:   prob,
+	}
+}
+
+// Len returns the number of distinct keys.
+func (t *WideTable) Len() int { return t.n }
+
+// Cap returns the slot capacity.
+func (t *WideTable) Cap() int { return len(t.keys) }
+
+func wideSlot(key dna.Kmer128, mask uint64) uint64 {
+	w := key.Words()
+	return hash.Words64(w[:], tableSeed) & mask
+}
+
+// Add increments key's count by delta, inserting if absent; reports whether
+// the key was new.
+func (t *WideTable) Add(key dna.Kmer128, delta uint32) (isNew bool) {
+	if float64(t.n+1) > 0.7*float64(len(t.keys)) {
+		t.grow()
+	}
+	kw := key.Words()
+	slot := wideSlot(key, t.mask)
+	for i := uint64(0); ; i++ {
+		idx := (slot + t.prob.step(i)) & t.mask
+		t.Probes++
+		switch {
+		case t.counts[idx] == 0:
+			t.keys[idx] = kw
+			t.counts[idx] = delta
+			t.n++
+			return true
+		case t.keys[idx] == kw:
+			t.counts[idx] += delta
+			return false
+		}
+	}
+}
+
+// Inc is Add(key, 1).
+func (t *WideTable) Inc(key dna.Kmer128) bool { return t.Add(key, 1) }
+
+// Get returns key's count (0 if absent).
+func (t *WideTable) Get(key dna.Kmer128) uint32 {
+	kw := key.Words()
+	slot := wideSlot(key, t.mask)
+	for i := uint64(0); ; i++ {
+		idx := (slot + t.prob.step(i)) & t.mask
+		switch {
+		case t.counts[idx] == 0:
+			return 0
+		case t.keys[idx] == kw:
+			return t.counts[idx]
+		}
+	}
+}
+
+// ForEach visits every (key, count) pair in unspecified order.
+func (t *WideTable) ForEach(fn func(key dna.Kmer128, count uint32)) {
+	for i, c := range t.counts {
+		if c != 0 {
+			fn(dna.Kmer128{Hi: t.keys[i][0], Lo: t.keys[i][1]}, c)
+		}
+	}
+}
+
+// TotalCount sums all counts.
+func (t *WideTable) TotalCount() uint64 {
+	var total uint64
+	for _, c := range t.counts {
+		total += uint64(c)
+	}
+	return total
+}
+
+// Histogram computes the frequency spectrum.
+func (t *WideTable) Histogram() Histogram {
+	h := Histogram{Counts: make(map[uint32]uint64)}
+	for _, c := range t.counts {
+		if c != 0 {
+			h.Counts[c]++
+		}
+	}
+	return h
+}
+
+func (t *WideTable) grow() {
+	old := *t
+	t.keys = make([][2]uint64, len(old.keys)*2)
+	t.counts = make([]uint32, len(old.counts)*2)
+	t.mask = uint64(len(t.keys) - 1)
+	t.n = 0
+	for i, c := range old.counts {
+		if c != 0 {
+			t.Add(dna.Kmer128{Hi: old.keys[i][0], Lo: old.keys[i][1]}, c)
+		}
+	}
+	t.Probes = old.Probes
+}
+
+// CountWide counts the k-mers (k ≤ 64) of reads into a WideTable,
+// optionally canonicalizing. Windows containing invalid bases are skipped,
+// matching the k ≤ 32 scanner's convention.
+func CountWide(enc *dna.Encoding, reads [][]byte, k int, canonical bool) *WideTable {
+	t := NewWideTable(1024, Linear)
+	for _, seq := range reads {
+		var w dna.Kmer128
+		valid := 0
+		for _, ch := range seq {
+			code, ok := enc.Encode(ch)
+			if !ok {
+				valid = 0
+				continue
+			}
+			w = w.Append(k, code)
+			valid++
+			if valid < k {
+				continue
+			}
+			key := w
+			if canonical {
+				key = w.Canonical(enc, k)
+			}
+			t.Inc(key)
+		}
+	}
+	return t
+}

@@ -1,0 +1,121 @@
+package kcount
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dedukt/internal/dna"
+)
+
+func TestWideTableBasic(t *testing.T) {
+	tab := NewWideTable(4, Linear)
+	a := dna.MustKmer128(&dna.Random, strings.Repeat("ACGT", 12)) // k=48
+	b := dna.MustKmer128(&dna.Random, strings.Repeat("GGCA", 12))
+	if !tab.Inc(a) {
+		t.Fatal("first insert should be new")
+	}
+	if tab.Inc(a) {
+		t.Fatal("second insert should not be new")
+	}
+	tab.Add(b, 5)
+	if tab.Get(a) != 2 || tab.Get(b) != 5 {
+		t.Fatalf("counts %d/%d", tab.Get(a), tab.Get(b))
+	}
+	if tab.Len() != 2 || tab.TotalCount() != 7 {
+		t.Fatalf("len=%d total=%d", tab.Len(), tab.TotalCount())
+	}
+	var zero dna.Kmer128
+	if tab.Get(zero) != 0 {
+		t.Fatal("absent key should be 0")
+	}
+}
+
+func TestWideTableGrowthAndOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	tab := NewWideTable(2, Quadratic)
+	oracle := map[dna.Kmer128]uint32{}
+	for i := 0; i < 30_000; i++ {
+		key := dna.Kmer128{Hi: uint64(rng.Intn(50)), Lo: uint64(rng.Intn(100))}
+		tab.Inc(key)
+		oracle[key]++
+	}
+	if tab.Len() != len(oracle) {
+		t.Fatalf("len %d, oracle %d", tab.Len(), len(oracle))
+	}
+	for k, want := range oracle {
+		if got := tab.Get(k); got != want {
+			t.Fatalf("Get(%v) = %d, want %d", k, got, want)
+		}
+	}
+	seen := 0
+	tab.ForEach(func(k dna.Kmer128, c uint32) {
+		if oracle[k] != c {
+			t.Fatalf("ForEach %v count %d, oracle %d", k, c, oracle[k])
+		}
+		seen++
+	})
+	if seen != len(oracle) {
+		t.Fatalf("visited %d", seen)
+	}
+	h := tab.Histogram()
+	if h.Distinct() != uint64(len(oracle)) || h.Total() != tab.TotalCount() {
+		t.Fatal("histogram inconsistent")
+	}
+}
+
+func TestCountWideMatchesNaive(t *testing.T) {
+	// Wide counting at k=45 must match a string-keyed oracle, with N
+	// handling and canonical mode.
+	rng := rand.New(rand.NewSource(82))
+	const k = 45
+	reads := make([][]byte, 40)
+	for i := range reads {
+		seq := make([]byte, 80+rng.Intn(120))
+		for j := range seq {
+			if rng.Intn(60) == 0 {
+				seq[j] = 'N'
+			} else {
+				seq[j] = "ACGT"[rng.Intn(4)]
+			}
+		}
+		reads[i] = seq
+	}
+	for _, canonical := range []bool{false, true} {
+		oracle := map[string]uint32{}
+		for _, seq := range reads {
+		outer:
+			for i := 0; i+k <= len(seq); i++ {
+				win := seq[i : i+k]
+				for _, c := range win {
+					if c == 'N' {
+						continue outer
+					}
+				}
+				key := string(win)
+				if canonical {
+					rc := dna.MustKmer128(&dna.Random, key).ReverseComplement(&dna.Random, k).String(&dna.Random, k)
+					if rcLess(rc, key, k) {
+						key = rc
+					}
+				}
+				oracle[key]++
+			}
+		}
+		tab := CountWide(&dna.Random, reads, k, canonical)
+		if tab.Len() != len(oracle) {
+			t.Fatalf("canonical=%v: distinct %d, oracle %d", canonical, tab.Len(), len(oracle))
+		}
+		for s, want := range oracle {
+			if got := tab.Get(dna.MustKmer128(&dna.Random, s)); got != want {
+				t.Fatalf("canonical=%v: %q = %d, want %d", canonical, s, got, want)
+			}
+		}
+	}
+}
+
+// rcLess compares two k-mer strings under the dna.Random encoding's packed
+// order (the canonical tie-break used by Kmer128.Canonical).
+func rcLess(a, b string, k int) bool {
+	return dna.MustKmer128(&dna.Random, a).Less(dna.MustKmer128(&dna.Random, b))
+}

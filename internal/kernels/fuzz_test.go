@@ -1,0 +1,67 @@
+package kernels
+
+import (
+	"testing"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/minimizer"
+)
+
+// FuzzWireRoundTrip drives the supermer wire codec with fuzz-derived
+// supermer contents and parameters: Encode→Decode must be the identity, and
+// Decode must reject corrupt length bytes by panicking (its documented
+// contract) rather than reading out of bounds.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint8(17), uint8(15), uint8(3), []byte{0x1b, 0x2c})
+	f.Add(uint8(5), uint8(1), uint8(1), []byte{})
+	f.Add(uint8(32), uint8(255), uint8(200), []byte{0xff})
+	f.Fuzz(func(t *testing.T, kRaw, windowRaw, nkRaw uint8, baseSeed []byte) {
+		k := int(kRaw%32) + 1
+		window := int(windowRaw)
+		if window == 0 {
+			window = 1
+		}
+		wire := SupermerWire{K: k, Window: window}
+		if wire.Validate() != nil {
+			return
+		}
+		nk := int(nkRaw)%window + 1
+		nBases := nk + k - 1
+		codes := make([]dna.Code, nBases)
+		for i := range codes {
+			if len(baseSeed) > 0 {
+				codes[i] = dna.Code(baseSeed[i%len(baseSeed)] & 3)
+			}
+		}
+		s := minimizer.Supermer{Seq: dna.PackCodes(codes), NKmers: nk}
+		buf := wire.Encode(nil, &s)
+		if len(buf) != wire.Stride() {
+			t.Fatalf("stride %d, encoded %d", wire.Stride(), len(buf))
+		}
+		seq, gotNk := wire.Decode(buf)
+		if gotNk != nk || seq.Len() != nBases {
+			t.Fatalf("decode nk=%d len=%d, want %d/%d", gotNk, seq.Len(), nk, nBases)
+		}
+		for i := range codes {
+			if seq.At(i) != codes[i] {
+				t.Fatalf("base %d mismatch", i)
+			}
+		}
+		// Corrupt length byte: 0 and >window must panic (documented).
+		for _, bad := range []byte{0, byte(window) + 1} {
+			if int(bad) > 255 || (bad != 0 && window >= 255) {
+				continue
+			}
+			corrupt := append([]byte(nil), buf...)
+			corrupt[len(corrupt)-1] = bad
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("corrupt length byte %d not rejected", bad)
+					}
+				}()
+				wire.Decode(corrupt)
+			}()
+		}
+	})
+}

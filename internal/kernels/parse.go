@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/gpusim"
+)
+
+// ParseConfig parameterizes the k-mer parsing kernel.
+type ParseConfig struct {
+	// Enc is the 2-bit base encoding.
+	Enc *dna.Encoding
+	// K is the k-mer length.
+	K int
+	// NumDest is the number of destination ranks (hash-table partitions).
+	NumDest int
+	// Canonical, when true, replaces each k-mer with the smaller of itself
+	// and its reverse complement before hashing, so a k-mer and its RC
+	// share one table entry. The paper does not canonicalize; this is a
+	// library option.
+	Canonical bool
+}
+
+// Validate checks the configuration.
+func (c ParseConfig) Validate() error {
+	if c.Enc == nil {
+		return fmt.Errorf("kernels: nil encoding")
+	}
+	if c.K <= 0 || c.K > dna.MaxK {
+		return fmt.Errorf("kernels: k=%d outside (0,%d]", c.K, dna.MaxK)
+	}
+	if c.NumDest <= 0 {
+		return fmt.Errorf("kernels: NumDest=%d", c.NumDest)
+	}
+	return nil
+}
+
+// ParseKmers is the GPU parse & process kernel of §III-B.1 (Fig. 2): the
+// concatenated, separator-delimited base array is cut into one position per
+// thread; each thread builds the k-mer starting at its base (consecutive
+// threads read consecutive bases — coalesced), hashes it to a destination
+// rank, and pushes the packed word into that rank's outgoing buffer with an
+// atomic cursor bump.
+//
+// The returned out[d] holds the packed k-mers bound for rank d. Buffer
+// order within a destination is unspecified (as with any atomic-append GPU
+// buffer); the k-mer multiset is deterministic.
+func ParseKmers(dev *gpusim.Device, cfg ParseConfig, data []byte) (out [][]uint64, st gpusim.KernelStats, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, st, err
+	}
+	threads := len(data) - cfg.K + 1
+	if threads < 0 {
+		threads = 0
+	}
+	out = make([][]uint64, cfg.NumDest)
+	locks := make([]sync.Mutex, cfg.NumDest)
+
+	dataAddr := dev.Alloc(int64(len(data)))
+	tailsAddr := dev.Alloc(int64(4 * cfg.NumDest))
+	bufAddr := make([]uint64, cfg.NumDest)
+	for d := range bufAddr {
+		bufAddr[d] = dev.Alloc(int64(8 * (threads + 1)))
+	}
+
+	enc, k := cfg.Enc, cfg.K
+	dev.ResetContention()
+	st, err = dev.Launch(gpusim.LaunchSpec{Name: "parse_kmers", Threads: threads}, func(tid int, ctx *gpusim.Ctx) {
+		// One overlapped read of the thread's k bases; warp lanes share
+		// sectors, which is exactly the coalescing §III-B.1 engineers for.
+		ctx.Read(dataAddr+uint64(tid), k)
+		var w dna.Kmer
+		for i := 0; i < k; i++ {
+			code, ok := enc.Encode(data[tid+i])
+			ctx.Compute(OpsEncodeBase)
+			if !ok {
+				return // window crosses a separator or an N: no k-mer here
+			}
+			w = w.Append(k, code)
+			ctx.Compute(OpsKmerRoll)
+		}
+		if cfg.Canonical {
+			w = w.Canonical(enc, k)
+			ctx.Compute(k * OpsKmerRoll) // reverse-complement unrolled
+		}
+		ctx.Compute(OpsHash + OpsDestSelect)
+		dest := DestOf(uint64(w), cfg.NumDest)
+
+		// Reserve a slot: atomicAdd on the destination's tail counter.
+		ctx.Atomic(tailsAddr+uint64(dest*4), 4)
+		locks[dest].Lock()
+		slot := len(out[dest])
+		out[dest] = append(out[dest], uint64(w))
+		locks[dest].Unlock()
+		// Scattered store of the packed word into the partitioned buffer.
+		ctx.Write(bufAddr[dest]+uint64(slot*8), 8)
+		ctx.Compute(OpsEmit)
+	})
+	return out, st, err
+}
+
+// CountDests is a host-side helper mirroring the kernel's destination
+// assignment: it returns per-destination k-mer counts for a batch of packed
+// k-mers (used to size buffers and to compute Table III-style partition
+// loads without running a device).
+func CountDests(kmers []uint64, numDest int) []uint64 {
+	counts := make([]uint64, numDest)
+	for _, w := range kmers {
+		counts[DestOf(w, numDest)]++
+	}
+	return counts
+}

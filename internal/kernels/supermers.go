@@ -1,0 +1,170 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/gpusim"
+	"dedukt/internal/minimizer"
+)
+
+// SupermerConfig parameterizes the supermer construction kernel.
+type SupermerConfig struct {
+	// Enc is the 2-bit base encoding (dna.Random reproduces the paper's
+	// ordering when paired with minimizer.Value).
+	Enc *dna.Encoding
+	// C carries k, m, window and the minimizer ordering.
+	C minimizer.Config
+	// NumDest is the number of destination ranks.
+	NumDest int
+	// DestMap, when non-nil, overrides hash partitioning: the supermer
+	// with minimizer w goes to rank DestMap[w]. It must have 4^m entries
+	// with every value < NumDest (the balanced assignment of §VII's
+	// future work). When nil, destinations come from DestOf.
+	DestMap []uint16
+}
+
+// Validate checks the configuration.
+func (c SupermerConfig) Validate() error {
+	if c.Enc == nil {
+		return fmt.Errorf("kernels: nil encoding")
+	}
+	if err := c.C.Validate(); err != nil {
+		return err
+	}
+	if c.NumDest <= 0 {
+		return fmt.Errorf("kernels: NumDest=%d", c.NumDest)
+	}
+	if c.DestMap != nil {
+		if len(c.DestMap) != 1<<(2*uint(c.C.M)) {
+			return fmt.Errorf("kernels: DestMap has %d entries, want 4^%d", len(c.DestMap), c.C.M)
+		}
+	}
+	return (SupermerWire{K: c.C.K, Window: c.C.Window}).Validate()
+}
+
+// BuildSupermers is the GPU supermer kernel of §IV-B (Fig. 5, Alg. 2): the
+// k-mer start positions of the concatenated base array are cut into chunks
+// of Window; one thread owns each chunk, sequentially rolls through its
+// k-mers, computes each k-mer's minimizer in registers, and extends the
+// current supermer while the minimizer repeats. Completed supermers are
+// hashed by minimizer to a destination rank and appended to its outgoing
+// buffer in wire format (packed bases + length byte).
+//
+// The emitted supermers are exactly those of minimizer.BuildWindowed over
+// the same buffer — the property tests rely on this equivalence.
+func BuildSupermers(dev *gpusim.Device, cfg SupermerConfig, data []byte) (out [][]byte, st gpusim.KernelStats, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, st, err
+	}
+	k, m, window, ord := cfg.C.K, cfg.C.M, cfg.C.Window, cfg.C.Ord
+	wire := SupermerWire{K: k, Window: window}
+	stride := wire.Stride()
+
+	positions := len(data) - k + 1
+	if positions < 0 {
+		positions = 0
+	}
+	threads := (positions + window - 1) / window
+
+	out = make([][]byte, cfg.NumDest)
+	locks := make([]sync.Mutex, cfg.NumDest)
+
+	dataAddr := dev.Alloc(int64(len(data)))
+	tailsAddr := dev.Alloc(int64(4 * cfg.NumDest))
+	mapAddr := uint64(0)
+	if cfg.DestMap != nil {
+		mapAddr = dev.Alloc(int64(2 * len(cfg.DestMap)))
+	}
+	bufAddr := make([]uint64, cfg.NumDest)
+	for d := range bufAddr {
+		bufAddr[d] = dev.Alloc(int64(stride * (positions + 1)))
+	}
+
+	enc := cfg.Enc
+	dev.ResetContention()
+	st, err = dev.Launch(gpusim.LaunchSpec{Name: "build_supermers", Threads: threads}, func(tid int, ctx *gpusim.Ctx) {
+		lo := tid * window // first k-mer start position owned
+		hi := lo + window  // one past the last owned position
+		if hi > positions {
+			hi = positions
+		}
+		// One read covers the thread's whole chunk of bases.
+		span := hi - lo + k - 1
+		ctx.Read(dataAddr+uint64(lo), span)
+
+		var (
+			w       dna.Kmer
+			valid   int
+			open    bool
+			start0  int
+			curMin  dna.Kmer
+			nk      int
+			lastPos int
+		)
+		flush := func() {
+			if !open {
+				return
+			}
+			open = false
+			var dest int
+			if cfg.DestMap != nil {
+				// Table-driven destination: one small scattered load.
+				ctx.Read(mapAddr+uint64(curMin)*2, 2)
+				ctx.Compute(OpsEmit)
+				dest = int(cfg.DestMap[curMin])
+			} else {
+				ctx.Compute(OpsHash + OpsDestSelect + OpsEmit)
+				dest = DestOf(uint64(curMin), cfg.NumDest)
+			}
+			s := minimizer.Supermer{Min: curMin, NKmers: nk, Seq: dna.NewPackedSeq(nk + k - 1)}
+			for i := start0; i < start0+nk+k-1; i++ {
+				s.Seq.Append(enc.MustEncode(data[i]))
+				ctx.Compute(OpsPackBase)
+			}
+			ctx.Atomic(tailsAddr+uint64(dest*4), 4)
+			locks[dest].Lock()
+			slot := len(out[dest]) / stride
+			out[dest] = wire.Encode(out[dest], &s)
+			locks[dest].Unlock()
+			ctx.Write(bufAddr[dest]+uint64(slot*stride), stride)
+		}
+		// Roll bases from the chunk start; k-mers whose start lies in
+		// [lo, hi) are owned by this thread.
+		for p := lo; p < hi+k-1 && p < len(data); p++ {
+			code, ok := enc.Encode(data[p])
+			ctx.Compute(OpsEncodeBase)
+			if !ok {
+				valid = 0
+				flush()
+				continue
+			}
+			w = w.Append(k, code)
+			ctx.Compute(OpsKmerRoll)
+			valid++
+			if valid < k {
+				continue
+			}
+			pos := p - k + 1
+			if pos < lo || pos >= hi {
+				continue
+			}
+			ctx.Compute((k - m + 1) * OpsMinimizerCand)
+			min := minimizer.Of(w, k, m, ord)
+			if open && pos == lastPos+1 && min == curMin {
+				nk++
+				lastPos = pos
+				continue
+			}
+			flush()
+			open = true
+			start0 = pos
+			curMin = min
+			nk = 1
+			lastPos = pos
+		}
+		flush()
+	})
+	return out, st, err
+}

@@ -1,0 +1,90 @@
+package kernels
+
+import (
+	"fmt"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/minimizer"
+)
+
+// SupermerWire is the fixed-stride wire format for supermers (§IV-B/C): the
+// packed bases occupy PackedBytes(Window+K-1) bytes, followed by one length
+// byte holding the number of k-mers inside ("An extra buffer is also
+// maintained to store the length of each supermer"). At the paper's
+// operating point (k=17, window=15) the bases fit exactly one 64-bit
+// machine word, so the stride is 9 bytes.
+type SupermerWire struct {
+	K      int
+	Window int
+}
+
+// Stride returns the wire size of one supermer in bytes.
+func (w SupermerWire) Stride() int { return dna.PackedBytes(w.Window+w.K-1) + 1 }
+
+// Validate checks the format parameters.
+func (w SupermerWire) Validate() error {
+	if w.K <= 0 || w.K > dna.MaxK {
+		return fmt.Errorf("kernels: wire k=%d outside (0,%d]", w.K, dna.MaxK)
+	}
+	if w.Window <= 0 || w.Window > 255 {
+		return fmt.Errorf("kernels: wire window=%d outside (0,255]", w.Window)
+	}
+	return nil
+}
+
+// Encode appends the wire image of s to dst. The supermer must obey the
+// windowed length bound.
+func (w SupermerWire) Encode(dst []byte, s *minimizer.Supermer) []byte {
+	if s.NKmers < 1 || s.NKmers > w.Window {
+		panic(fmt.Sprintf("kernels: supermer with %d kmers exceeds window %d", s.NKmers, w.Window))
+	}
+	stride := w.Stride()
+	start := len(dst)
+	dst = append(dst, s.Seq.Bytes()...)
+	for len(dst)-start < stride-1 {
+		dst = append(dst, 0)
+	}
+	return append(dst, byte(s.NKmers))
+}
+
+// EncodeInto writes the wire image into buf (length ≥ Stride), for
+// preallocated kernel output buffers. It returns the stride.
+func (w SupermerWire) EncodeInto(buf []byte, s *minimizer.Supermer) int {
+	stride := w.Stride()
+	if len(buf) < stride {
+		panic("kernels: wire buffer too small")
+	}
+	if s.NKmers < 1 || s.NKmers > w.Window {
+		panic(fmt.Sprintf("kernels: supermer with %d kmers exceeds window %d", s.NKmers, w.Window))
+	}
+	n := copy(buf, s.Seq.Bytes())
+	for i := n; i < stride-1; i++ {
+		buf[i] = 0
+	}
+	buf[stride-1] = byte(s.NKmers)
+	return stride
+}
+
+// Decode reads one supermer image from buf, returning the packed sequence
+// view (no copy) and the k-mer count.
+func (w SupermerWire) Decode(buf []byte) (seq dna.PackedSeq, nk int) {
+	stride := w.Stride()
+	if len(buf) < stride {
+		panic("kernels: truncated supermer wire image")
+	}
+	nk = int(buf[stride-1])
+	if nk < 1 || nk > w.Window {
+		panic(fmt.Sprintf("kernels: corrupt supermer length byte %d (window %d)", nk, w.Window))
+	}
+	bases := nk + w.K - 1
+	return dna.UnpackFrom(buf[:stride-1], bases), nk
+}
+
+// Count returns how many supermers a wire buffer holds.
+func (w SupermerWire) Count(buf []byte) int {
+	stride := w.Stride()
+	if len(buf)%stride != 0 {
+		panic(fmt.Sprintf("kernels: wire buffer length %d not a multiple of stride %d", len(buf), stride))
+	}
+	return len(buf) / stride
+}

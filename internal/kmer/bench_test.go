@@ -1,0 +1,43 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedukt/internal/dna"
+)
+
+func BenchmarkScanner(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]byte, 64<<10)
+	for i := range seq {
+		seq[i] = "ACGT"[rng.Intn(4)]
+	}
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ForEach(&dna.Random, seq, 17, func(dna.Kmer, int) { n++ })
+		if n == 0 {
+			b.Fatal("no kmers")
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]byte, 16<<10)
+	for i := range seq {
+		if rng.Intn(50) == 0 {
+			seq[i] = 'N'
+		} else {
+			seq[i] = "ACGT"[rng.Intn(4)]
+		}
+	}
+	b.SetBytes(int64(len(seq)))
+	buf := make([]dna.Kmer, 0, len(seq))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Extract(buf[:0], &dna.Random, seq, 17)
+	}
+}

@@ -1,0 +1,65 @@
+package minimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedukt/internal/dna"
+)
+
+func benchRead(n int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]byte, n)
+	for i := range seq {
+		seq[i] = "ACGT"[rng.Intn(4)]
+	}
+	return seq
+}
+
+func BenchmarkOf(b *testing.B) {
+	w := dna.MustKmer(&dna.Random, "GATTACAGATTACAGAT")
+	for _, tc := range []struct {
+		name string
+		ord  Ordering
+	}{
+		{"value", Value{}},
+		{"kmc2", NewKMC2(&dna.Random)},
+		{"hashed", Hashed{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var min dna.Kmer
+			for i := 0; i < b.N; i++ {
+				min = Of(w, 17, 7, tc.ord)
+			}
+			_ = min
+		})
+	}
+}
+
+func BenchmarkBuildWindowed(b *testing.B) {
+	seq := benchRead(64 << 10)
+	c := Config{K: 17, M: 7, Window: 15, Ord: Value{}}
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := BuildWindowed(&dna.Random, seq, c, func(Supermer) { n++ }); err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no supermers")
+		}
+	}
+}
+
+func BenchmarkBuildSequential(b *testing.B) {
+	seq := benchRead(64 << 10)
+	c := Config{K: 17, M: 7, Window: 1 << 20, Ord: Value{}}
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := BuildSequential(&dna.Random, seq, c, func(Supermer) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

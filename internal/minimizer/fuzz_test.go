@@ -1,0 +1,75 @@
+package minimizer
+
+import (
+	"sort"
+	"testing"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kmer"
+)
+
+// FuzzSupermerInvariants drives the windowed builder with fuzz-derived
+// reads and parameters, checking the core invariants: the k-mer multiset is
+// preserved, every k-mer shares its supermer's minimizer, lengths respect
+// the window bound, and the rolling scanner agrees with the naive one.
+func FuzzSupermerInvariants(f *testing.F) {
+	f.Add([]byte("GTCATGCATTACCGGTA"), uint8(3), uint8(2), uint8(4))
+	f.Add([]byte("ACGTNNNNACGTACGTACGT"), uint8(8), uint8(4), uint8(7))
+	f.Add([]byte(""), uint8(17), uint8(7), uint8(15))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, mRaw, wRaw uint8) {
+		k := int(kRaw%32) + 1
+		m := int(mRaw)%k + 1
+		window := int(wRaw)%64 + 1
+		seq := make([]byte, len(raw))
+		for i, b := range raw {
+			if b&0x80 != 0 {
+				seq[i] = 'N'
+			} else {
+				seq[i] = "ACGT"[b&3]
+			}
+		}
+		c := Config{K: k, M: m, Window: window, Ord: Value{}}
+		if c.Validate() != nil {
+			t.Fatalf("fuzz-derived config invalid: %+v", c)
+		}
+		var all []dna.Kmer
+		maxBases := c.MaxSupermerBases()
+		err := BuildWindowed(&dna.Random, seq, c, func(s Supermer) {
+			if s.Len(k) > maxBases {
+				t.Fatalf("supermer %d bases > bound %d", s.Len(k), maxBases)
+			}
+			start := len(all)
+			all = s.Kmers(all, k)
+			for _, w := range all[start:] {
+				if Of(w, k, m, c.Ord) != s.Min {
+					t.Fatal("k-mer minimizer differs from supermer minimizer")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := kmer.Extract(nil, &dna.Random, seq, k)
+		if len(all) != len(want) {
+			t.Fatalf("%d kmers from supermers, %d from scanner", len(all), len(want))
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if all[i] != want[i] {
+				t.Fatal("k-mer multiset changed")
+			}
+		}
+		// Rolling scanner agreement.
+		i := 0
+		ForEachWithMinimizer(&dna.Random, seq, k, m, c.Ord, func(w, min dna.Kmer, pos int) {
+			if min != Of(w, k, m, c.Ord) {
+				t.Fatal("rolling scanner minimizer mismatch")
+			}
+			i++
+		})
+		if i != len(want) {
+			t.Fatalf("rolling scanner yielded %d kmers, want %d", i, len(want))
+		}
+	})
+}

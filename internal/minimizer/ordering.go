@@ -1,0 +1,131 @@
+// Package minimizer implements minimizer orderings, minimizer selection,
+// and supermer construction (§II-B, §IV).
+//
+// A minimizer of a k-mer is its smallest length-m sub-sequence under some
+// total order on m-mers (§II-B). Consecutive k-mers of a read often share a
+// minimizer; a maximal run of such k-mers is packed into a single *supermer*
+// — the unit DEDUKT ships between nodes instead of individual k-mers (§IV-A).
+//
+// Three orderings from the paper are provided:
+//
+//   - Value: compare packed m-mer values directly. Under the lexicographic
+//     encoding this is Roberts' classic lexicographic ordering; under the
+//     DEDUKT "random" encoding (A=1, C=0, T=2, G=3) it is the paper's cheap
+//     skew-reducing custom ordering (§IV-A).
+//   - KMC2: lexicographic order modified to give lower priority to m-mers
+//     starting with AAA or ACA, used by KMC2 and Gerbil (§II-B).
+//   - Hashed: order m-mers by an invertible 64-bit mix of their value; the
+//     strongest skew reducer, included as an ablation beyond the paper.
+package minimizer
+
+import (
+	"fmt"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/hash"
+)
+
+// Ordering ranks m-mers; the m-mer with the smallest rank (ties broken
+// toward the leftmost occurrence) is the minimizer.
+type Ordering interface {
+	// Rank maps a packed m-mer to its priority; smaller is preferred.
+	Rank(w dna.Kmer, m int) uint64
+	// Name identifies the ordering in reports and benchmarks.
+	Name() string
+}
+
+// Value orders m-mers by their packed 2-bit value under the pipeline's
+// encoding. See the package comment for how the encoding choice turns this
+// into either the lexicographic or the paper's random ordering.
+type Value struct{}
+
+// Rank implements Ordering.
+func (Value) Rank(w dna.Kmer, _ int) uint64 { return uint64(w) }
+
+// Name implements Ordering.
+func (Value) Name() string { return "value" }
+
+// KMC2 is the KMC2/Gerbil ordering: lexicographic, except m-mers beginning
+// with AAA or ACA are demoted below all others, spreading out the huge
+// poly-A bins (§II-B). It must know the encoding to recognize the A and C
+// codes.
+type KMC2 struct {
+	enc *dna.Encoding
+	// lexOf maps the encoding's codes to lexicographic codes so ranks are
+	// comparable as lexicographic values.
+	lexOf [4]uint64
+	a, c  dna.Code
+}
+
+// NewKMC2 builds the KMC2 ordering for m-mers packed under enc.
+func NewKMC2(enc *dna.Encoding) *KMC2 {
+	o := &KMC2{enc: enc, a: enc.MustEncode('A'), c: enc.MustEncode('C')}
+	for code := dna.Code(0); code < 4; code++ {
+		o.lexOf[code] = uint64(dna.Lexicographic.MustEncode(enc.Decode(code)))
+	}
+	return o
+}
+
+// Rank implements Ordering.
+func (o *KMC2) Rank(w dna.Kmer, m int) uint64 {
+	var lex uint64
+	for i := 0; i < m; i++ {
+		lex = lex<<2 | o.lexOf[w.Base(m, i)]
+	}
+	if m >= 3 {
+		b0, b1, b2 := w.Base(m, 0), w.Base(m, 1), w.Base(m, 2)
+		if b0 == o.a && b2 == o.a && (b1 == o.a || b1 == o.c) {
+			// Demote AAA* and ACA* below every ordinary m-mer.
+			lex |= 1 << (2 * uint(m))
+		}
+	}
+	return lex
+}
+
+// Name implements Ordering.
+func (o *KMC2) Name() string { return "kmc2" }
+
+// Hashed orders m-mers by a MurmurHash3 finalizer of their packed value —
+// a pseudo-random total order that equalizes bin sizes most aggressively.
+type Hashed struct {
+	// Seed derives independent orders; 0 is fine.
+	Seed uint64
+}
+
+// Rank implements Ordering.
+func (o Hashed) Rank(w dna.Kmer, _ int) uint64 { return hash.Mix64Seeded(uint64(w), o.Seed) }
+
+// Name implements Ordering.
+func (o Hashed) Name() string { return "hashed" }
+
+// ByName returns a named ordering: "value", "kmc2" or "hashed".
+func ByName(name string, enc *dna.Encoding) (Ordering, error) {
+	switch name {
+	case "value":
+		return Value{}, nil
+	case "kmc2":
+		return NewKMC2(enc), nil
+	case "hashed":
+		return Hashed{}, nil
+	default:
+		return nil, fmt.Errorf("minimizer: unknown ordering %q", name)
+	}
+}
+
+// Of returns the minimizer of the k-mer w: the m-mer with minimal rank,
+// leftmost occurrence winning ties. This is the MINIMIZER(kmer) primitive of
+// Alg. 2; it scans the k-m+1 m-mer positions of the k-mer.
+func Of(w dna.Kmer, k, m int, ord Ordering) dna.Kmer {
+	if m <= 0 || m > k {
+		panic(fmt.Sprintf("minimizer: m=%d outside (0,k=%d]", m, k))
+	}
+	best := w.Sub(k, 0, m)
+	bestRank := ord.Rank(best, m)
+	for i := 1; i+m <= k; i++ {
+		cand := w.Sub(k, i, m)
+		if r := ord.Rank(cand, m); r < bestRank {
+			best, bestRank = cand, r
+		}
+	}
+	return best
+}

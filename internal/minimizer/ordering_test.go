@@ -1,0 +1,178 @@
+package minimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedukt/internal/dna"
+)
+
+func TestOfLexicographic(t *testing.T) {
+	// Under the lexicographic encoding, Value{} is the classic lexicographic
+	// minimizer. GTCATGCA with m=4: candidates GTCA TCAT CATG ATGC TGCA;
+	// smallest is ATGC.
+	k, m := 8, 4
+	w := dna.MustKmer(&dna.Lexicographic, "GTCATGCA")
+	min := Of(w, k, m, Value{})
+	if got := min.String(&dna.Lexicographic, m); got != "ATGC" {
+		t.Fatalf("minimizer = %q, want ATGC", got)
+	}
+}
+
+func TestOfLeftmostTieBreak(t *testing.T) {
+	// Two occurrences of the minimal m-mer: leftmost must win (same value,
+	// so the returned kmer is equal either way) — check the scan is stable
+	// by using a rank that counts occurrences.
+	k, m := 6, 2
+	w := dna.MustKmer(&dna.Lexicographic, "ACACAC")
+	min := Of(w, k, m, Value{})
+	if got := min.String(&dna.Lexicographic, m); got != "AC" {
+		t.Fatalf("minimizer = %q, want AC", got)
+	}
+}
+
+func TestOfWholeKmerWhenMEqualsK(t *testing.T) {
+	w := dna.MustKmer(&dna.Lexicographic, "GATTACA")
+	if Of(w, 7, 7, Value{}) != w {
+		t.Fatal("m=k should return the k-mer itself")
+	}
+}
+
+func TestOfPanicsOnBadM(t *testing.T) {
+	w := dna.MustKmer(&dna.Lexicographic, "ACGT")
+	for _, m := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("m=%d should panic", m)
+				}
+			}()
+			Of(w, 4, m, Value{})
+		}()
+	}
+}
+
+func TestOfMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.Intn(30)
+		m := 1 + rng.Intn(k)
+		codes := make([]dna.Code, k)
+		for i := range codes {
+			codes[i] = dna.Code(rng.Intn(4))
+		}
+		w := dna.KmerFromCodes(codes)
+		for _, ord := range []Ordering{Value{}, NewKMC2(&dna.Random), Hashed{Seed: 9}} {
+			got := Of(w, k, m, ord)
+			// Naive: enumerate all m-mers, track min rank.
+			best := w.Sub(k, 0, m)
+			bestRank := ord.Rank(best, m)
+			for i := 1; i+m <= k; i++ {
+				c := w.Sub(k, i, m)
+				if r := ord.Rank(c, m); r < bestRank {
+					best, bestRank = c, r
+				}
+			}
+			if got != best {
+				t.Fatalf("trial %d ord %s: Of=%x naive=%x", trial, ord.Name(), got, best)
+			}
+		}
+	}
+}
+
+func TestKMC2DemotesAAAandACA(t *testing.T) {
+	for _, enc := range []*dna.Encoding{&dna.Lexicographic, &dna.Random} {
+		ord := NewKMC2(enc)
+		m := 4
+		aaa := dna.MustKmer(enc, "AAAA")
+		aca := dna.MustKmer(enc, "ACAT")
+		ordinary := dna.MustKmer(enc, "TTTT") // lexicographically largest normal m-mer
+		if ord.Rank(aaa, m) <= ord.Rank(ordinary, m) {
+			t.Errorf("%s: AAAA should rank below TTTT", enc.Name())
+		}
+		if ord.Rank(aca, m) <= ord.Rank(ordinary, m) {
+			t.Errorf("%s: ACAT should rank below TTTT", enc.Name())
+		}
+		// Ordinary m-mers keep lexicographic relative order.
+		lo := dna.MustKmer(enc, "AGTC")
+		hi := dna.MustKmer(enc, "CGTC")
+		if ord.Rank(lo, m) >= ord.Rank(hi, m) {
+			t.Errorf("%s: AGTC should rank above CGTC", enc.Name())
+		}
+	}
+}
+
+func TestKMC2EncodingIndependent(t *testing.T) {
+	// The KMC2 rank of an m-mer must not depend on which encoding packed it.
+	rng := rand.New(rand.NewSource(6))
+	lex := NewKMC2(&dna.Lexicographic)
+	rnd := NewKMC2(&dna.Random)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(12)
+		seq := make([]byte, m)
+		for i := range seq {
+			seq[i] = "ACGT"[rng.Intn(4)]
+		}
+		a := lex.Rank(dna.MustKmer(&dna.Lexicographic, string(seq)), m)
+		b := rnd.Rank(dna.MustKmer(&dna.Random, string(seq)), m)
+		if a != b {
+			t.Fatalf("%s: lex-encoded rank %d != random-encoded rank %d", seq, a, b)
+		}
+	}
+}
+
+func TestHashedSeedIndependence(t *testing.T) {
+	w := dna.MustKmer(&dna.Random, "ACGTACG")
+	if (Hashed{Seed: 1}).Rank(w, 7) == (Hashed{Seed: 2}).Rank(w, 7) {
+		t.Fatal("different seeds should give different orders")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"value", "kmc2", "hashed"} {
+		ord, err := ByName(name, &dna.Random)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ord.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, ord.Name())
+		}
+	}
+	if _, err := ByName("nope", &dna.Random); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestOrderingSkewRandomVsLex(t *testing.T) {
+	// The paper's motivation for the random encoding (§IV-A): binning m-mers
+	// by minimizer under lexicographic order concentrates mass in A-rich
+	// bins. Measure the largest bin over the minimizers of many random
+	// k-mers; the random encoding must not be worse than lexicographic.
+	rng := rand.New(rand.NewSource(77))
+	const k, m, n, bins = 17, 7, 20000, 64
+	count := func(enc *dna.Encoding) int {
+		counts := make([]int, bins)
+		for i := 0; i < n; i++ {
+			codes := make([]dna.Code, k)
+			for j := range codes {
+				codes[j] = dna.Code(rng.Intn(4))
+			}
+			min := Of(dna.KmerFromCodes(codes), k, m, Value{})
+			counts[uint64(min)%bins]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	// Both encodings see the same RNG stream shape; compare max bin loads.
+	lexMax := count(&dna.Lexicographic)
+	rndMax := count(&dna.Random)
+	if rndMax > lexMax*2 {
+		t.Fatalf("random encoding max bin %d far worse than lex %d", rndMax, lexMax)
+	}
+	t.Logf("max bin: lex=%d random=%d (avg %d)", lexMax, rndMax, n/bins)
+}

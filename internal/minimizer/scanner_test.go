@@ -1,0 +1,103 @@
+package minimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kmer"
+)
+
+func TestScannerMatchesOf(t *testing.T) {
+	// The rolling deque scanner must agree with the per-k-mer Of scan for
+	// every ordering, k, m, including reads with invalid bases.
+	rng := rand.New(rand.NewSource(61))
+	orderings := []Ordering{Value{}, NewKMC2(&dna.Random), Hashed{Seed: 3}}
+	for trial := 0; trial < 150; trial++ {
+		k := 2 + rng.Intn(28)
+		m := 1 + rng.Intn(k)
+		seq := randomRead(rng, 30+rng.Intn(300), 0.03)
+		ord := orderings[trial%len(orderings)]
+
+		type rec struct {
+			w, min dna.Kmer
+			pos    int
+		}
+		var want []rec
+		kmer.ForEach(&dna.Random, seq, k, func(w dna.Kmer, pos int) {
+			want = append(want, rec{w, Of(w, k, m, ord), pos})
+		})
+		var got []rec
+		ForEachWithMinimizer(&dna.Random, seq, k, m, ord, func(w, min dna.Kmer, pos int) {
+			got = append(got, rec{w, min, pos})
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k=%d m=%d): %d kmers vs %d", trial, k, m, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (k=%d m=%d, ord=%s) kmer %d:\n got %+v\nwant %+v",
+					trial, k, m, ord.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScannerEmptyAndShort(t *testing.T) {
+	s := NewScanner(&dna.Random, nil, 5, 3, Value{})
+	if _, _, _, ok := s.Next(); ok {
+		t.Fatal("empty read yielded a k-mer")
+	}
+	s = NewScanner(&dna.Random, []byte("ACG"), 5, 3, Value{})
+	if _, _, _, ok := s.Next(); ok {
+		t.Fatal("short read yielded a k-mer")
+	}
+}
+
+func TestScannerPanicsOnBadParams(t *testing.T) {
+	cases := []func(){
+		func() { NewScanner(&dna.Random, nil, 0, 1, Value{}) },
+		func() { NewScanner(&dna.Random, nil, 5, 6, Value{}) },
+		func() { NewScanner(&dna.Random, nil, 5, 0, Value{}) },
+		func() { NewScanner(&dna.Random, nil, 5, 3, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkScannerRolling(b *testing.B) {
+	seq := benchRead(64 << 10)
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ForEachWithMinimizer(&dna.Random, seq, 17, 7, Value{}, func(_, _ dna.Kmer, _ int) { n++ })
+		if n == 0 {
+			b.Fatal("no kmers")
+		}
+	}
+}
+
+func BenchmarkScannerNaiveOf(b *testing.B) {
+	seq := benchRead(64 << 10)
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		kmer.ForEach(&dna.Random, seq, 17, func(w dna.Kmer, _ int) {
+			_ = Of(w, 17, 7, Value{})
+			n++
+		})
+		if n == 0 {
+			b.Fatal("no kmers")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package mpisim
+
+import "testing"
+
+// BenchmarkAlltoallv measures the simulator's exchange cost (simulation
+// overhead, not modeled network time).
+func BenchmarkAlltoallv(b *testing.B) {
+	const p = 24
+	payload := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(p, func(c *Comm) {
+			send := make([][]byte, p)
+			for j := range send {
+				send[j] = payload
+			}
+			c.AlltoallvBytes(send)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectiveTimeEval(b *testing.B) {
+	nm := NetModel{RanksPerNode: 6, InjectionGBs: 23, Efficiency: 0.04, LatencyUs: 2}
+	m := make([][]uint64, 96)
+	for i := range m {
+		m[i] = make([]uint64, 96)
+		for j := range m[i] {
+			m[i][j] = 1 << 16
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nm.CollectiveTime(m) <= 0 {
+			b.Fatal("non-positive")
+		}
+	}
+}

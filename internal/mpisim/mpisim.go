@@ -1,0 +1,274 @@
+// Package mpisim is a bulk-synchronous message-passing simulator: the MPI
+// substrate of the reproduction (see DESIGN.md, "Substitutions").
+//
+// Ranks run as goroutines inside one process and exchange data through
+// shared memory, so payloads are moved bit-exactly; the *cost* of the
+// paper's many-to-many exchanges (MPI_Alltoall + MPI_Alltoallv, Alg. 1
+// line 8) is evaluated separately by a calibrated network model over the
+// recorded traffic matrices (see netmodel.go).
+//
+// The collective semantics mirror MPI: every rank must call the same
+// collectives in the same order; a collective returns only after all ranks
+// have entered it.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Comm is one rank's handle on the communicator.
+type Comm struct {
+	rank  int
+	world *world
+}
+
+// world holds the shared state of one Run.
+type world struct {
+	size int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	phase   int
+	dead    bool
+
+	// slots carries one deposit per rank for the collective in flight.
+	slots []any
+
+	traceMu sync.Mutex
+	trace   []TraceEntry
+}
+
+// TraceEntry records the traffic matrix of one collective.
+type TraceEntry struct {
+	// Op names the collective ("alltoallv", "alltoall", ...).
+	Op string
+	// Bytes[i][j] is the payload rank i sent to rank j (nil for
+	// zero-payload collectives like barriers).
+	Bytes [][]uint64
+}
+
+// TotalBytes sums the whole matrix.
+func (e TraceEntry) TotalBytes() uint64 {
+	var n uint64
+	for _, row := range e.Bytes {
+		for _, b := range row {
+			n += b
+		}
+	}
+	return n
+}
+
+// Run executes body once per rank on size ranks and returns after all
+// complete. A panic in any rank is recovered and returned as an error (the
+// other ranks may deadlock-free exit only if they do not wait on the dead
+// rank, so Run fails fast by re-panicking the first panic after unblocking —
+// in practice: treat a non-nil error as fatal for the whole computation).
+// The returned Trace lists every collective's traffic matrix in program
+// order.
+func Run(size int, body func(c *Comm)) (trace []TraceEntry, err error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpisim: non-positive world size %d", size)
+	}
+	w := &world{size: size, slots: make([]any, size)}
+	w.cond = sync.NewCond(&w.mu)
+
+	panics := make(chan any, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+					// Unblock peers stuck in a barrier: poison the world so
+					// their collectives fail instead of deadlocking.
+					w.mu.Lock()
+					w.dead = true
+					w.phase++
+					w.cond.Broadcast()
+					w.mu.Unlock()
+				}
+			}()
+			body(&Comm{rank: rank, world: w})
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		return w.trace, fmt.Errorf("mpisim: rank panicked: %v", p)
+	default:
+	}
+	return w.trace, nil
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.world.barrier() }
+
+func (w *world) barrier() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		panic("mpisim: world poisoned by a peer rank's panic")
+	}
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.phase++
+		w.cond.Broadcast()
+		return
+	}
+	phase := w.phase
+	for w.phase == phase && !w.dead {
+		w.cond.Wait()
+	}
+	if w.dead {
+		panic("mpisim: world poisoned by a peer rank's panic")
+	}
+}
+
+// exchange is the generic all-to-all primitive: every rank deposits one
+// value and receives everyone's deposits (including its own). Two barriers
+// delimit the deposit and collection phases so slots can be reused by the
+// next collective.
+func exchange[T any](c *Comm, v T) []T {
+	w := c.world
+	w.slots[c.rank] = v
+	w.barrier()
+	out := make([]T, w.size)
+	for i, s := range w.slots {
+		out[i] = s.(T)
+	}
+	w.barrier()
+	return out
+}
+
+// record appends a trace entry exactly once per collective (rank 0 writes).
+func (c *Comm) record(op string, bytes [][]uint64) {
+	if c.rank != 0 {
+		return
+	}
+	w := c.world
+	w.traceMu.Lock()
+	w.trace = append(w.trace, TraceEntry{Op: op, Bytes: bytes})
+	w.traceMu.Unlock()
+}
+
+// Alltoall exchanges one int per destination: rank i's send[j] arrives as
+// the returned recv[i] on rank j. This is the count exchange that precedes
+// every Alltoallv (MPI_Alltoall in Alg. 1).
+func (c *Comm) Alltoall(send []int) []int {
+	c.mustLen(len(send))
+	all := exchange(c, append([]int(nil), send...))
+	recv := make([]int, c.Size())
+	for i, row := range all {
+		recv[i] = row[c.rank]
+	}
+	if c.rank == 0 {
+		bytes := make([][]uint64, c.Size())
+		for i := range bytes {
+			bytes[i] = make([]uint64, c.Size())
+			for j := range bytes[i] {
+				bytes[i][j] = 8 // one count word per pair
+			}
+		}
+		c.record("alltoall", bytes)
+	}
+	return recv
+}
+
+// AlltoallvBytes performs the variable-size many-to-many exchange of byte
+// payloads: send[j] goes to rank j; recv[i] is the payload from rank i.
+// Payloads are referenced, not copied — receivers must not mutate them.
+func (c *Comm) AlltoallvBytes(send [][]byte) [][]byte {
+	c.mustLen(len(send))
+	all := exchange(c, send)
+	recv := make([][]byte, c.Size())
+	for i, row := range all {
+		recv[i] = row[c.rank]
+	}
+	c.recordMatrix("alltoallv", all)
+	return recv
+}
+
+// AlltoallvUint64 exchanges word payloads (packed k-mers / supermers).
+func (c *Comm) AlltoallvUint64(send [][]uint64) [][]uint64 {
+	c.mustLen(len(send))
+	all := exchange(c, send)
+	recv := make([][]uint64, c.Size())
+	for i, row := range all {
+		recv[i] = row[c.rank]
+	}
+	c.recordMatrix("alltoallv", all)
+	return recv
+}
+
+func recordBytes[T any](all []T, f func(T, int, int) uint64, size int) [][]uint64 {
+	m := make([][]uint64, size)
+	for i := range m {
+		m[i] = make([]uint64, size)
+		for j := range m[i] {
+			m[i][j] = f(all[i], i, j)
+		}
+	}
+	return m
+}
+
+func (c *Comm) recordMatrix(op string, all any) {
+	if c.rank != 0 {
+		return
+	}
+	size := c.Size()
+	var m [][]uint64
+	switch v := all.(type) {
+	case [][][]byte:
+		m = recordBytes(v, func(p [][]byte, i, j int) uint64 { return uint64(len(p[j])) }, size)
+	case [][][]uint64:
+		m = recordBytes(v, func(p [][]uint64, i, j int) uint64 { return 8 * uint64(len(p[j])) }, size)
+	default:
+		panic(fmt.Sprintf("mpisim: unsupported payload type %T", all))
+	}
+	c.record(op, m)
+}
+
+// AllreduceSum returns the sum of v across ranks.
+func (c *Comm) AllreduceSum(v uint64) uint64 {
+	all := exchange(c, v)
+	var s uint64
+	for _, x := range all {
+		s += x
+	}
+	return s
+}
+
+// AllreduceMax returns the max of v across ranks.
+func (c *Comm) AllreduceMax(v uint64) uint64 {
+	all := exchange(c, v)
+	var m uint64
+	for _, x := range all {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GatherUint64 returns every rank's value, indexed by rank (available on
+// all ranks — an allgather; the paper's reporting needs no rooted gather).
+func (c *Comm) GatherUint64(v uint64) []uint64 {
+	return exchange(c, v)
+}
+
+func (c *Comm) mustLen(n int) {
+	if n != c.Size() {
+		panic(fmt.Sprintf("mpisim: send vector length %d != world size %d", n, c.Size()))
+	}
+}

@@ -1,0 +1,334 @@
+package mpisim
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunBasics(t *testing.T) {
+	var count atomic.Int32
+	seen := make([]atomic.Bool, 8)
+	_, err := Run(8, func(c *Comm) {
+		if c.Size() != 8 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		if seen[c.Rank()].Swap(true) {
+			t.Errorf("rank %d ran twice", c.Rank())
+		}
+		count.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 8 {
+		t.Fatalf("ran %d ranks", count.Load())
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if _, err := Run(0, func(*Comm) {}); err == nil {
+		t.Fatal("size 0 should fail")
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// After a barrier, all pre-barrier writes must be visible.
+	const p = 16
+	vals := make([]int, p)
+	_, err := Run(p, func(c *Comm) {
+		vals[c.Rank()] = c.Rank() + 1
+		c.Barrier()
+		for i, v := range vals {
+			if v != i+1 {
+				t.Errorf("rank %d: vals[%d] = %d after barrier", c.Rank(), i, v)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const p = 5
+	_, err := Run(p, func(c *Comm) {
+		send := make([]int, p)
+		for j := range send {
+			send[j] = c.Rank()*100 + j
+		}
+		recv := c.Alltoall(send)
+		for i, v := range recv {
+			if want := i*100 + c.Rank(); v != want {
+				t.Errorf("rank %d: recv[%d] = %d, want %d", c.Rank(), i, v, want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvBytesPermutation(t *testing.T) {
+	// Property (e) of DESIGN.md: the exchange is a permutation — no payload
+	// lost or duplicated, each byte slice arrives at exactly its target.
+	const p = 7
+	_, err := Run(p, func(c *Comm) {
+		send := make([][]byte, p)
+		for j := range send {
+			send[j] = []byte(fmt.Sprintf("from%d-to%d", c.Rank(), j))
+		}
+		recv := c.AlltoallvBytes(send)
+		for i, payload := range recv {
+			want := fmt.Sprintf("from%d-to%d", i, c.Rank())
+			if string(payload) != want {
+				t.Errorf("rank %d: recv[%d] = %q, want %q", c.Rank(), i, payload, want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvUint64(t *testing.T) {
+	const p = 4
+	totalSent := make([]uint64, p)
+	totalRecv := make([]uint64, p)
+	_, err := Run(p, func(c *Comm) {
+		send := make([][]uint64, p)
+		for j := range send {
+			for x := 0; x <= c.Rank()+j; x++ {
+				send[j] = append(send[j], uint64(1000*c.Rank()+x))
+			}
+			totalSent[c.Rank()] += uint64(len(send[j]))
+		}
+		recv := c.AlltoallvUint64(send)
+		var got uint64
+		for i, words := range recv {
+			got += uint64(len(words))
+			if len(words) != i+c.Rank()+1 {
+				t.Errorf("rank %d: recv[%d] has %d words", c.Rank(), i, len(words))
+			}
+		}
+		totalRecv[c.Rank()] = got
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent, recvd uint64
+	for i := 0; i < p; i++ {
+		sent += totalSent[i]
+		recvd += totalRecv[i]
+	}
+	if sent != recvd {
+		t.Fatalf("conservation violated: sent %d, received %d", sent, recvd)
+	}
+}
+
+func TestReductionsAndGather(t *testing.T) {
+	const p = 6
+	_, err := Run(p, func(c *Comm) {
+		if got := c.AllreduceSum(uint64(c.Rank())); got != p*(p-1)/2 {
+			t.Errorf("sum = %d", got)
+		}
+		if got := c.AllreduceMax(uint64(c.Rank() * 10)); got != (p-1)*10 {
+			t.Errorf("max = %d", got)
+		}
+		all := c.GatherUint64(uint64(c.Rank() * c.Rank()))
+		for i, v := range all {
+			if v != uint64(i*i) {
+				t.Errorf("gather[%d] = %d", i, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleCollectivesInSequence(t *testing.T) {
+	// Slot reuse across many collectives must be safe.
+	const p, rounds = 5, 20
+	_, err := Run(p, func(c *Comm) {
+		for r := 0; r < rounds; r++ {
+			v := c.AllreduceSum(uint64(r))
+			if v != uint64(r*p) {
+				t.Errorf("round %d: sum %d", r, v)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRecorded(t *testing.T) {
+	const p = 3
+	trace, err := Run(p, func(c *Comm) {
+		send := make([][]byte, p)
+		for j := range send {
+			send[j] = make([]byte, (c.Rank()+1)*(j+1))
+		}
+		c.AlltoallvBytes(send)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 1 || trace[0].Op != "alltoallv" {
+		t.Fatalf("trace = %+v", trace)
+	}
+	if got := trace[0].Bytes[1][2]; got != 2*3 {
+		t.Fatalf("bytes[1][2] = %d, want 6", got)
+	}
+	var want uint64
+	for i := 1; i <= p; i++ {
+		for j := 1; j <= p; j++ {
+			want += uint64(i * j)
+		}
+	}
+	if trace[0].TotalBytes() != want {
+		t.Fatalf("TotalBytes = %d, want %d", trace[0].TotalBytes(), want)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		c.Barrier() // peers must not deadlock
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") && !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMismatchedSendLengthPanics(t *testing.T) {
+	_, err := Run(3, func(c *Comm) {
+		c.Alltoall([]int{1, 2}) // wrong length
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNetModelIntraNodeFree(t *testing.T) {
+	nm := NetModel{RanksPerNode: 2, InjectionGBs: 10, LatencyUs: 0}
+	// Two ranks on one node exchanging: no fabric time.
+	intra := [][]uint64{{0, 1 << 30}, {1 << 30, 0}}
+	if d := nm.CollectiveTime(intra); d != 0 {
+		t.Fatalf("intra-node traffic cost %v, want 0", d)
+	}
+	vs := nm.Volumes(intra)
+	if vs.FabricBytes != 0 || vs.TotalBytes != 2<<30 {
+		t.Fatalf("volumes = %+v", vs)
+	}
+}
+
+func TestNetModelInjectionBound(t *testing.T) {
+	nm := NetModel{RanksPerNode: 1, InjectionGBs: 10, LatencyUs: 0}
+	// Rank 0 sends 10 GB to rank 1: 1 second at 10 GB/s.
+	m := [][]uint64{{0, 10_000_000_000}, {0, 0}}
+	got := nm.CollectiveTime(m).Seconds()
+	if got < 0.99 || got > 1.01 {
+		t.Fatalf("time = %.3fs, want 1s", got)
+	}
+	vs := nm.Volumes(m)
+	if vs.MaxNodeBytes != 10_000_000_000 {
+		t.Fatalf("MaxNodeBytes = %d", vs.MaxNodeBytes)
+	}
+}
+
+func TestNetModelSkewRaisesTime(t *testing.T) {
+	nm := NetModel{RanksPerNode: 1, InjectionGBs: 1, LatencyUs: 0}
+	// Balanced: each of 4 ranks sends 1 unit to each other rank.
+	balanced := make([][]uint64, 4)
+	skewed := make([][]uint64, 4)
+	for i := range balanced {
+		balanced[i] = make([]uint64, 4)
+		skewed[i] = make([]uint64, 4)
+		for j := range balanced[i] {
+			if i != j {
+				balanced[i][j] = 1 << 20
+			}
+		}
+	}
+	// Same total volume, all into rank 3.
+	skewed[0][3] = 3 << 20
+	skewed[1][3] = 3 << 20
+	skewed[2][3] = 3 << 20
+	skewed[0][1] = 1 << 20 // residual to keep totals close
+	tb := nm.CollectiveTime(balanced)
+	ts := nm.CollectiveTime(skewed)
+	if ts <= tb {
+		t.Fatalf("skewed exchange (%v) should cost more than balanced (%v)", ts, tb)
+	}
+}
+
+func TestNetModelLatencyTerm(t *testing.T) {
+	nm := NetModel{RanksPerNode: 1, InjectionGBs: 1000, LatencyUs: 100}
+	m := make([][]uint64, 9)
+	for i := range m {
+		m[i] = make([]uint64, 9)
+	}
+	got := nm.CollectiveTime(m)
+	want := time.Duration(100*8) * time.Microsecond
+	if got < want-time.Microsecond || got > want+time.Millisecond {
+		t.Fatalf("latency-only time %v, want ≈%v", got, want)
+	}
+}
+
+func TestNetModelTraceTime(t *testing.T) {
+	nm := NetModel{RanksPerNode: 1, InjectionGBs: 1, LatencyUs: 0}
+	m := [][]uint64{{0, 1_000_000_000}, {0, 0}}
+	trace := []TraceEntry{{Op: "alltoallv", Bytes: m}, {Op: "alltoallv", Bytes: m}, {Op: "barrier"}}
+	got := nm.TraceTime(trace).Seconds()
+	if got < 1.99 || got > 2.01 {
+		t.Fatalf("trace time %.3f, want 2s", got)
+	}
+}
+
+func TestNetModelValidate(t *testing.T) {
+	bad := []NetModel{
+		{RanksPerNode: 0, InjectionGBs: 1},
+		{RanksPerNode: 1, InjectionGBs: 0},
+		{RanksPerNode: 1, InjectionGBs: 1, LatencyUs: -1},
+	}
+	for i, nm := range bad {
+		if err := nm.Validate(); err == nil {
+			t.Errorf("model %d should be invalid", i)
+		}
+	}
+	if (NetModel{RanksPerNode: 6, InjectionGBs: 23, LatencyUs: 2}).Validate() != nil {
+		t.Error("valid model rejected")
+	}
+}
+
+func TestNetModelNodeMapping(t *testing.T) {
+	nm := NetModel{RanksPerNode: 6, InjectionGBs: 23}
+	if nm.NodeOf(0) != 0 || nm.NodeOf(5) != 0 || nm.NodeOf(6) != 1 {
+		t.Fatal("node mapping wrong")
+	}
+	if nm.Nodes(96) != 16 || nm.Nodes(97) != 17 {
+		t.Fatal("node count wrong")
+	}
+}
+
+func TestBigWorld(t *testing.T) {
+	// 384 ranks (the paper's 64-node GPU configuration) must run fine.
+	const p = 384
+	_, err := Run(p, func(c *Comm) {
+		s := c.AllreduceSum(1)
+		if s != p {
+			t.Errorf("sum = %d", s)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

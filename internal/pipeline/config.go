@@ -1,0 +1,314 @@
+// Package pipeline assembles the substrates into the four end-to-end
+// distributed k-mer counters the paper evaluates:
+//
+//   - CPU k-mer (Alg. 1) — the diBELLA-derived baseline (§III-A, §V-A),
+//   - GPU k-mer (§III-B),
+//   - GPU supermer (§IV, Alg. 2) — the paper's headline configuration,
+//   - CPU supermer — an ablation beyond the paper isolating the supermer
+//     optimization from GPU acceleration.
+//
+// Every variant runs the same three bulk-synchronous phases per rank —
+// parse & process, exchange, count — over the mpisim communicator, computes
+// bit-exact results, and reports a per-phase Summit-projected time
+// breakdown (Fig. 3/7) plus the exchanged-volume and load-balance metrics
+// (Tables II and III).
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"dedukt/internal/cluster"
+	"dedukt/internal/dna"
+	"dedukt/internal/gpusim"
+	"dedukt/internal/kcount"
+	"dedukt/internal/minimizer"
+	"dedukt/internal/mpisim"
+)
+
+// Mode selects the exchanged unit.
+type Mode int
+
+const (
+	// KmerMode ships individual packed k-mers (Alg. 1).
+	KmerMode Mode = iota
+	// SupermerMode ships minimizer-partitioned supermers (Alg. 2).
+	SupermerMode
+)
+
+func (m Mode) String() string {
+	switch m {
+	case KmerMode:
+		return "kmer"
+	case SupermerMode:
+		return "supermer"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes one pipeline run.
+type Config struct {
+	// Layout selects the machine (nodes, ranks, GPU or CPU engine).
+	Layout cluster.Layout
+	// Mode selects k-mer or supermer exchange.
+	Mode Mode
+	// Enc is the base encoding; dna.Random is the paper's choice (§IV-A).
+	Enc *dna.Encoding
+	// K is the k-mer length (paper: 17).
+	K int
+	// M is the minimizer length (paper: 7 or 9); supermer mode only.
+	M int
+	// Window is the per-thread window in k-mer positions (paper: 15);
+	// supermer mode only.
+	Window int
+	// Ord is the minimizer ordering; nil defaults to minimizer.Value{}.
+	Ord minimizer.Ordering
+	// GPUDirect, when true, models GPUDirect communication (§III-B.2):
+	// payloads move NIC↔GPU directly and the host staging legs are skipped.
+	GPUDirect bool
+	// TableLoad is the counter table's maximum load factor (default 0.5).
+	TableLoad float64
+	// Probing selects the collision policy (default linear, §III-B.3).
+	Probing kcount.Probing
+	// Canonical, when true, counts canonical k-mers (min of k-mer and its
+	// reverse complement). The paper does not canonicalize; provided as a
+	// library feature.
+	Canonical bool
+	// CPULoadLift evaluates the CPU baseline's load-dependent per-item
+	// cost at items×CPULoadLift: scaled-down experiments set it to the
+	// real-to-simulated dataset size ratio so the baseline's unit cost
+	// sits at the paper's measured operating point (see
+	// cluster.CPUModel.RankTimeLifted). Values ≤ 1 mean no lift.
+	CPULoadLift float64
+	// RoundBases caps the bases a rank processes per round; larger inputs
+	// run in multiple parse-exchange-count rounds (§III-A's
+	// memory-bounded multi-round execution). 0 = single round.
+	RoundBases int
+	// FilterSingletons enables the Bloom-filter singleton pre-filter of
+	// the diBELLA/HipMer lineage (BFCounter-style): a k-mer's first
+	// sighting is absorbed by a per-rank Bloom filter and only k-mers seen
+	// at least twice enter the counter table, keeping error k-mers (the
+	// bulk of distinct k-mers at high coverage) out of memory. Counts of
+	// surviving k-mers stay exact except when a first sighting hits a
+	// Bloom false positive (probability FilterFP). CPU engine only — the
+	// paper's GPU pipeline has no Bloom stage.
+	FilterSingletons bool
+	// FilterFP is the Bloom false-positive target (default 0.01).
+	FilterFP float64
+	// KeepTables retains each rank's counted table in Result.Tables (they
+	// are discarded by default: at scale they dominate memory). Downstream
+	// consumers — de Bruijn graph construction, set operations, database
+	// export — use them for per-k-mer access beyond the histogram.
+	KeepTables bool
+	// BalancedPartition enables the frequency-aware minimizer-to-rank
+	// assignment (supermer mode only): minimizer bins are weighted by
+	// their k-mer load and LPT-assigned to ranks, implementing the
+	// "better partitioning algorithm that maintains the locality and at
+	// the same time partitions data evenly" the paper leaves as future
+	// work (§VII). Requires m ≤ 12.
+	BalancedPartition bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	if c.Enc == nil {
+		return fmt.Errorf("pipeline: nil encoding")
+	}
+	if c.K <= 0 || c.K > dna.MaxK {
+		return fmt.Errorf("pipeline: k=%d outside (0,%d]", c.K, dna.MaxK)
+	}
+	if c.Mode == SupermerMode {
+		mc := c.minimizerConfig()
+		if err := mc.Validate(); err != nil {
+			return err
+		}
+		if c.Window > 255 {
+			return fmt.Errorf("pipeline: window=%d exceeds the wire format's 255", c.Window)
+		}
+		if c.BalancedPartition && c.M > 12 {
+			return fmt.Errorf("pipeline: balanced partitioning requires m ≤ 12 (got %d)", c.M)
+		}
+	}
+	if c.BalancedPartition && c.Mode != SupermerMode {
+		return fmt.Errorf("pipeline: balanced partitioning applies to supermer mode only")
+	}
+	if c.RoundBases < 0 {
+		return fmt.Errorf("pipeline: negative RoundBases %d", c.RoundBases)
+	}
+	if c.FilterSingletons && c.Layout.GPU != nil {
+		return fmt.Errorf("pipeline: the singleton Bloom filter is a CPU-baseline feature (GPU layout given)")
+	}
+	if c.FilterFP < 0 || c.FilterFP >= 1 {
+		return fmt.Errorf("pipeline: FilterFP %v outside [0,1)", c.FilterFP)
+	}
+	if c.TableLoad < 0 || c.TableLoad >= 1 {
+		return fmt.Errorf("pipeline: table load %.2f outside [0,1)", c.TableLoad)
+	}
+	return nil
+}
+
+func (c Config) ordering() minimizer.Ordering {
+	if c.Ord == nil {
+		return minimizer.Value{}
+	}
+	return c.Ord
+}
+
+func (c Config) minimizerConfig() minimizer.Config {
+	return minimizer.Config{K: c.K, M: c.M, Window: c.Window, Ord: c.ordering()}
+}
+
+func (c Config) tableLoad() float64 {
+	if c.TableLoad == 0 {
+		return 0.5
+	}
+	return c.TableLoad
+}
+
+// Default returns the paper's operating point on the given layout: k=17,
+// m=7, window=15, random encoding, value ordering.
+func Default(layout cluster.Layout, mode Mode) Config {
+	return Config{
+		Layout: layout,
+		Mode:   mode,
+		Enc:    &dna.Random,
+		K:      17,
+		M:      7,
+		Window: 15,
+	}
+}
+
+// PhaseBreakdown is the three-module runtime split of Figs. 3 and 7.
+type PhaseBreakdown struct {
+	// Parse is "parse & process k-mers" (GPU kernels or CPU loop).
+	Parse time.Duration
+	// Exchange is "exchange (incl. MPI call)": host↔device staging plus
+	// the fabric time of Alltoall + Alltoallv.
+	Exchange time.Duration
+	// Count is "k-mer counter" (table insertion).
+	Count time.Duration
+}
+
+// Total returns the end-to-end modeled time (excluding I/O, as the paper
+// reports).
+func (p PhaseBreakdown) Total() time.Duration { return p.Parse + p.Exchange + p.Count }
+
+// Result carries everything the experiments need from one run.
+type Result struct {
+	// Name echoes the layout name and mode.
+	Name string
+	// Ranks and Nodes record the world geometry.
+	Ranks, Nodes int
+	// Mode is the exchanged unit.
+	Mode Mode
+	// GPU reports whether the GPU engine ran.
+	GPU bool
+	// Modeled is the Summit-projected phase breakdown.
+	Modeled PhaseBreakdown
+	// Wall is the wall-clock time of the whole simulated run (Go time —
+	// useful only for judging simulation cost, not Summit performance).
+	Wall time.Duration
+	// ItemsExchanged counts exchanged units (k-mers or supermers) — the
+	// quantity of Table II.
+	ItemsExchanged uint64
+	// PayloadBytes is the exchanged payload volume including supermer
+	// length bytes.
+	PayloadBytes uint64
+	// Volume summarizes the Alltoallv traffic matrix.
+	Volume mpisim.VolumeStats
+	// AlltoallvTime is the fabric time of the payload exchange alone
+	// (Fig. 8 compares exactly this).
+	AlltoallvTime time.Duration
+	// TotalKmers is the counted multiset size; DistinctKmers the table
+	// cardinality.
+	TotalKmers, DistinctKmers uint64
+	// PerRankKmers is the number of k-mer instances counted on each rank
+	// (Table III's load column).
+	PerRankKmers []uint64
+	// Histogram is the global k-mer frequency spectrum.
+	Histogram kcount.Histogram
+	// TopKmers holds the globally most frequent k-mers (up to 64), counts
+	// descending — the "k-mers of scientific interest by frequency" query
+	// of §II-A.
+	TopKmers []kcount.KV
+	// ParseCompute and CountCompute expose engine-level detail for the
+	// ablation benches (GPU: divergence-adjusted ops; CPU: metered ops).
+	ParseCompute, CountCompute uint64
+	// GPUParse and GPUCount aggregate the kernel statistics across ranks
+	// and rounds (zero-valued on CPU runs): memory transactions after
+	// coalescing, divergence waste, atomic counts — the efficiency
+	// metrics §III-B's kernel design targets.
+	GPUParse, GPUCount gpusim.KernelStats
+	// Rounds is the number of parse-exchange-count rounds executed
+	// (1 unless Config.RoundBases forced multi-round operation).
+	Rounds int
+	// Tables holds each rank's counted partition when Config.KeepTables is
+	// set (nil otherwise). Partitions are disjoint; merge with
+	// kcount.Table.Merge for a global table.
+	Tables []*kcount.Table
+}
+
+// MergedTable folds all retained rank tables into one (nil when the run did
+// not keep tables).
+func (r *Result) MergedTable() *kcount.Table {
+	if len(r.Tables) == 0 {
+		return nil
+	}
+	out := kcount.NewTable(int(r.DistinctKmers), kcount.Linear)
+	for _, t := range r.Tables {
+		if t != nil {
+			out.Merge(t)
+		}
+	}
+	return out
+}
+
+// LoadImbalance returns max/avg of PerRankKmers (Table III).
+func (r *Result) LoadImbalance() float64 {
+	if len(r.PerRankKmers) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, v := range r.PerRankKmers {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	avg := float64(sum) / float64(len(r.PerRankKmers))
+	return float64(max) / avg
+}
+
+// MinMaxPerRank returns the lightest and heaviest rank loads (Table III).
+func (r *Result) MinMaxPerRank() (min, max uint64) {
+	if len(r.PerRankKmers) == 0 {
+		return 0, 0
+	}
+	min = r.PerRankKmers[0]
+	for _, v := range r.PerRankKmers {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// InsertionRate returns counted k-mers per second of modeled compute time
+// (parse+count, excluding exchange) — the y-axis of Fig. 9.
+func (r *Result) InsertionRate() float64 {
+	t := (r.Modeled.Parse + r.Modeled.Count).Seconds()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.TotalKmers) / t
+}

@@ -1,0 +1,242 @@
+package pipeline
+
+import (
+	"dedukt/internal/dna"
+	"dedukt/internal/fastq"
+	"dedukt/internal/kcount"
+	"dedukt/internal/kernels"
+	"dedukt/internal/minimizer"
+	"dedukt/internal/mpisim"
+)
+
+// runCPURank executes the scalar baseline (Alg. 1) or the CPU-supermer
+// ablation for one rank, metering abstract work with the same constants the
+// GPU kernels use and converting it to Power9 time via the layout's
+// CPUModel.
+func runCPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) {
+	model := *cfg.Layout.CPU
+	chunks := chunkReads(reads, cfg.RoundBases)
+	rounds := globalRounds(c, len(chunks))
+	out.rounds = rounds
+	table := kcount.NewTable(1, cfg.Probing)
+	var bloom *kcount.Bloom
+	if cfg.FilterSingletons {
+		fp := cfg.FilterFP
+		if fp == 0 {
+			fp = 0.01
+		}
+		// Size for this rank's expected distinct arrivals: its share of
+		// the partition's k-mers is bounded by its share of the input.
+		expected := 0
+		for _, r := range reads {
+			expected += len(r.Seq)
+		}
+		var err error
+		bloom, err = kcount.NewBloom(expected+1, fp)
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		buf := buildBuffer(chunkFor(chunks, r))
+		data := buf.Data()
+
+		// Parse & process.
+		var (
+			sendWords [][]uint64
+			sendWire  [][]byte
+			meter     kernels.WorkMeter
+		)
+		if cfg.Mode == KmerMode {
+			sendWords, meter = cpuParseKmers(cfg, c.Size(), data)
+		} else {
+			sendWire, meter = cpuBuildSupermers(cfg, destMap, c.Size(), data)
+		}
+		out.parse += model.RankTimeLifted(meter.Ops, meter.Bytes, meter.Items, cfg.CPULoadLift)
+		out.parseOps += meter.Ops
+
+		// Exchange (no staging legs on the CPU pipeline).
+		counts := make([]int, c.Size())
+		if cfg.Mode == KmerMode {
+			for d, part := range sendWords {
+				counts[d] = len(part)
+				out.itemsSent += uint64(len(part))
+				out.payloadSent += 8 * uint64(len(part))
+			}
+		} else {
+			stride := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}.Stride()
+			for d, part := range sendWire {
+				counts[d] = len(part) / stride
+				out.itemsSent += uint64(len(part) / stride)
+				out.payloadSent += uint64(len(part))
+			}
+		}
+		c.Alltoall(counts)
+
+		var recvWords []uint64
+		var recvWire []byte
+		if cfg.Mode == KmerMode {
+			recvWords = flattenWords(c.AlltoallvUint64(sendWords))
+		} else {
+			recvWire = flattenBytes(c.AlltoallvBytes(sendWire))
+		}
+
+		// Count into the persistent per-rank table.
+		var cmeter kernels.WorkMeter
+		if cfg.Mode == KmerMode {
+			cmeter = cpuCountKmers(cfg, table, bloom, recvWords)
+		} else {
+			cmeter = cpuCountSupermers(cfg, table, bloom, recvWire)
+		}
+		out.count += model.RankTimeLifted(cmeter.Ops, cmeter.Bytes, cmeter.Items, cfg.CPULoadLift)
+		out.countOps += cmeter.Ops
+	}
+	out.counted = table.TotalCount()
+	out.distinct = uint64(table.Len())
+	out.hist = table.Histogram()
+	out.top = table.TopK(topKPerRank)
+	if cfg.KeepTables {
+		out.table = table
+	}
+}
+
+// cpuParseKmers is the scalar PARSEKMER of Alg. 1: a rolling sliding-window
+// parse, one hash per k-mer, append to the destination's outgoing vector.
+func cpuParseKmers(cfg Config, nProc int, data []byte) ([][]uint64, kernels.WorkMeter) {
+	var m kernels.WorkMeter
+	out := make([][]uint64, nProc)
+	k, enc := cfg.K, cfg.Enc
+	var kw uint64
+	valid := 0
+	m.AddBytes(len(data)) // one streaming read of the partition
+	for _, ch := range data {
+		code, ok := enc.Encode(ch)
+		m.AddOps(kernels.OpsEncodeBase)
+		if !ok {
+			valid = 0
+			continue
+		}
+		kw = (kw<<2 | uint64(code)) & kmerMask(k)
+		m.AddOps(kernels.OpsKmerRoll)
+		valid++
+		if valid < k {
+			continue
+		}
+		key := kw
+		if cfg.Canonical {
+			key = uint64(dna.Kmer(key).Canonical(enc, k))
+			m.AddOps(k * kernels.OpsKmerRoll)
+		}
+		m.AddOps(kernels.OpsHash + kernels.OpsDestSelect + kernels.OpsEmit)
+		m.AddItems(1)
+		dest := kernels.DestOf(key, nProc)
+		out[dest] = append(out[dest], key)
+		m.AddBytes(8)
+	}
+	return out, m
+}
+
+// cpuBuildSupermers is the scalar BUILDSUPERMER of Alg. 2, windowed exactly
+// like the GPU kernel so both engines ship identical supermer sets.
+func cpuBuildSupermers(cfg Config, destMap []uint16, nProc int, data []byte) ([][]byte, kernels.WorkMeter) {
+	var m kernels.WorkMeter
+	out := make([][]byte, nProc)
+	mc := cfg.minimizerConfig()
+	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
+	m.AddBytes(len(data))
+	// Per-base rolling cost and per-k-mer minimizer cost.
+	nBases := 0
+	for _, ch := range data {
+		if cfg.Enc.Valid(ch) {
+			nBases++
+		}
+	}
+	m.AddOps(len(data) * kernels.OpsEncodeBase)
+	m.AddOps(nBases * kernels.OpsKmerRoll)
+	err := minimizer.BuildWindowed(cfg.Enc, data, mc, func(s minimizer.Supermer) {
+		m.AddItems(s.NKmers)
+		m.AddOps(s.NKmers * (mc.K - mc.M + 1) * kernels.OpsMinimizerCand)
+		m.AddOps(s.Len(mc.K) * kernels.OpsPackBase)
+		var dest int
+		if destMap != nil {
+			m.AddOps(kernels.OpsEmit)
+			m.AddBytes(2)
+			dest = int(destMap[s.Min])
+		} else {
+			m.AddOps(kernels.OpsHash + kernels.OpsDestSelect + kernels.OpsEmit)
+			dest = kernels.DestOf(uint64(s.Min), nProc)
+		}
+		out[dest] = wire.Encode(out[dest], &s)
+		m.AddBytes(wire.Stride())
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out, m
+}
+
+// cpuCountKmers is the scalar COUNTKMER of Alg. 1 over an open-addressing
+// table (the same structure the GPU uses, without atomics).
+func cpuCountKmers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, recv []uint64) kernels.WorkMeter {
+	var m kernels.WorkMeter
+	for _, key := range recv {
+		countOne(table, bloom, key, &m)
+	}
+	return m
+}
+
+// countOne inserts one received k-mer, routing first sightings through the
+// Bloom filter when the singleton pre-filter is active (BFCounter scheme:
+// a key enters the table on its second sighting, with count 2 so surviving
+// counts stay exact).
+func countOne(table *kcount.Table, bloom *kcount.Bloom, key uint64, m *kernels.WorkMeter) {
+	m.AddItems(1)
+	if bloom != nil {
+		m.AddOps(bloom.Hashes() * kernels.OpsHash)
+		m.AddBytes(bloom.Hashes()) // one bit-word touch per hash
+		if !bloom.TestAndSet(key) {
+			return // first sighting stays in the filter
+		}
+	}
+	before := table.Probes
+	isNew := table.Inc(key)
+	if bloom != nil && isNew {
+		// The Bloom filter absorbed the first sighting: account for it.
+		table.Add(key, 1)
+	}
+	probes := int(table.Probes - before)
+	m.AddOps(kernels.OpsHash + probes*kernels.OpsProbe + kernels.OpsEmit)
+	m.AddBytes(8 + probes*8 + 4)
+}
+
+// cpuCountSupermers extracts k-mers from received supermers and counts them
+// (Alg. 2 COUNTKMER).
+func cpuCountSupermers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, recv []byte) kernels.WorkMeter {
+	var m kernels.WorkMeter
+	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
+	stride := wire.Stride()
+	n := len(recv) / stride
+	for i := 0; i < n; i++ {
+		seq, nk := wire.Decode(recv[i*stride:])
+		m.AddBytes(stride)
+		var kw uint64
+		for j := 0; j < cfg.K-1; j++ {
+			kw = kw<<2 | uint64(seq.At(j))
+			m.AddOps(kernels.OpsKmerRoll)
+		}
+		for j := 0; j < nk; j++ {
+			kw = (kw<<2 | uint64(seq.At(j+cfg.K-1))) & kmerMask(cfg.K)
+			m.AddOps(kernels.OpsKmerRoll)
+			countOne(table, bloom, kw, &m)
+		}
+	}
+	return m
+}
+
+func kmerMask(k int) uint64 {
+	if k >= 32 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (2 * uint(k))) - 1
+}

@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dedukt/internal/cluster"
+	"dedukt/internal/fastq"
+)
+
+func cpuTestLayout() cluster.Layout {
+	l := cluster.SummitCPU(1)
+	l.RanksPerNode = 8
+	l.Net.RanksPerNode = 8
+	return l
+}
+
+func TestFilterSingletons(t *testing.T) {
+	// The BFCounter-style pre-filter must (a) keep (almost) all singletons
+	// out of the table, (b) preserve exact counts for surviving k-mers
+	// modulo rare Bloom false positives.
+	reads := testReads(t, 20_000, 8) // error k-mers create many singletons
+	for _, mode := range []Mode{KmerMode, SupermerMode} {
+		cfg := Default(cpuTestLayout(), mode)
+		cfg.FilterSingletons = true
+		cfg.FilterFP = 0.001
+		res, err := Run(cfg, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := Default(cpuTestLayout(), mode)
+		oracle := oracleFor(plain, reads)
+		var singles, multis uint64
+		for _, c := range oracle {
+			if c == 1 {
+				singles++
+			} else {
+				multis++
+			}
+		}
+		if singles == 0 {
+			t.Fatal("test input has no singletons; raise the error rate")
+		}
+		// Distinct k-mers in the filtered table ≈ oracle multis; allow a
+		// small false-positive margin.
+		slack := singles/50 + 5
+		if res.DistinctKmers < multis || res.DistinctKmers > multis+slack {
+			t.Fatalf("%s: filtered distinct %d, want ≈%d (+%d fp slack, %d singletons)",
+				mode, res.DistinctKmers, multis, slack, singles)
+		}
+		// Counts of surviving k-mers are exact except fp incidents: total
+		// counted mass ≈ oracle total - singletons.
+		var wantTotal uint64
+		for _, c := range oracle {
+			if c > 1 {
+				wantTotal += uint64(c)
+			}
+		}
+		if res.TotalKmers < wantTotal || res.TotalKmers > wantTotal+2*slack {
+			t.Fatalf("%s: filtered total %d, want ≈%d", mode, res.TotalKmers, wantTotal)
+		}
+		if res.Histogram.Counts[1] > slack {
+			t.Fatalf("%s: %d singletons leaked into the table", mode, res.Histogram.Counts[1])
+		}
+		t.Logf("%s: %d singletons filtered, %d/%d distinct kept", mode, singles, res.DistinctKmers, multis)
+	}
+}
+
+func TestFilterRejectedOnGPU(t *testing.T) {
+	cfg := Default(smallGPULayout(1), KmerMode)
+	cfg.FilterSingletons = true
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("GPU + bloom filter should be rejected")
+	}
+}
+
+func TestFilterFPValidation(t *testing.T) {
+	cfg := Default(cpuTestLayout(), KmerMode)
+	cfg.FilterFP = 1.5
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("FilterFP=1.5 should be rejected")
+	}
+}
+
+func TestFilterMatchesTruncatedOracle(t *testing.T) {
+	// Deterministic spot check: build reads with known multiplicities and
+	// verify per-k-mer counts survive exactly.
+	read := []byte("ACGTACGTTGCAGGCATTAGCCATGG") // appears 3 times
+	single := []byte("TTTTTCCCCCAAAAAGGGGGTT")   // k-mers appear once
+	reads := testReadsFromSeqs([][]byte{read, read, read, single})
+	cfg := Default(cpuTestLayout(), KmerMode)
+	cfg.FilterSingletons = true
+	cfg.FilterFP = 0.0001
+	res, err := Run(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every k-mer of `read` has count 3; every k-mer of `single` count 1.
+	wantDistinct := uint64(len(read) - cfg.K + 1)
+	if res.DistinctKmers != wantDistinct {
+		t.Fatalf("distinct %d, want %d", res.DistinctKmers, wantDistinct)
+	}
+	if res.Histogram.Counts[3] != wantDistinct {
+		t.Fatalf("count-3 class has %d, want %d", res.Histogram.Counts[3], wantDistinct)
+	}
+}
+
+func testReadsFromSeqs(seqs [][]byte) []fastq.Record {
+	out := make([]fastq.Record, len(seqs))
+	for i, s := range seqs {
+		out[i] = fastq.Record{ID: "r", Seq: s}
+	}
+	return out
+}

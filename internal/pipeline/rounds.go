@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"dedukt/internal/fastq"
+	"dedukt/internal/kcount"
+	"dedukt/internal/mpisim"
+)
+
+// chunkReads splits a rank's reads into contiguous chunks of at most
+// maxBases each (at least one read per chunk), implementing the paper's
+// multi-round processing: "Depending on the total size of the input,
+// relative to software limits (approximating available memory), the
+// computation and communication may proceed in multiple rounds" (§III-A).
+// maxBases ≤ 0 yields a single chunk.
+func chunkReads(reads []fastq.Record, maxBases int) [][]fastq.Record {
+	if maxBases <= 0 || len(reads) == 0 {
+		return [][]fastq.Record{reads}
+	}
+	var chunks [][]fastq.Record
+	start, bases := 0, 0
+	for i, r := range reads {
+		if bases > 0 && bases+len(r.Seq) > maxBases {
+			chunks = append(chunks, reads[start:i])
+			start, bases = i, 0
+		}
+		bases += len(r.Seq)
+	}
+	chunks = append(chunks, reads[start:])
+	return chunks
+}
+
+// globalRounds agrees on a common round count: collectives are matched
+// across ranks, so every rank participates in the maximum number of rounds
+// (with empty sends once its own data is exhausted).
+func globalRounds(c *mpisim.Comm, localChunks int) int {
+	return int(c.AllreduceMax(uint64(localChunks)))
+}
+
+// chunkFor returns the r-th chunk, or an empty read set when this rank has
+// fewer chunks than the global round count.
+func chunkFor(chunks [][]fastq.Record, r int) []fastq.Record {
+	if r < len(chunks) {
+		return chunks[r]
+	}
+	return nil
+}
+
+// ensureCapacity grows a fixed-capacity atomic table ahead of a round that
+// may push it past its load ceiling: the old table is snapshotted and
+// rehashed into one sized for the new total. This models the device-side
+// rehash a fixed-memory GPU table needs between rounds; its cost is
+// dominated by the counting kernels and is not separately charged.
+func ensureCapacity(table *kcount.AtomicTable, incoming int, load float64, prob kcount.Probing) *kcount.AtomicTable {
+	needed := table.Len() + incoming
+	if float64(needed) <= load*float64(table.Cap()) {
+		return table
+	}
+	bigger := kcount.NewAtomicTable(needed, load, prob)
+	var rehashErr error
+	table.ForEach(func(k uint64, c uint32) {
+		if rehashErr != nil {
+			return
+		}
+		if _, _, err := bigger.Add(k, c); err != nil {
+			rehashErr = err
+		}
+	})
+	if rehashErr != nil {
+		panic(rehashErr) // sized for needed items; cannot fill
+	}
+	return bigger
+}

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dedukt/internal/cluster"
+	"dedukt/internal/fastq"
+	"dedukt/internal/kcount"
+)
+
+func TestChunkReads(t *testing.T) {
+	mk := func(lens ...int) []fastq.Record {
+		var out []fastq.Record
+		for _, l := range lens {
+			out = append(out, fastq.Record{Seq: make([]byte, l)})
+		}
+		return out
+	}
+	// No cap: single chunk.
+	if got := chunkReads(mk(10, 20), 0); len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("uncapped chunking wrong: %d chunks", len(got))
+	}
+	// Cap 25: [10,10] [20] [30].
+	chunks := chunkReads(mk(10, 10, 20, 30), 25)
+	if len(chunks) != 3 {
+		t.Fatalf("%d chunks, want 3", len(chunks))
+	}
+	if len(chunks[0]) != 2 || len(chunks[1]) != 1 || len(chunks[2]) != 1 {
+		t.Fatalf("chunk sizes: %d %d %d", len(chunks[0]), len(chunks[1]), len(chunks[2]))
+	}
+	// A read larger than the cap still forms its own chunk.
+	chunks = chunkReads(mk(100), 10)
+	if len(chunks) != 1 || len(chunks[0]) != 1 {
+		t.Fatal("oversized read should be its own chunk")
+	}
+	// Empty input.
+	if got := chunkReads(nil, 10); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatal("empty input should give one empty chunk")
+	}
+}
+
+func TestEnsureCapacity(t *testing.T) {
+	table := kcount.NewAtomicTable(4, 0.5, kcount.Linear)
+	for i := uint64(0); i < 4; i++ {
+		if _, _, err := table.Inc(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := ensureCapacity(table, 1000, 0.5, kcount.Linear)
+	if grown.Cap() <= table.Cap() {
+		t.Fatalf("table did not grow: %d -> %d", table.Cap(), grown.Cap())
+	}
+	for i := uint64(0); i < 4; i++ {
+		if grown.Get(i) != 1 {
+			t.Fatalf("key %d lost during rehash", i)
+		}
+	}
+	// No growth needed: same table returned.
+	same := ensureCapacity(grown, 1, 0.5, kcount.Linear)
+	if same != grown {
+		t.Fatal("unneeded growth")
+	}
+}
+
+func TestMultiRoundMatchesSingleRound(t *testing.T) {
+	// §III-A: multi-round execution must not change results; only the
+	// per-round buffer sizes differ.
+	reads := testReads(t, 15_000, 6)
+	for _, mode := range []Mode{KmerMode, SupermerMode} {
+		single := Default(smallGPULayout(1), mode)
+		multi := single
+		multi.RoundBases = 5_000 // forces several rounds per rank
+		resS, err := Run(single, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resM, err := Run(multi, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resM.Rounds < 2 {
+			t.Fatalf("%s: expected multiple rounds, got %d", mode, resM.Rounds)
+		}
+		if resS.Rounds != 1 {
+			t.Fatalf("%s: single-round run reports %d rounds", mode, resS.Rounds)
+		}
+		if resS.TotalKmers != resM.TotalKmers || resS.DistinctKmers != resM.DistinctKmers {
+			t.Fatalf("%s: rounds changed results: %d/%d vs %d/%d", mode,
+				resS.TotalKmers, resS.DistinctKmers, resM.TotalKmers, resM.DistinctKmers)
+		}
+		for f, c := range resS.Histogram.Counts {
+			if resM.Histogram.Counts[f] != c {
+				t.Fatalf("%s: histogram class %d differs", mode, f)
+			}
+		}
+		// Supermer boundaries are window-relative to each round's buffer,
+		// so the supermer count may shift by a handful of splits across
+		// rounds; the k-mer content (checked above) is what must match.
+		ratio := float64(resM.ItemsExchanged) / float64(resS.ItemsExchanged)
+		if ratio < 0.99 || ratio > 1.01 {
+			t.Fatalf("%s: exchanged items differ too much: %d vs %d", mode, resS.ItemsExchanged, resM.ItemsExchanged)
+		}
+		checkAgainstOracle(t, single, reads, resM)
+	}
+}
+
+func TestMultiRoundCPU(t *testing.T) {
+	reads := testReads(t, 10_000, 5)
+	layout := cluster.SummitCPU(1)
+	layout.RanksPerNode = 8
+	layout.Net.RanksPerNode = 8
+	cfg := Default(layout, SupermerMode)
+	cfg.RoundBases = 3_000
+	res, err := Run(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("expected multi-round CPU run, got %d rounds", res.Rounds)
+	}
+	checkAgainstOracle(t, cfg, reads, res)
+}
+
+func TestRoundBasesValidation(t *testing.T) {
+	cfg := Default(smallGPULayout(1), KmerMode)
+	cfg.RoundBases = -1
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("negative RoundBases should be rejected")
+	}
+}

@@ -1,0 +1,288 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/fastq"
+	"dedukt/internal/gpusim"
+	"dedukt/internal/kcount"
+	"dedukt/internal/kernels"
+	"dedukt/internal/mpisim"
+)
+
+// rankOutcome collects one rank's contribution to the global result.
+type rankOutcome struct {
+	parse, count time.Duration // modeled compute time
+	stage        time.Duration // host↔device staging legs of the exchange
+	itemsSent    uint64
+	payloadSent  uint64
+	counted      uint64
+	distinct     uint64
+	hist         kcount.Histogram
+	top          []kcount.KV
+	table        *kcount.Table
+	parseOps     uint64
+	countOps     uint64
+	parseSt      gpusim.KernelStats
+	countSt      gpusim.KernelStats
+	rounds       int
+}
+
+// Run executes the configured pipeline over the reads and returns the
+// global result. The reads are partitioned across ranks by balanced base
+// count (the paper's parallel-I/O assumption, §IV-D).
+func Run(cfg Config, reads []fastq.Record) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Canonical && cfg.Mode == SupermerMode {
+		return nil, fmt.Errorf("pipeline: canonical counting is supported in kmer mode only")
+	}
+	var destMap []uint16
+	if cfg.BalancedPartition {
+		destMap = buildBalancedMap(cfg, reads)
+	}
+	p := cfg.Layout.Ranks()
+	parts := fastq.Partition(reads, p)
+	outcomes := make([]rankOutcome, p)
+
+	start := time.Now()
+	trace, err := mpisim.Run(p, func(c *mpisim.Comm) {
+		if cfg.Layout.GPU != nil {
+			runGPURank(cfg, destMap, c, parts[c.Rank()], &outcomes[c.Rank()])
+		} else {
+			runCPURank(cfg, destMap, c, parts[c.Rank()], &outcomes[c.Rank()])
+		}
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return aggregate(cfg, trace, outcomes, wall), nil
+}
+
+// buildBuffer stages a rank's reads into the concatenated,
+// separator-delimited base array of §III-B.1.
+func buildBuffer(reads []fastq.Record) *dna.SeqBuffer {
+	var b dna.SeqBuffer
+	for _, r := range reads {
+		b.AppendRead(r.Seq)
+	}
+	return &b
+}
+
+func runGPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) {
+	dev := gpusim.MustDevice(*cfg.Layout.GPU)
+	chunks := chunkReads(reads, cfg.RoundBases)
+	rounds := globalRounds(c, len(chunks))
+	out.rounds = rounds
+
+	table := kcount.NewAtomicTable(1, cfg.tableLoad(), cfg.Probing)
+	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
+
+	for r := 0; r < rounds; r++ {
+		buf := buildBuffer(chunkFor(chunks, r))
+		data := buf.Data()
+
+		// Parse & process: stage the round's read buffer to the device,
+		// run the parse (or supermer) kernel.
+		h2dIn := dev.Config().TransferTime(int64(len(data)))
+		var (
+			sendWords [][]uint64 // kmer mode payload
+			sendWire  [][]byte   // supermer mode payload
+			parseSt   gpusim.KernelStats
+			err       error
+		)
+		if cfg.Mode == KmerMode {
+			sendWords, parseSt, err = kernels.ParseKmers(dev, kernels.ParseConfig{
+				Enc: cfg.Enc, K: cfg.K, NumDest: c.Size(), Canonical: cfg.Canonical,
+			}, data)
+		} else {
+			sendWire, parseSt, err = kernels.BuildSupermers(dev, kernels.SupermerConfig{
+				Enc: cfg.Enc, C: cfg.minimizerConfig(), NumDest: c.Size(), DestMap: destMap,
+			}, data)
+		}
+		if err != nil {
+			panic(err)
+		}
+		out.parse += h2dIn + dev.Config().KernelTime(&parseSt)
+		out.parseOps += parseSt.ComputeOps
+		out.parseSt.Add(parseSt)
+
+		// Exchange: counts via Alltoall, payload via Alltoallv, with host
+		// staging (D2H out, H2D in) unless GPUDirect.
+		counts := make([]int, c.Size())
+		var bytesOut uint64
+		if cfg.Mode == KmerMode {
+			for d, part := range sendWords {
+				counts[d] = len(part)
+				out.itemsSent += uint64(len(part))
+				bytesOut += 8 * uint64(len(part))
+			}
+		} else {
+			for d, part := range sendWire {
+				counts[d] = len(part) / wire.Stride()
+				out.itemsSent += uint64(len(part) / wire.Stride())
+				bytesOut += uint64(len(part))
+			}
+		}
+		out.payloadSent += bytesOut
+		c.Alltoall(counts)
+
+		var recvWords []uint64
+		var recvWire []byte
+		var bytesIn uint64
+		if cfg.Mode == KmerMode {
+			recv := c.AlltoallvUint64(sendWords)
+			for _, part := range recv {
+				bytesIn += 8 * uint64(len(part))
+			}
+			recvWords = flattenWords(recv)
+		} else {
+			recv := c.AlltoallvBytes(sendWire)
+			for _, part := range recv {
+				bytesIn += uint64(len(part))
+			}
+			recvWire = flattenBytes(recv)
+		}
+		if !cfg.GPUDirect {
+			out.stage += dev.Config().TransferTime(int64(bytesOut)) + dev.Config().TransferTime(int64(bytesIn))
+		}
+
+		// Count: insert the round's received items into this rank's table
+		// partition, growing it between rounds when needed.
+		var countSt gpusim.KernelStats
+		if cfg.Mode == KmerMode {
+			table = ensureCapacity(table, len(recvWords), cfg.tableLoad(), cfg.Probing)
+			countSt, err = kernels.CountKmers(dev, table, recvWords)
+		} else {
+			n := len(recvWire) / wire.Stride()
+			table = ensureCapacity(table, n*cfg.Window, cfg.tableLoad(), cfg.Probing)
+			countSt, err = kernels.CountSupermers(dev, table, wire, recvWire)
+		}
+		if err != nil {
+			panic(err)
+		}
+		out.count += dev.Config().KernelTime(&countSt)
+		out.countOps += countSt.ComputeOps
+		out.countSt.Add(countSt)
+	}
+
+	snap := table.Snapshot()
+	out.counted = snap.TotalCount()
+	out.distinct = uint64(snap.Len())
+	out.hist = snap.Histogram()
+	out.top = snap.TopK(topKPerRank)
+	if cfg.KeepTables {
+		out.table = snap
+	}
+}
+
+// topKPerRank bounds the per-rank contribution to the global top-k merge.
+const topKPerRank = 64
+
+func flattenWords(recv [][]uint64) []uint64 {
+	n := 0
+	for _, p := range recv {
+		n += len(p)
+	}
+	out := make([]uint64, 0, n)
+	for _, p := range recv {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func flattenBytes(recv [][]byte) []byte {
+	n := 0
+	for _, p := range recv {
+		n += len(p)
+	}
+	out := make([]byte, 0, n)
+	for _, p := range recv {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// aggregate folds per-rank outcomes and the communication trace into the
+// global Result. Phase times follow the bulk-synchronous rule: a phase ends
+// when its slowest rank finishes.
+func aggregate(cfg Config, trace []mpisim.TraceEntry, outcomes []rankOutcome, wall time.Duration) *Result {
+	res := &Result{
+		Name:         fmt.Sprintf("%s/%s", cfg.Layout.Name, cfg.Mode),
+		Ranks:        cfg.Layout.Ranks(),
+		Nodes:        cfg.Layout.Nodes,
+		Mode:         cfg.Mode,
+		GPU:          cfg.Layout.GPU != nil,
+		Wall:         wall,
+		Histogram:    kcount.Histogram{Counts: make(map[uint32]uint64)},
+		PerRankKmers: make([]uint64, len(outcomes)),
+	}
+	var maxParse, maxCount, maxStage time.Duration
+	for r := range outcomes {
+		o := &outcomes[r]
+		if o.parse > maxParse {
+			maxParse = o.parse
+		}
+		if o.count > maxCount {
+			maxCount = o.count
+		}
+		if o.stage > maxStage {
+			maxStage = o.stage
+		}
+		if o.rounds > res.Rounds {
+			res.Rounds = o.rounds
+		}
+		res.ItemsExchanged += o.itemsSent
+		res.PayloadBytes += o.payloadSent
+		res.TotalKmers += o.counted
+		res.DistinctKmers += o.distinct
+		res.PerRankKmers[r] = o.counted
+		res.Histogram.Merge(o.hist)
+		res.TopKmers = append(res.TopKmers, o.top...)
+		res.ParseCompute += o.parseOps
+		res.CountCompute += o.countOps
+		res.GPUParse.Add(o.parseSt)
+		res.GPUCount.Add(o.countSt)
+		if cfg.KeepTables {
+			res.Tables = append(res.Tables, o.table)
+		}
+	}
+	// Ranks own disjoint k-mer partitions, so the global top-k is a merge
+	// of the per-rank top lists.
+	sort.Slice(res.TopKmers, func(i, j int) bool {
+		if res.TopKmers[i].Count != res.TopKmers[j].Count {
+			return res.TopKmers[i].Count > res.TopKmers[j].Count
+		}
+		return res.TopKmers[i].Key < res.TopKmers[j].Key
+	})
+	if len(res.TopKmers) > topKPerRank {
+		res.TopKmers = res.TopKmers[:topKPerRank]
+	}
+	res.Modeled.Parse = maxParse
+	res.Modeled.Count = maxCount
+
+	var fabric time.Duration
+	for _, e := range trace {
+		if e.Bytes == nil {
+			continue
+		}
+		t := cfg.Layout.Net.CollectiveTime(e.Bytes)
+		fabric += t
+		if e.Op == "alltoallv" {
+			res.AlltoallvTime += t
+			vs := cfg.Layout.Net.Volumes(e.Bytes)
+			res.Volume.TotalBytes += vs.TotalBytes
+			res.Volume.FabricBytes += vs.FabricBytes
+			if vs.MaxNodeBytes > res.Volume.MaxNodeBytes {
+				res.Volume.MaxNodeBytes = vs.MaxNodeBytes
+			}
+		}
+	}
+	res.Modeled.Exchange = maxStage + fabric
+	return res
+}

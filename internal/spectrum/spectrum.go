@@ -1,0 +1,124 @@
+// Package spectrum analyzes k-mer frequency histograms: locating the
+// coverage peak, separating the error component, and estimating genome
+// size, k-mer coverage, error rate and repeat content — the profile
+// analyses the paper's §II-A motivates ("k-mer histograms are valuable for
+// understanding the distributions of genomic subsequences, creating
+// 'profiles' of genome and metagenomic data").
+package spectrum
+
+import (
+	"fmt"
+	"math"
+
+	"dedukt/internal/kcount"
+)
+
+// Model summarizes a fitted spectrum.
+type Model struct {
+	// KmerCoverage is the depth λ of the homozygous coverage peak.
+	KmerCoverage float64
+	// GenomeSizeKmers estimates the number of distinct genomic k-mer
+	// positions: genomic k-mer mass / λ.
+	GenomeSizeKmers float64
+	// ErrorKmers is the number of distinct k-mers attributed to the error
+	// component (below the error cutoff).
+	ErrorKmers uint64
+	// ErrorCutoff is the frequency below which k-mers are treated as
+	// errors (the valley between the error spike and the coverage peak).
+	ErrorCutoff uint32
+	// RepeatFraction is the share of genomic k-mer mass at ≥1.6λ —
+	// k-mers occurring more often than single-copy sequence allows.
+	RepeatFraction float64
+	// TotalKmers and DistinctKmers echo the input histogram.
+	TotalKmers, DistinctKmers uint64
+}
+
+// Fit analyzes a histogram. It returns an error when no coverage peak is
+// discernible (coverage too low or input empty).
+func Fit(h kcount.Histogram) (Model, error) {
+	var m Model
+	m.TotalKmers = h.Total()
+	m.DistinctKmers = h.Distinct()
+	if len(h.Counts) == 0 {
+		return m, fmt.Errorf("spectrum: empty histogram")
+	}
+	freqs := h.Frequencies()
+
+	// 1. Find the error valley: the first local minimum of counts[f]
+	//    scanning f = 2, 3, ... (counts[1] is the error spike).
+	cutoff := uint32(2)
+	prev := h.Counts[1]
+	for _, f := range freqs {
+		if f < 2 {
+			continue
+		}
+		c := h.Counts[f]
+		if c > prev {
+			cutoff = f - 1
+			break
+		}
+		prev = c
+		cutoff = f + 1
+	}
+
+	// 2. Coverage peak: modal class at or above the valley.
+	var peak uint32
+	var peakCount uint64
+	for _, f := range freqs {
+		if f < cutoff {
+			continue
+		}
+		if h.Counts[f] > peakCount {
+			peak, peakCount = f, h.Counts[f]
+		}
+	}
+	if peak == 0 || peakCount == 0 {
+		return m, fmt.Errorf("spectrum: no coverage peak above the error cutoff %d", cutoff)
+	}
+
+	// 3. Refine λ as the count-weighted mean frequency within ±25% of the
+	//    modal class (a robust Poisson-mean estimate).
+	lo := uint32(math.Floor(float64(peak) * 0.75))
+	hi := uint32(math.Ceil(float64(peak) * 1.25))
+	var wsum, csum float64
+	for _, f := range freqs {
+		if f >= lo && f <= hi {
+			wsum += float64(f) * float64(h.Counts[f])
+			csum += float64(h.Counts[f])
+		}
+	}
+	lambda := wsum / csum
+
+	// 4. Mass accounting.
+	var genomicMass, repeatMass float64
+	repeatAt := lambda * 1.6
+	for _, f := range freqs {
+		if f < cutoff {
+			m.ErrorKmers += h.Counts[f]
+			continue
+		}
+		mass := float64(f) * float64(h.Counts[f])
+		genomicMass += mass
+		if float64(f) >= repeatAt {
+			repeatMass += mass
+		}
+	}
+	if genomicMass == 0 {
+		return m, fmt.Errorf("spectrum: no genomic mass above cutoff %d", cutoff)
+	}
+
+	m.KmerCoverage = lambda
+	m.ErrorCutoff = cutoff
+	m.GenomeSizeKmers = genomicMass / lambda
+	m.RepeatFraction = repeatMass / genomicMass
+	return m, nil
+}
+
+// ErrorRate estimates the per-base substitution rate from the error
+// component: each erroneous base damages ~k k-mers, nearly all unique.
+func (m Model) ErrorRate(k int, totalBases uint64) float64 {
+	if totalBases == 0 {
+		return 0
+	}
+	return float64(m.ErrorKmers) / float64(uint64(k)*totalBases)
+}

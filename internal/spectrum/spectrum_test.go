@@ -1,0 +1,105 @@
+package spectrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dedukt/internal/kcount"
+)
+
+// syntheticHistogram builds an error spike + Poisson coverage peak.
+func syntheticHistogram(rng *rand.Rand, genomeKmers int, lambda float64, errorKmers int) kcount.Histogram {
+	h := kcount.Histogram{Counts: map[uint32]uint64{}}
+	for i := 0; i < genomeKmers; i++ {
+		f := poisson(rng, lambda)
+		if f > 0 {
+			h.Counts[uint32(f)]++
+		}
+	}
+	// Error k-mers: mostly singletons with a geometric tail.
+	for i := 0; i < errorKmers; i++ {
+		f := 1
+		for rng.Float64() < 0.15 {
+			f++
+		}
+		h.Counts[uint32(f)]++
+	}
+	return h
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	const genomeKmers, lambda, errKmers = 100_000, 24.0, 60_000
+	h := syntheticHistogram(rng, genomeKmers, lambda, errKmers)
+	m, err := Fit(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.KmerCoverage-lambda)/lambda > 0.08 {
+		t.Fatalf("coverage %.2f, want ≈%.1f", m.KmerCoverage, lambda)
+	}
+	if math.Abs(m.GenomeSizeKmers-genomeKmers)/genomeKmers > 0.08 {
+		t.Fatalf("genome size %.0f, want ≈%d", m.GenomeSizeKmers, genomeKmers)
+	}
+	if m.ErrorKmers < uint64(float64(errKmers)*0.7) {
+		t.Fatalf("error kmers %d, want most of %d", m.ErrorKmers, errKmers)
+	}
+	if m.RepeatFraction > 0.05 {
+		t.Fatalf("repeat fraction %.3f for a repeat-free model", m.RepeatFraction)
+	}
+}
+
+func TestFitDetectsRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	h := syntheticHistogram(rng, 50_000, 20, 10_000)
+	// Add a 2-copy repeat family: k-mers at ~2λ.
+	for i := 0; i < 5_000; i++ {
+		f := poisson(rng, 40)
+		if f > 0 {
+			h.Counts[uint32(f)]++
+		}
+	}
+	m, err := Fit(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RepeatFraction < 0.10 {
+		t.Fatalf("repeat fraction %.3f, want ≥0.10", m.RepeatFraction)
+	}
+}
+
+func TestFitEmptyAndFlat(t *testing.T) {
+	if _, err := Fit(kcount.Histogram{Counts: map[uint32]uint64{}}); err == nil {
+		t.Fatal("empty histogram should fail")
+	}
+	// Pure error spike with no peak: monotone decreasing, no local min —
+	// the fit either fails or attributes everything to errors.
+	h := kcount.Histogram{Counts: map[uint32]uint64{1: 1000, 2: 100, 3: 10}}
+	m, err := Fit(h)
+	if err == nil && m.GenomeSizeKmers > 2000 {
+		t.Fatalf("flat spectrum produced genome size %.0f", m.GenomeSizeKmers)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	m := Model{ErrorKmers: 17_000}
+	if got := m.ErrorRate(17, 1_000_000); math.Abs(got-0.001) > 1e-9 {
+		t.Fatalf("error rate %f, want 0.001", got)
+	}
+	if m.ErrorRate(17, 0) != 0 {
+		t.Fatal("zero bases should give 0")
+	}
+}

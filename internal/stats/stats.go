@@ -1,0 +1,168 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses to print paper-style tables: load-imbalance
+// ratios, human-readable counts and durations, and fixed-width text tables.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Imbalance returns max/avg over loads, the paper's load-imbalance metric
+// (Table III). It returns 0 for empty or all-zero input.
+func Imbalance(loads []uint64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, v := range loads {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) / (float64(sum) / float64(len(loads)))
+}
+
+// MinMaxMean summarizes a load vector.
+func MinMaxMean(loads []uint64) (min, max uint64, mean float64) {
+	if len(loads) == 0 {
+		return 0, 0, 0
+	}
+	min = loads[0]
+	var sum uint64
+	for _, v := range loads {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, float64(sum) / float64(len(loads))
+}
+
+// Speedup returns base/over as a factor (0 when over is 0).
+func Speedup(base, over time.Duration) float64 {
+	if over <= 0 {
+		return 0
+	}
+	return base.Seconds() / over.Seconds()
+}
+
+// Count formats large counts the way the paper's Table II does: 412M, 4.7B.
+func Count(n uint64) string {
+	switch {
+	case n >= 1_000_000_000_000:
+		return fmt.Sprintf("%.1fT", float64(n)/1e12)
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Bytes formats byte volumes.
+func Bytes(n uint64) string {
+	switch {
+	case n >= 1<<40:
+		return fmt.Sprintf("%.2fTiB", float64(n)/(1<<40))
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Seconds formats a duration with ms precision for sub-second values.
+func Seconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0fs", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}
+
+// Table accumulates rows and renders a fixed-width text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = Seconds(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		loads []uint64
+		want  float64
+	}{
+		{nil, 0},
+		{[]uint64{0, 0}, 0},
+		{[]uint64{5, 5, 5}, 1.0},
+		{[]uint64{10, 20, 30}, 1.5},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.loads); got != c.want {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.loads, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	min, max, mean := MinMaxMean([]uint64{3, 9, 6})
+	if min != 3 || max != 9 || mean != 6 {
+		t.Fatalf("got %d %d %f", min, max, mean)
+	}
+	min, max, mean = MinMaxMean(nil)
+	if min != 0 || max != 0 || mean != 0 {
+		t.Fatal("empty input should be zeros")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(10*time.Second, 2*time.Second); s != 5 {
+		t.Fatalf("speedup = %f", s)
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Fatal("zero denominator should give 0")
+	}
+}
+
+func TestCountFormat(t *testing.T) {
+	cases := map[uint64]string{
+		412_000_000:     "412.0M",
+		4_700_000_000:   "4.7B",
+		167_000_000_000: "167.0B",
+		12_000:          "12K",
+		999:             "999",
+	}
+	for n, want := range cases {
+		if got := Count(n); got != want {
+			t.Errorf("Count(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestBytesFormat(t *testing.T) {
+	if got := Bytes(1 << 30); got != "1.00GiB" {
+		t.Errorf("got %q", got)
+	}
+	if got := Bytes(512); got != "512B" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSecondsFormat(t *testing.T) {
+	cases := map[time.Duration]string{
+		2500 * time.Millisecond: "2.50s",
+		150 * time.Second:       "150s",
+		5 * time.Millisecond:    "5.0ms",
+		30 * time.Microsecond:   "30µs",
+	}
+	for d, want := range cases {
+		if got := Seconds(d); got != want {
+			t.Errorf("Seconds(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 42)
+	tb.Row("b", 3.14159)
+	tb.Row("c", 2*time.Second)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatal("float formatting missing")
+	}
+	if !strings.Contains(out, "2.00s") {
+		t.Fatal("duration formatting missing")
+	}
+	// Columns aligned: all rows same rendered width per column separator.
+	if len(lines[1]) < len("name") {
+		t.Fatal("separator too short")
+	}
+}
