@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench experiments examples lint clean
+.PHONY: all build test race fuzz fuzz-seeds bench experiments examples lint ci clean
 
 all: build test
+
+# The full gate CI runs: build, formatting/vet lint, race-enabled tests,
+# and every fuzz target over its seed corpus.
+ci: build lint race fuzz-seeds
 
 build:
 	$(GO) build ./...
@@ -20,6 +24,12 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReader -fuzztime 30s ./internal/fastq/
 	$(GO) test -run xxx -fuzz FuzzSupermerInvariants -fuzztime 30s ./internal/minimizer/
 	$(GO) test -run xxx -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/kernels/
+	$(GO) test -run xxx -fuzz FuzzWireCorruptInput -fuzztime 30s ./internal/kernels/
+
+# Run every fuzz target over its checked-in seed corpus only (fast,
+# deterministic — what `ci` uses).
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/fastq/ ./internal/minimizer/ ./internal/kernels/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -36,7 +46,7 @@ examples:
 	$(GO) run ./examples/assembly
 
 lint:
-	gofmt -l .
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 
 clean:

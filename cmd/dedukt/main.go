@@ -8,6 +8,10 @@
 //	dedukt -in reads.fastq -k 17 -mode supermer -m 7 -nodes 16
 //	dedukt -dataset "E. coli 30X" -scale 0.5 -mode kmer -engine cpu
 //	dedukt -in reads.fasta.gz -k 21 -canonical -top 10
+//	dedukt -fault-seed 1 -fault-drop 0.05
+//
+// Without -in or -dataset, a small synthetic dataset is used, so
+// fault-injection demos run standalone.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"dedukt/internal/cluster"
 	"dedukt/internal/dna"
 	"dedukt/internal/fastq"
+	"dedukt/internal/fault"
 	"dedukt/internal/genome"
 	"dedukt/internal/kcount"
 	"dedukt/internal/minimizer"
@@ -51,6 +56,15 @@ func main() {
 		trimQ     = flag.Int("trimq", 0, "quality-trim read ends below this phred score before counting (0 = off)")
 		gpuStats  = flag.Bool("gpustats", false, "print GPU kernel efficiency metrics (GPU engine only)")
 		outKCD    = flag.String("okcd", "", "write the counted k-mers to this KCD database (see cmd/kmertools)")
+
+		faultSeed     = flag.Uint64("fault-seed", 0, "fault schedule seed (same seed replays the same faults)")
+		faultKill     = flag.Float64("fault-kill", 0, "per-(rank,round) probability a rank dies at round start")
+		faultDelay    = flag.Float64("fault-delay", 0, "per-(rank,round) probability of a straggler stall")
+		faultDelayFor = flag.Duration("fault-delayfor", 0, "straggler stall length (default 2ms)")
+		faultDrop     = flag.Float64("fault-drop", 0, "per-payload probability it vanishes in flight")
+		faultCorrupt  = flag.Float64("fault-corrupt", 0, "per-payload probability one bit flips in flight")
+		maxRetries    = flag.Int("max-retries", 0, "exchange retry budget per round (0 = default of 2, -1 = none)")
+		deadline      = flag.Duration("deadline", 0, "per-collective deadline before peers give up on a stalled rank (0 = none)")
 	)
 	flag.Parse()
 
@@ -95,6 +109,16 @@ func main() {
 		Canonical:  *canonical,
 		GPUDirect:  *gpudirect,
 		KeepTables: *outKCD != "",
+		Fault: fault.Config{
+			Seed:     *faultSeed,
+			Kill:     *faultKill,
+			Delay:    *faultDelay,
+			DelayFor: *faultDelayFor,
+			Drop:     *faultDrop,
+			Corrupt:  *faultCorrupt,
+		},
+		MaxRetries:       *maxRetries,
+		ExchangeDeadline: *deadline,
 	}
 	switch *mode {
 	case "kmer":
@@ -166,26 +190,39 @@ func reportGPUStats(w io.Writer, res *pipeline.Result) {
 
 // jsonReport is the machine-readable result schema of -json.
 type jsonReport struct {
-	Run       string            `json:"run"`
-	K         int               `json:"k"`
-	M         int               `json:"m,omitempty"`
-	Window    int               `json:"window,omitempty"`
-	Mode      string            `json:"mode"`
-	Nodes     int               `json:"nodes"`
-	Ranks     int               `json:"ranks"`
-	Rounds    int               `json:"rounds"`
-	ParseSec  float64           `json:"parse_sec"`
-	ExchSec   float64           `json:"exchange_sec"`
-	CountSec  float64           `json:"count_sec"`
-	TotalSec  float64           `json:"total_sec"`
-	Items     uint64            `json:"items_exchanged"`
-	Payload   uint64            `json:"payload_bytes"`
-	Fabric    uint64            `json:"fabric_bytes"`
-	Total     uint64            `json:"total_kmers"`
-	Distinct  uint64            `json:"distinct_kmers"`
-	Imbalance float64           `json:"load_imbalance"`
-	Histogram map[uint32]uint64 `json:"histogram"`
-	Top       []jsonKmer        `json:"top_kmers,omitempty"`
+	Run        string            `json:"run"`
+	K          int               `json:"k"`
+	M          int               `json:"m,omitempty"`
+	Window     int               `json:"window,omitempty"`
+	Mode       string            `json:"mode"`
+	Nodes      int               `json:"nodes"`
+	Ranks      int               `json:"ranks"`
+	Rounds     int               `json:"rounds"`
+	ParseSec   float64           `json:"parse_sec"`
+	ExchSec    float64           `json:"exchange_sec"`
+	CountSec   float64           `json:"count_sec"`
+	TotalSec   float64           `json:"total_sec"`
+	Items      uint64            `json:"items_exchanged"`
+	Payload    uint64            `json:"payload_bytes"`
+	Fabric     uint64            `json:"fabric_bytes"`
+	Total      uint64            `json:"total_kmers"`
+	Distinct   uint64            `json:"distinct_kmers"`
+	Imbalance  float64           `json:"load_imbalance"`
+	Histogram  map[uint32]uint64 `json:"histogram"`
+	Top        []jsonKmer        `json:"top_kmers,omitempty"`
+	Incomplete bool              `json:"incomplete,omitempty"`
+	Faults     *jsonFaults       `json:"faults,omitempty"`
+}
+
+// jsonFaults is the run-wide fault and recovery tally (omitted when zero).
+type jsonFaults struct {
+	Killed    uint64 `json:"killed"`
+	Delayed   uint64 `json:"delayed"`
+	Dropped   uint64 `json:"dropped"`
+	Corrupted uint64 `json:"corrupted"`
+	BadFrames uint64 `json:"bad_frames"`
+	Retries   uint64 `json:"retries"`
+	Discarded uint64 `json:"discarded_items"`
 }
 
 type jsonKmer struct {
@@ -205,6 +242,13 @@ func reportJSON(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top int)
 	}
 	if cfg.Mode == pipeline.SupermerMode {
 		rep.M, rep.Window = cfg.M, cfg.Window
+	}
+	if tf := res.TotalFaults(); tf.Total()+tf.BadFrames+tf.Retries+tf.Discarded > 0 || res.Incomplete {
+		rep.Incomplete = res.Incomplete
+		rep.Faults = &jsonFaults{
+			Killed: tf.Killed, Delayed: tf.Delayed, Dropped: tf.Dropped, Corrupted: tf.Corrupted,
+			BadFrames: tf.BadFrames, Retries: tf.Retries, Discarded: tf.Discarded,
+		}
 	}
 	if top > len(res.TopKmers) {
 		top = len(res.TopKmers)
@@ -245,7 +289,14 @@ func loadReads(inPath, dataset string, scale float64) ([]fastq.Record, error) {
 		}
 		return d.Reads(scale)
 	default:
-		return nil, fmt.Errorf("provide -in FILE or -dataset NAME (see -h)")
+		// Standalone demo: a small synthetic input so runs like
+		// `dedukt -fault-seed 1 -fault-drop 0.05` need no files.
+		d, err := genome.DatasetByName("E. coli 30X")
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("no -in or -dataset given: using synthetic %q at scale 0.05", d.Name)
+		return d.Reads(0.05)
 	}
 }
 
@@ -267,6 +318,18 @@ func report(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top, histMax
 		stats.Count(res.ItemsExchanged), res.Mode, stats.Bytes(res.PayloadBytes), stats.Bytes(res.Volume.FabricBytes))
 	fmt.Fprintf(w, "counted:   %s k-mer instances, %s distinct, load imbalance %.2f\n",
 		stats.Count(res.TotalKmers), stats.Count(res.DistinctKmers), res.LoadImbalance())
+
+	if tf := res.TotalFaults(); tf.Total()+tf.BadFrames+tf.Retries+tf.Discarded > 0 || res.Incomplete {
+		fmt.Fprintf(w, "faults:    injected %d (%d killed, %d delayed, %d dropped, %d corrupted); observed %d bad frames, %d retries\n",
+			tf.Total(), tf.Killed, tf.Delayed, tf.Dropped, tf.Corrupted, tf.BadFrames, tf.Retries)
+		if res.Incomplete {
+			fmt.Fprintf(w, "INCOMPLETE: retry budget exhausted, %d items discarded — counts are a lower bound\n", tf.Discarded)
+		} else if tf.Retries > 0 {
+			fmt.Fprintf(w, "recovered: every faulted round verified after retry; counts are exact\n")
+		} else {
+			fmt.Fprintf(w, "recovered: no payload damage; counts are exact\n")
+		}
+	}
 
 	if len(res.Histogram.Counts) > 0 && histMax > 0 {
 		fmt.Fprintf(w, "\nk-mer frequency spectrum (f: #distinct):\n")

@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"fmt"
-
 	"dedukt/internal/dna"
 	"dedukt/internal/gpusim"
 	"dedukt/internal/hash"
@@ -69,10 +67,12 @@ func CountSupermers(dev *gpusim.Device, table *kcount.AtomicTable, wire Supermer
 		return st, err
 	}
 	stride := wire.Stride()
-	if len(recv)%stride != 0 {
-		return st, fmt.Errorf("kernels: received buffer %d bytes, stride %d", len(recv), stride)
+	// Received bytes are untrusted: validate every image up front so the
+	// per-thread decodes below cannot fail mid-kernel.
+	n, err := wire.VerifyImages(recv)
+	if err != nil {
+		return st, err
 	}
-	n := len(recv) / stride
 
 	keysAddr := dev.Alloc(int64(8 * table.Cap()))
 	countsAddr := dev.Alloc(int64(4 * table.Cap()))
@@ -83,7 +83,7 @@ func CountSupermers(dev *gpusim.Device, table *kcount.AtomicTable, wire Supermer
 	st, launchErr := dev.Launch(gpusim.LaunchSpec{Name: "count_supermers", Threads: n}, func(tid int, ctx *gpusim.Ctx) {
 		img := recv[tid*stride : (tid+1)*stride]
 		ctx.Read(inAddr+uint64(tid*stride), stride)
-		seq, nk := wire.Decode(img)
+		seq, nk, _ := wire.Decode(img) // images verified before launch
 		// Roll the first k-mer, then slide one base at a time — the "extra
 		// parsing phase ... to extract k-mers from the received supermers".
 		var w dna.Kmer

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"errors"
 	"testing"
 
 	"dedukt/internal/dna"
@@ -9,8 +10,9 @@ import (
 
 // FuzzWireRoundTrip drives the supermer wire codec with fuzz-derived
 // supermer contents and parameters: Encode→Decode must be the identity, and
-// Decode must reject corrupt length bytes by panicking (its documented
-// contract) rather than reading out of bounds.
+// Decode must reject corrupt length bytes with an error wrapping
+// ErrCorruptWire (its documented contract) rather than panicking or reading
+// out of bounds.
 func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(uint8(17), uint8(15), uint8(3), []byte{0x1b, 0x2c})
 	f.Add(uint8(5), uint8(1), uint8(1), []byte{})
@@ -38,7 +40,10 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if len(buf) != wire.Stride() {
 			t.Fatalf("stride %d, encoded %d", wire.Stride(), len(buf))
 		}
-		seq, gotNk := wire.Decode(buf)
+		seq, gotNk, err := wire.Decode(buf)
+		if err != nil {
+			t.Fatalf("decode of valid image failed: %v", err)
+		}
 		if gotNk != nk || seq.Len() != nBases {
 			t.Fatalf("decode nk=%d len=%d, want %d/%d", gotNk, seq.Len(), nk, nBases)
 		}
@@ -47,21 +52,65 @@ func FuzzWireRoundTrip(f *testing.F) {
 				t.Fatalf("base %d mismatch", i)
 			}
 		}
-		// Corrupt length byte: 0 and >window must panic (documented).
+		// Corrupt length byte: 0 and >window must be rejected with an error.
 		for _, bad := range []byte{0, byte(window) + 1} {
 			if int(bad) > 255 || (bad != 0 && window >= 255) {
 				continue
 			}
 			corrupt := append([]byte(nil), buf...)
 			corrupt[len(corrupt)-1] = bad
-			func() {
-				defer func() {
-					if recover() == nil {
-						t.Fatalf("corrupt length byte %d not rejected", bad)
-					}
-				}()
-				wire.Decode(corrupt)
-			}()
+			if _, _, err := wire.Decode(corrupt); !errors.Is(err, ErrCorruptWire) {
+				t.Fatalf("corrupt length byte %d: err=%v, want ErrCorruptWire", bad, err)
+			}
+		}
+	})
+}
+
+// FuzzWireCorruptInput feeds fully attacker-controlled bytes — as arrive
+// from the exchange — to every receive-side entry point: Decode, Count,
+// VerifyImages, and UnframeBytes must return an error (or succeed) but
+// never panic, whatever the input.
+func FuzzWireCorruptInput(f *testing.F) {
+	f.Add(uint8(17), uint8(15), []byte{})
+	f.Add(uint8(17), uint8(15), []byte{0, 0, 0, 0, 0, 0, 0, 0, 16})
+	f.Add(uint8(5), uint8(3), []byte("dkfr\x01\x00\x00\x00garbage"))
+	f.Add(uint8(32), uint8(255), FrameBytes([]byte{1, 2, 3}, 1))
+	f.Fuzz(func(t *testing.T, kRaw, windowRaw uint8, raw []byte) {
+		k := int(kRaw%32) + 1
+		window := int(windowRaw)
+		if window == 0 {
+			window = 1
+		}
+		wire := SupermerWire{K: k, Window: window}
+		if wire.Validate() != nil {
+			return
+		}
+		// None of these may panic; errors must wrap ErrCorruptWire.
+		if _, _, err := wire.Decode(raw); err != nil && !errors.Is(err, ErrCorruptWire) {
+			t.Fatalf("Decode error %v does not wrap ErrCorruptWire", err)
+		}
+		if _, err := wire.Count(raw); err != nil && !errors.Is(err, ErrCorruptWire) {
+			t.Fatalf("Count error %v does not wrap ErrCorruptWire", err)
+		}
+		if _, err := wire.VerifyImages(raw); err != nil && !errors.Is(err, ErrCorruptWire) {
+			t.Fatalf("VerifyImages error %v does not wrap ErrCorruptWire", err)
+		}
+		if payload, _, err := UnframeBytes(raw); err == nil {
+			// An accepted frame must expose exactly the framed payload; the
+			// image layer then re-validates it.
+			_, _ = wire.VerifyImages(payload)
+		} else if !errors.Is(err, ErrCorruptWire) {
+			t.Fatalf("UnframeBytes error %v does not wrap ErrCorruptWire", err)
+		}
+		// Word-frame view of the same bytes (whole words only).
+		words := make([]uint64, len(raw)/8)
+		for i := range words {
+			for b := 0; b < 8; b++ {
+				words[i] |= uint64(raw[i*8+b]) << (8 * b)
+			}
+		}
+		if _, err := UnframeWords(words); err != nil && !errors.Is(err, ErrCorruptWire) {
+			t.Fatalf("UnframeWords error %v does not wrap ErrCorruptWire", err)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
 	"sort"
@@ -47,6 +48,24 @@ func randReads(rng *rand.Rand, n, meanLen int, nRate float64) []string {
 	return reads
 }
 
+func mustDecode(t *testing.T, wire SupermerWire, buf []byte) (dna.PackedSeq, int) {
+	t.Helper()
+	seq, nk, err := wire.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq, nk
+}
+
+func mustCount(t *testing.T, wire SupermerWire, buf []byte) int {
+	t.Helper()
+	n, err := wire.Count(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 func TestDestOfStable(t *testing.T) {
 	// Same key, same rank — the global-hash-table invariant.
 	for _, p := range []int{1, 6, 96, 384} {
@@ -79,7 +98,7 @@ func TestWireRoundTrip(t *testing.T) {
 		if len(buf) != wire.Stride() {
 			t.Fatalf("encoded %d bytes", len(buf))
 		}
-		seq, gotNk := wire.Decode(buf)
+		seq, gotNk := mustDecode(t, wire, buf)
 		if gotNk != nk || seq.Len() != len(codes) {
 			t.Fatalf("decode: nk=%d len=%d", gotNk, seq.Len())
 		}
@@ -89,8 +108,14 @@ func TestWireRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if wire.Count(make([]byte, 27)) != 3 {
+	if mustCount(t, wire, make([]byte, 27)) != 3 {
 		t.Fatal("Count wrong")
+	}
+	if _, err := wire.Count(make([]byte, 10)); err == nil {
+		t.Fatal("non-multiple buffer should error")
+	}
+	if _, _, err := wire.Decode(make([]byte, 3)); err == nil {
+		t.Fatal("truncated image should error")
 	}
 }
 
@@ -110,9 +135,105 @@ func TestWireEncodeInto(t *testing.T) {
 	if n := wire.EncodeInto(buf, &s); n != wire.Stride() {
 		t.Fatalf("EncodeInto returned %d", n)
 	}
-	seq, nk := wire.Decode(buf)
+	seq, nk := mustDecode(t, wire, buf)
 	if nk != 3 || seq.At(6) != 2 {
 		t.Fatal("EncodeInto round trip failed")
+	}
+}
+
+func TestFrameBytesRoundTrip(t *testing.T) {
+	payload := []byte("a supermer wire buffer stand-in")
+	frame := FrameBytes(payload, 7)
+	got, items, err := UnframeBytes(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items != 7 || string(got) != string(payload) {
+		t.Fatalf("round trip: items=%d payload=%q", items, got)
+	}
+	// Empty payloads still frame (count 0) — a dropped payload is nil and
+	// must stay distinguishable from an empty one.
+	empty := FrameBytes(nil, 0)
+	if _, items, err := UnframeBytes(empty); err != nil || items != 0 {
+		t.Fatalf("empty frame: items=%d err=%v", items, err)
+	}
+	if _, _, err := UnframeBytes(nil); !errors.Is(err, ErrCorruptWire) {
+		t.Fatalf("nil frame: err=%v", err)
+	}
+}
+
+func TestFrameBytesDetectsCorruption(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xA5, 0x3C}, 20)
+	frame := FrameBytes(payload, 5)
+	// Flip every single bit in turn: each must be detected.
+	for bit := 0; bit < 8*len(frame); bit++ {
+		bad := append([]byte(nil), frame...)
+		bad[bit/8] ^= 1 << (bit % 8)
+		if _, _, err := UnframeBytes(bad); err == nil {
+			// A flip inside the item-count field alone keeps magic and CRC
+			// valid; the exchange layer cross-checks the count against the
+			// Alltoall announcement, so only those bits may pass here.
+			if bit < 32 || bit >= 64 {
+				t.Fatalf("bit flip at %d undetected", bit)
+			}
+		} else if !errors.Is(err, ErrCorruptWire) {
+			t.Fatalf("bit %d: error %v does not wrap ErrCorruptWire", bit, err)
+		}
+	}
+	// Truncation must be detected.
+	if _, _, err := UnframeBytes(frame[:8]); !errors.Is(err, ErrCorruptWire) {
+		t.Fatalf("truncated frame: err=%v", err)
+	}
+}
+
+func TestFrameWordsRoundTripAndCorruption(t *testing.T) {
+	words := []uint64{0, 1, 0xdeadbeefcafef00d, ^uint64(0)}
+	frame := FrameWords(words)
+	got, err := UnframeWords(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(words) {
+		t.Fatalf("round trip len %d", len(got))
+	}
+	for i := range words {
+		if got[i] != words[i] {
+			t.Fatalf("word %d mismatch", i)
+		}
+	}
+	for bit := 0; bit < 64*len(frame); bit++ {
+		bad := append([]uint64(nil), frame...)
+		bad[bit/64] ^= 1 << (bit % 64)
+		if _, err := UnframeWords(bad); err == nil {
+			t.Fatalf("word bit flip at %d undetected", bit)
+		}
+	}
+	if _, err := UnframeWords(nil); !errors.Is(err, ErrCorruptWire) {
+		t.Fatalf("nil word frame: err=%v", err)
+	}
+	if _, err := UnframeWords(frame[:len(frame)-1]); err == nil {
+		t.Fatal("truncated word frame undetected")
+	}
+	if empty, err := UnframeWords(FrameWords(nil)); err != nil || len(empty) != 0 {
+		t.Fatalf("empty word frame: %v", err)
+	}
+}
+
+func TestVerifyImages(t *testing.T) {
+	wire := SupermerWire{K: 17, Window: 15}
+	s := minimizer.Supermer{Seq: dna.PackCodes(make([]dna.Code, 19)), NKmers: 3}
+	buf := wire.Encode(nil, &s)
+	buf = wire.Encode(buf, &s)
+	if n, err := wire.VerifyImages(buf); err != nil || n != 2 {
+		t.Fatalf("VerifyImages = %d, %v", n, err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[wire.Stride()-1] = 0 // corrupt first length byte
+	if _, err := wire.VerifyImages(bad); !errors.Is(err, ErrCorruptWire) {
+		t.Fatalf("corrupt image: err=%v", err)
+	}
+	if _, err := wire.VerifyImages(buf[:5]); !errors.Is(err, ErrCorruptWire) {
+		t.Fatalf("ragged buffer: err=%v", err)
 	}
 }
 
@@ -204,8 +325,8 @@ func TestBuildSupermersMatchesBuildWindowed(t *testing.T) {
 	}
 	var got []sm
 	for d, part := range out {
-		for i := 0; i < wire.Count(part); i++ {
-			seq, nk := wire.Decode(part[i*wire.Stride():])
+		for i := 0; i < mustCount(t, wire, part); i++ {
+			seq, nk := mustDecode(t, wire, part[i*wire.Stride():])
 			s := seq.String(&dna.Random)
 			got = append(got, sm{s, nk})
 			// Destination must be the minimizer's hash.
@@ -461,8 +582,8 @@ func TestBuildSupermersDestMap(t *testing.T) {
 	wire := SupermerWire{K: 17, Window: 15}
 	n := 0
 	for d, part := range out {
-		for i := 0; i < wire.Count(part); i++ {
-			seq, _ := wire.Decode(part[i*wire.Stride():])
+		for i := 0; i < mustCount(t, wire, part); i++ {
+			seq, _ := mustDecode(t, wire, part[i*wire.Stride():])
 			min := minimizer.Of(seq.Kmer(0, 17), 17, 5, mcfg.Ord)
 			if int(destMap[min]) != d {
 				t.Fatalf("supermer with minimizer %x in partition %d, map says %d", min, d, destMap[min])

@@ -1,11 +1,22 @@
 package kernels
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"dedukt/internal/dna"
 	"dedukt/internal/minimizer"
 )
+
+// ErrCorruptWire marks exchanged bytes that fail structural or checksum
+// validation: a truncated image, an impossible length byte, a frame whose
+// CRC does not match its payload, or a missing (dropped) frame. Receivers
+// must treat exchanged bytes as untrusted — the fault-tolerant exchange
+// (DESIGN.md §7) detects corruption through this error and retries the
+// round instead of counting poisoned data.
+var ErrCorruptWire = errors.New("kernels: corrupt wire data")
 
 // SupermerWire is the fixed-stride wire format for supermers (§IV-B/C): the
 // packed bases occupy PackedBytes(Window+K-1) bytes, followed by one length
@@ -66,25 +77,144 @@ func (w SupermerWire) EncodeInto(buf []byte, s *minimizer.Supermer) int {
 }
 
 // Decode reads one supermer image from buf, returning the packed sequence
-// view (no copy) and the k-mer count.
-func (w SupermerWire) Decode(buf []byte) (seq dna.PackedSeq, nk int) {
+// view (no copy) and the k-mer count. The bytes are exchanged data and
+// therefore untrusted: a truncated image or an out-of-range length byte
+// returns an error wrapping ErrCorruptWire, never a panic.
+func (w SupermerWire) Decode(buf []byte) (seq dna.PackedSeq, nk int, err error) {
 	stride := w.Stride()
 	if len(buf) < stride {
-		panic("kernels: truncated supermer wire image")
+		return dna.PackedSeq{}, 0, fmt.Errorf("%w: truncated supermer image (%d of %d bytes)",
+			ErrCorruptWire, len(buf), stride)
 	}
 	nk = int(buf[stride-1])
 	if nk < 1 || nk > w.Window {
-		panic(fmt.Sprintf("kernels: corrupt supermer length byte %d (window %d)", nk, w.Window))
+		return dna.PackedSeq{}, 0, fmt.Errorf("%w: supermer length byte %d outside [1,%d]",
+			ErrCorruptWire, nk, w.Window)
 	}
 	bases := nk + w.K - 1
-	return dna.UnpackFrom(buf[:stride-1], bases), nk
+	return dna.UnpackFrom(buf[:stride-1], bases), nk, nil
 }
 
-// Count returns how many supermers a wire buffer holds.
-func (w SupermerWire) Count(buf []byte) int {
+// Count returns how many supermers a wire buffer holds, or an error
+// wrapping ErrCorruptWire when the buffer is not a whole number of images.
+func (w SupermerWire) Count(buf []byte) (int, error) {
 	stride := w.Stride()
 	if len(buf)%stride != 0 {
-		panic(fmt.Sprintf("kernels: wire buffer length %d not a multiple of stride %d", len(buf), stride))
+		return 0, fmt.Errorf("%w: buffer length %d not a multiple of stride %d",
+			ErrCorruptWire, len(buf), stride)
 	}
-	return len(buf) / stride
+	return len(buf) / stride, nil
+}
+
+// VerifyImages validates every supermer image in a wire buffer (structure
+// and length bytes) without extracting k-mers, returning the image count.
+// Counting kernels call it before launch so per-thread decodes cannot fail.
+func (w SupermerWire) VerifyImages(buf []byte) (int, error) {
+	n, err := w.Count(buf)
+	if err != nil {
+		return 0, err
+	}
+	stride := w.Stride()
+	for i := 0; i < n; i++ {
+		if _, _, err := w.Decode(buf[i*stride:]); err != nil {
+			return 0, fmt.Errorf("supermer %d: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// Checksummed frames
+//
+// The exchange path wraps every per-destination payload in a frame so a
+// receiver can detect in-flight corruption or loss before counting (the
+// round-level retry of internal/pipeline keys off these failures). Frames
+// exist in two flavors matching the two exchanged payload types: byte
+// frames for supermer wire buffers and word frames for packed k-mers.
+//
+// Byte frame layout (header 12 bytes, little-endian):
+//
+//	[0:4)  magic "dkfr"
+//	[4:8)  item count
+//	[8:12) CRC32-C of the payload
+//
+// Word frame layout (header 1 word): low 32 bits item count, high 32 bits
+// CRC32-C of the payload words' little-endian bytes.
+
+// byteFrameHeader is the byte-frame header size.
+const byteFrameHeader = 12
+
+var frameMagic = [4]byte{'d', 'k', 'f', 'r'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// FrameBytes wraps a byte payload of the given item count in a checksummed
+// frame.
+func FrameBytes(payload []byte, items int) []byte {
+	frame := make([]byte, byteFrameHeader+len(payload))
+	copy(frame, frameMagic[:])
+	binary.LittleEndian.PutUint32(frame[4:], uint32(items))
+	binary.LittleEndian.PutUint32(frame[8:], crc32.Checksum(payload, crcTable))
+	copy(frame[byteFrameHeader:], payload)
+	return frame
+}
+
+// UnframeBytes validates a byte frame and returns its payload (a view, not
+// a copy) and item count. A nil frame (a dropped payload), bad magic, or a
+// checksum mismatch returns an error wrapping ErrCorruptWire.
+func UnframeBytes(frame []byte) (payload []byte, items int, err error) {
+	if frame == nil {
+		return nil, 0, fmt.Errorf("%w: missing frame (payload dropped)", ErrCorruptWire)
+	}
+	if len(frame) < byteFrameHeader {
+		return nil, 0, fmt.Errorf("%w: frame truncated to %d bytes", ErrCorruptWire, len(frame))
+	}
+	if [4]byte(frame[:4]) != frameMagic {
+		return nil, 0, fmt.Errorf("%w: bad frame magic %x", ErrCorruptWire, frame[:4])
+	}
+	items = int(binary.LittleEndian.Uint32(frame[4:]))
+	payload = frame[byteFrameHeader:]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(frame[8:]); got != want {
+		return nil, 0, fmt.Errorf("%w: frame checksum %08x != %08x", ErrCorruptWire, got, want)
+	}
+	return payload, items, nil
+}
+
+// wordsCRC checksums word payloads over their little-endian byte images.
+func wordsCRC(words []uint64) uint32 {
+	var buf [8]byte
+	var crc uint32
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		crc = crc32.Update(crc, crcTable, buf[:])
+	}
+	return crc
+}
+
+// FrameWords wraps a word payload (packed k-mers) in a one-word
+// checksummed header.
+func FrameWords(words []uint64) []uint64 {
+	frame := make([]uint64, 1+len(words))
+	frame[0] = uint64(wordsCRC(words))<<32 | uint64(uint32(len(words)))
+	copy(frame[1:], words)
+	return frame
+}
+
+// UnframeWords validates a word frame and returns its payload (a view, not
+// a copy). A nil frame, a count mismatch, or a checksum mismatch returns an
+// error wrapping ErrCorruptWire.
+func UnframeWords(frame []uint64) ([]uint64, error) {
+	if frame == nil {
+		return nil, fmt.Errorf("%w: missing frame (payload dropped)", ErrCorruptWire)
+	}
+	if len(frame) < 1 {
+		return nil, fmt.Errorf("%w: word frame missing header", ErrCorruptWire)
+	}
+	words := frame[1:]
+	if count := uint32(frame[0]); count != uint32(len(words)) {
+		return nil, fmt.Errorf("%w: word frame count %d != payload %d", ErrCorruptWire, count, len(words))
+	}
+	if got, want := wordsCRC(words), uint32(frame[0]>>32); got != want {
+		return nil, fmt.Errorf("%w: word frame checksum %08x != %08x", ErrCorruptWire, got, want)
+	}
+	return words, nil
 }

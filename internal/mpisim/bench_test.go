@@ -9,12 +9,13 @@ func BenchmarkAlltoallv(b *testing.B) {
 	payload := make([]byte, 4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := Run(p, func(c *Comm) {
+		_, err := Run(p, func(c *Comm) error {
 			send := make([][]byte, p)
 			for j := range send {
 				send[j] = payload
 			}
-			c.AlltoallvBytes(send)
+			_, err := c.AlltoallvBytes(send)
+			return err
 		})
 		if err != nil {
 			b.Fatal(err)

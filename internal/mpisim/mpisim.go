@@ -9,13 +9,40 @@
 //
 // The collective semantics mirror MPI: every rank must call the same
 // collectives in the same order; a collective returns only after all ranks
-// have entered it.
+// have entered it. Unlike raw MPI — where one dead or stalled rank
+// deadlocks the world — failures here are structured: a rank body that
+// returns an error or panics poisons the communicator, unblocking every
+// peer's in-flight and future collectives with ErrPeerDead; a collective
+// that waits past the configured deadline poisons it with ErrDeadline.
+// Run reports every rank's failure via errors.Join.
 package mpisim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// ErrPeerDead is wrapped by collective errors after a peer rank has failed
+// (returned a non-nil error or panicked): the collective can never
+// complete, so it unblocks with this instead of deadlocking.
+var ErrPeerDead = errors.New("mpisim: peer rank dead")
+
+// ErrDeadline is wrapped by collective errors when a rank waited in a
+// collective past the communicator's deadline (a peer is stalled or never
+// arriving). The whole world is poisoned: the collective cannot complete
+// for anyone.
+var ErrDeadline = errors.New("mpisim: collective deadline exceeded")
+
+// Options configures a Run.
+type Options struct {
+	// Deadline bounds how long any rank may wait inside one collective for
+	// its peers. 0 means wait forever (a dead peer still unblocks waiters
+	// via poisoning; the deadline additionally catches live-but-stalled
+	// peers). The deadline is per collective call, not per run.
+	Deadline time.Duration
+}
 
 // Comm is one rank's handle on the communicator.
 type Comm struct {
@@ -25,13 +52,14 @@ type Comm struct {
 
 // world holds the shared state of one Run.
 type world struct {
-	size int
+	size     int
+	deadline time.Duration
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	arrived int
 	phase   int
-	dead    bool
+	failure error // non-nil once poisoned; the reason every collective fails
 
 	// slots carries one deposit per rank for the collective in flight.
 	slots []any
@@ -61,20 +89,27 @@ func (e TraceEntry) TotalBytes() uint64 {
 }
 
 // Run executes body once per rank on size ranks and returns after all
-// complete. A panic in any rank is recovered and returned as an error (the
-// other ranks may deadlock-free exit only if they do not wait on the dead
-// rank, so Run fails fast by re-panicking the first panic after unblocking —
-// in practice: treat a non-nil error as fatal for the whole computation).
-// The returned Trace lists every collective's traffic matrix in program
-// order.
-func Run(size int, body func(c *Comm)) (trace []TraceEntry, err error) {
+// complete. A rank failure (non-nil return or panic) poisons the world:
+// peers blocked in or later entering a collective fail with an error
+// wrapping ErrPeerDead instead of deadlocking. The returned error joins
+// every rank's failure (errors.Join), each wrapped with its rank id; the
+// Trace lists every completed collective's traffic matrix in program order.
+func Run(size int, body func(c *Comm) error) (trace []TraceEntry, err error) {
+	return RunWithOptions(size, Options{}, body)
+}
+
+// RunWithOptions is Run with collective deadlines configured.
+func RunWithOptions(size int, opt Options, body func(c *Comm) error) (trace []TraceEntry, err error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpisim: non-positive world size %d", size)
 	}
-	w := &world{size: size, slots: make([]any, size)}
+	if opt.Deadline < 0 {
+		return nil, fmt.Errorf("mpisim: negative deadline %v", opt.Deadline)
+	}
+	w := &world{size: size, deadline: opt.Deadline, slots: make([]any, size)}
 	w.cond = sync.NewCond(&w.mu)
 
-	panics := make(chan any, size)
+	errs := make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
 		wg.Add(1)
@@ -82,26 +117,36 @@ func Run(size int, body func(c *Comm)) (trace []TraceEntry, err error) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics <- p
-					// Unblock peers stuck in a barrier: poison the world so
-					// their collectives fail instead of deadlocking.
-					w.mu.Lock()
-					w.dead = true
-					w.phase++
-					w.cond.Broadcast()
-					w.mu.Unlock()
+					errs[rank] = fmt.Errorf("mpisim: rank panicked: %v", p)
+				}
+				if errs[rank] != nil {
+					// Unblock peers stuck in a collective: poison the world
+					// so their collectives fail instead of deadlocking.
+					w.poison(fmt.Errorf("mpisim: rank %d dead: %w", rank, ErrPeerDead))
 				}
 			}()
-			body(&Comm{rank: rank, world: w})
+			errs[rank] = body(&Comm{rank: rank, world: w})
 		}(r)
 	}
 	wg.Wait()
-	select {
-	case p := <-panics:
-		return w.trace, fmt.Errorf("mpisim: rank panicked: %v", p)
-	default:
+	var joined []error
+	for r, e := range errs {
+		if e != nil {
+			joined = append(joined, fmt.Errorf("rank %d: %w", r, e))
+		}
 	}
-	return w.trace, nil
+	return w.trace, errors.Join(joined...)
+}
+
+// poison marks the world failed with the given reason (first reason wins)
+// and wakes every waiter.
+func (w *world) poison(reason error) {
+	w.mu.Lock()
+	if w.failure == nil {
+		w.failure = reason
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -110,45 +155,64 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.world.size }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.world.barrier() }
+// Barrier blocks until every rank has entered it, or fails with an error
+// wrapping ErrPeerDead (a peer died) or ErrDeadline (the wait exceeded the
+// communicator deadline).
+func (c *Comm) Barrier() error { return c.world.barrier() }
 
-func (w *world) barrier() {
+func (w *world) barrier() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.dead {
-		panic("mpisim: world poisoned by a peer rank's panic")
+	if w.failure != nil {
+		return w.failure
 	}
 	w.arrived++
 	if w.arrived == w.size {
 		w.arrived = 0
 		w.phase++
 		w.cond.Broadcast()
-		return
+		return nil
 	}
 	phase := w.phase
-	for w.phase == phase && !w.dead {
+	// satisfied flags (under w.mu) that this waiter left the barrier, so a
+	// late-firing deadline timer does not poison a completed collective.
+	satisfied := false
+	if w.deadline > 0 {
+		timer := time.AfterFunc(w.deadline, func() {
+			w.mu.Lock()
+			if !satisfied && w.failure == nil {
+				w.failure = fmt.Errorf("mpisim: waited %v in a collective: %w", w.deadline, ErrDeadline)
+				w.cond.Broadcast()
+			}
+			w.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for w.phase == phase && w.failure == nil {
 		w.cond.Wait()
 	}
-	if w.dead {
-		panic("mpisim: world poisoned by a peer rank's panic")
-	}
+	satisfied = true
+	return w.failure // nil on normal completion
 }
 
 // exchange is the generic all-to-all primitive: every rank deposits one
 // value and receives everyone's deposits (including its own). Two barriers
 // delimit the deposit and collection phases so slots can be reused by the
 // next collective.
-func exchange[T any](c *Comm, v T) []T {
+func exchange[T any](c *Comm, v T) ([]T, error) {
 	w := c.world
 	w.slots[c.rank] = v
-	w.barrier()
+	if err := w.barrier(); err != nil {
+		return nil, err
+	}
 	out := make([]T, w.size)
 	for i, s := range w.slots {
 		out[i] = s.(T)
 	}
-	w.barrier()
-	return out
+	if err := w.barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // record appends a trace entry exactly once per collective (rank 0 writes).
@@ -165,9 +229,14 @@ func (c *Comm) record(op string, bytes [][]uint64) {
 // Alltoall exchanges one int per destination: rank i's send[j] arrives as
 // the returned recv[i] on rank j. This is the count exchange that precedes
 // every Alltoallv (MPI_Alltoall in Alg. 1).
-func (c *Comm) Alltoall(send []int) []int {
-	c.mustLen(len(send))
-	all := exchange(c, append([]int(nil), send...))
+func (c *Comm) Alltoall(send []int) ([]int, error) {
+	if err := c.checkLen(len(send)); err != nil {
+		return nil, err
+	}
+	all, err := exchange(c, append([]int(nil), send...))
+	if err != nil {
+		return nil, err
+	}
 	recv := make([]int, c.Size())
 	for i, row := range all {
 		recv[i] = row[c.rank]
@@ -182,33 +251,43 @@ func (c *Comm) Alltoall(send []int) []int {
 		}
 		c.record("alltoall", bytes)
 	}
-	return recv
+	return recv, nil
 }
 
 // AlltoallvBytes performs the variable-size many-to-many exchange of byte
 // payloads: send[j] goes to rank j; recv[i] is the payload from rank i.
 // Payloads are referenced, not copied — receivers must not mutate them.
-func (c *Comm) AlltoallvBytes(send [][]byte) [][]byte {
-	c.mustLen(len(send))
-	all := exchange(c, send)
+func (c *Comm) AlltoallvBytes(send [][]byte) ([][]byte, error) {
+	if err := c.checkLen(len(send)); err != nil {
+		return nil, err
+	}
+	all, err := exchange(c, send)
+	if err != nil {
+		return nil, err
+	}
 	recv := make([][]byte, c.Size())
 	for i, row := range all {
 		recv[i] = row[c.rank]
 	}
 	c.recordMatrix("alltoallv", all)
-	return recv
+	return recv, nil
 }
 
 // AlltoallvUint64 exchanges word payloads (packed k-mers / supermers).
-func (c *Comm) AlltoallvUint64(send [][]uint64) [][]uint64 {
-	c.mustLen(len(send))
-	all := exchange(c, send)
+func (c *Comm) AlltoallvUint64(send [][]uint64) ([][]uint64, error) {
+	if err := c.checkLen(len(send)); err != nil {
+		return nil, err
+	}
+	all, err := exchange(c, send)
+	if err != nil {
+		return nil, err
+	}
 	recv := make([][]uint64, c.Size())
 	for i, row := range all {
 		recv[i] = row[c.rank]
 	}
 	c.recordMatrix("alltoallv", all)
-	return recv
+	return recv, nil
 }
 
 func recordBytes[T any](all []T, f func(T, int, int) uint64, size int) [][]uint64 {
@@ -240,35 +319,42 @@ func (c *Comm) recordMatrix(op string, all any) {
 }
 
 // AllreduceSum returns the sum of v across ranks.
-func (c *Comm) AllreduceSum(v uint64) uint64 {
-	all := exchange(c, v)
+func (c *Comm) AllreduceSum(v uint64) (uint64, error) {
+	all, err := exchange(c, v)
+	if err != nil {
+		return 0, err
+	}
 	var s uint64
 	for _, x := range all {
 		s += x
 	}
-	return s
+	return s, nil
 }
 
 // AllreduceMax returns the max of v across ranks.
-func (c *Comm) AllreduceMax(v uint64) uint64 {
-	all := exchange(c, v)
+func (c *Comm) AllreduceMax(v uint64) (uint64, error) {
+	all, err := exchange(c, v)
+	if err != nil {
+		return 0, err
+	}
 	var m uint64
 	for _, x := range all {
 		if x > m {
 			m = x
 		}
 	}
-	return m
+	return m, nil
 }
 
 // GatherUint64 returns every rank's value, indexed by rank (available on
 // all ranks — an allgather; the paper's reporting needs no rooted gather).
-func (c *Comm) GatherUint64(v uint64) []uint64 {
+func (c *Comm) GatherUint64(v uint64) ([]uint64, error) {
 	return exchange(c, v)
 }
 
-func (c *Comm) mustLen(n int) {
+func (c *Comm) checkLen(n int) error {
 	if n != c.Size() {
-		panic(fmt.Sprintf("mpisim: send vector length %d != world size %d", n, c.Size()))
+		return fmt.Errorf("mpisim: send vector length %d != world size %d", n, c.Size())
 	}
+	return nil
 }

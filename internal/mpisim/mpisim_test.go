@@ -1,6 +1,7 @@
 package mpisim
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -11,7 +12,7 @@ import (
 func TestRunBasics(t *testing.T) {
 	var count atomic.Int32
 	seen := make([]atomic.Bool, 8)
-	_, err := Run(8, func(c *Comm) {
+	_, err := Run(8, func(c *Comm) error {
 		if c.Size() != 8 {
 			t.Errorf("Size = %d", c.Size())
 		}
@@ -19,6 +20,7 @@ func TestRunBasics(t *testing.T) {
 			t.Errorf("rank %d ran twice", c.Rank())
 		}
 		count.Add(1)
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -29,8 +31,11 @@ func TestRunBasics(t *testing.T) {
 }
 
 func TestRunRejectsBadSize(t *testing.T) {
-	if _, err := Run(0, func(*Comm) {}); err == nil {
+	if _, err := Run(0, func(*Comm) error { return nil }); err == nil {
 		t.Fatal("size 0 should fail")
+	}
+	if _, err := RunWithOptions(2, Options{Deadline: -time.Second}, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("negative deadline should fail")
 	}
 }
 
@@ -38,15 +43,18 @@ func TestBarrierOrdering(t *testing.T) {
 	// After a barrier, all pre-barrier writes must be visible.
 	const p = 16
 	vals := make([]int, p)
-	_, err := Run(p, func(c *Comm) {
+	_, err := Run(p, func(c *Comm) error {
 		vals[c.Rank()] = c.Rank() + 1
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		for i, v := range vals {
 			if v != i+1 {
 				t.Errorf("rank %d: vals[%d] = %d after barrier", c.Rank(), i, v)
-				return
+				return nil
 			}
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -55,17 +63,21 @@ func TestBarrierOrdering(t *testing.T) {
 
 func TestAlltoall(t *testing.T) {
 	const p = 5
-	_, err := Run(p, func(c *Comm) {
+	_, err := Run(p, func(c *Comm) error {
 		send := make([]int, p)
 		for j := range send {
 			send[j] = c.Rank()*100 + j
 		}
-		recv := c.Alltoall(send)
+		recv, err := c.Alltoall(send)
+		if err != nil {
+			return err
+		}
 		for i, v := range recv {
 			if want := i*100 + c.Rank(); v != want {
 				t.Errorf("rank %d: recv[%d] = %d, want %d", c.Rank(), i, v, want)
 			}
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,18 +88,22 @@ func TestAlltoallvBytesPermutation(t *testing.T) {
 	// Property (e) of DESIGN.md: the exchange is a permutation — no payload
 	// lost or duplicated, each byte slice arrives at exactly its target.
 	const p = 7
-	_, err := Run(p, func(c *Comm) {
+	_, err := Run(p, func(c *Comm) error {
 		send := make([][]byte, p)
 		for j := range send {
 			send[j] = []byte(fmt.Sprintf("from%d-to%d", c.Rank(), j))
 		}
-		recv := c.AlltoallvBytes(send)
+		recv, err := c.AlltoallvBytes(send)
+		if err != nil {
+			return err
+		}
 		for i, payload := range recv {
 			want := fmt.Sprintf("from%d-to%d", i, c.Rank())
 			if string(payload) != want {
 				t.Errorf("rank %d: recv[%d] = %q, want %q", c.Rank(), i, payload, want)
 			}
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +114,7 @@ func TestAlltoallvUint64(t *testing.T) {
 	const p = 4
 	totalSent := make([]uint64, p)
 	totalRecv := make([]uint64, p)
-	_, err := Run(p, func(c *Comm) {
+	_, err := Run(p, func(c *Comm) error {
 		send := make([][]uint64, p)
 		for j := range send {
 			for x := 0; x <= c.Rank()+j; x++ {
@@ -106,7 +122,10 @@ func TestAlltoallvUint64(t *testing.T) {
 			}
 			totalSent[c.Rank()] += uint64(len(send[j]))
 		}
-		recv := c.AlltoallvUint64(send)
+		recv, err := c.AlltoallvUint64(send)
+		if err != nil {
+			return err
+		}
 		var got uint64
 		for i, words := range recv {
 			got += uint64(len(words))
@@ -115,6 +134,7 @@ func TestAlltoallvUint64(t *testing.T) {
 			}
 		}
 		totalRecv[c.Rank()] = got
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -131,19 +151,23 @@ func TestAlltoallvUint64(t *testing.T) {
 
 func TestReductionsAndGather(t *testing.T) {
 	const p = 6
-	_, err := Run(p, func(c *Comm) {
-		if got := c.AllreduceSum(uint64(c.Rank())); got != p*(p-1)/2 {
-			t.Errorf("sum = %d", got)
+	_, err := Run(p, func(c *Comm) error {
+		if got, err := c.AllreduceSum(uint64(c.Rank())); err != nil || got != p*(p-1)/2 {
+			t.Errorf("sum = %d, err = %v", got, err)
 		}
-		if got := c.AllreduceMax(uint64(c.Rank() * 10)); got != (p-1)*10 {
-			t.Errorf("max = %d", got)
+		if got, err := c.AllreduceMax(uint64(c.Rank() * 10)); err != nil || got != (p-1)*10 {
+			t.Errorf("max = %d, err = %v", got, err)
 		}
-		all := c.GatherUint64(uint64(c.Rank() * c.Rank()))
+		all, err := c.GatherUint64(uint64(c.Rank() * c.Rank()))
+		if err != nil {
+			return err
+		}
 		for i, v := range all {
 			if v != uint64(i*i) {
 				t.Errorf("gather[%d] = %d", i, v)
 			}
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -153,14 +177,18 @@ func TestReductionsAndGather(t *testing.T) {
 func TestMultipleCollectivesInSequence(t *testing.T) {
 	// Slot reuse across many collectives must be safe.
 	const p, rounds = 5, 20
-	_, err := Run(p, func(c *Comm) {
+	_, err := Run(p, func(c *Comm) error {
 		for r := 0; r < rounds; r++ {
-			v := c.AllreduceSum(uint64(r))
+			v, err := c.AllreduceSum(uint64(r))
+			if err != nil {
+				return err
+			}
 			if v != uint64(r*p) {
 				t.Errorf("round %d: sum %d", r, v)
-				return
+				return nil
 			}
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -169,12 +197,13 @@ func TestMultipleCollectivesInSequence(t *testing.T) {
 
 func TestTraceRecorded(t *testing.T) {
 	const p = 3
-	trace, err := Run(p, func(c *Comm) {
+	trace, err := Run(p, func(c *Comm) error {
 		send := make([][]byte, p)
 		for j := range send {
 			send[j] = make([]byte, (c.Rank()+1)*(j+1))
 		}
-		c.AlltoallvBytes(send)
+		_, err := c.AlltoallvBytes(send)
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -197,20 +226,175 @@ func TestTraceRecorded(t *testing.T) {
 }
 
 func TestPanicPropagates(t *testing.T) {
-	_, err := Run(4, func(c *Comm) {
+	_, err := Run(4, func(c *Comm) error {
 		if c.Rank() == 2 {
 			panic("boom")
 		}
-		c.Barrier() // peers must not deadlock
+		return c.Barrier() // peers must not deadlock
 	})
-	if err == nil || !strings.Contains(err.Error(), "boom") && !strings.Contains(err.Error(), "poisoned") {
+	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("peers should fail with ErrPeerDead, got %v", err)
 	}
 }
 
-func TestMismatchedSendLengthPanics(t *testing.T) {
-	_, err := Run(3, func(c *Comm) {
-		c.Alltoall([]int{1, 2}) // wrong length
+func TestAllRankFailuresReported(t *testing.T) {
+	// Regression: every rank's failure must appear in the joined error, not
+	// just the first one — mixed panics and error returns.
+	_, err := Run(6, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			return errors.New("failure-one")
+		case 3:
+			panic("failure-three")
+		case 5:
+			return errors.New("failure-five")
+		}
+		err := c.Barrier()
+		if err == nil {
+			t.Errorf("rank %d: barrier should fail after peer deaths", c.Rank())
+		}
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected a joined error")
+	}
+	for _, want := range []string{"failure-one", "failure-three", "failure-five", "rank 1", "rank 3", "rank 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+	if !errors.Is(err, ErrPeerDead) {
+		t.Errorf("surviving ranks should report ErrPeerDead: %v", err)
+	}
+}
+
+func TestErrorReturnPoisonsWorld(t *testing.T) {
+	// A rank that returns an error (no panic) must still unblock peers.
+	var unblocked atomic.Int32
+	_, err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return errors.New("early exit")
+		}
+		if err := c.Barrier(); err != nil {
+			unblocked.Add(1)
+			return err
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("err = %v", err)
+	}
+	if unblocked.Load() != 2 {
+		t.Fatalf("%d peers unblocked, want 2", unblocked.Load())
+	}
+}
+
+func TestRankDeathUnblocksCollectives(t *testing.T) {
+	// Poisoned-world semantics: a rank dying inside each collective must
+	// unblock all peers with ErrPeerDead within the deadline.
+	collectives := []struct {
+		name string
+		call func(c *Comm) error
+	}{
+		{"barrier", func(c *Comm) error { return c.Barrier() }},
+		{"alltoall", func(c *Comm) error {
+			_, err := c.Alltoall(make([]int, c.Size()))
+			return err
+		}},
+		{"alltoallvbytes", func(c *Comm) error {
+			send := make([][]byte, c.Size())
+			for j := range send {
+				send[j] = []byte{byte(c.Rank()), byte(j)}
+			}
+			_, err := c.AlltoallvBytes(send)
+			return err
+		}},
+	}
+	for _, tc := range collectives {
+		t.Run(tc.name, func(t *testing.T) {
+			const p = 5
+			start := time.Now()
+			var peerErrs atomic.Int32
+			_, err := RunWithOptions(p, Options{Deadline: 5 * time.Second}, func(c *Comm) error {
+				if c.Rank() == 1 {
+					return fmt.Errorf("rank 1 dies before %s", tc.name)
+				}
+				err := tc.call(c)
+				if err == nil {
+					t.Errorf("rank %d: %s completed despite dead peer", c.Rank(), tc.name)
+					return nil
+				}
+				if errors.Is(err, ErrPeerDead) {
+					peerErrs.Add(1)
+				}
+				return err
+			})
+			if err == nil || !errors.Is(err, ErrPeerDead) {
+				t.Fatalf("err = %v", err)
+			}
+			if peerErrs.Load() != p-1 {
+				t.Fatalf("%d peers saw ErrPeerDead, want %d", peerErrs.Load(), p-1)
+			}
+			// "Within the deadline": unblocking is poison-driven, far faster
+			// than the 5s deadline.
+			if elapsed := time.Since(start); elapsed > 4*time.Second {
+				t.Fatalf("unblocking took %v", elapsed)
+			}
+		})
+	}
+}
+
+func TestCollectiveDeadline(t *testing.T) {
+	// A live but stalled straggler must trip ErrDeadline for the waiters
+	// (and for itself once it arrives at the poisoned barrier).
+	var deadlineErrs atomic.Int32
+	start := time.Now()
+	_, err := RunWithOptions(4, Options{Deadline: 30 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 2 {
+			time.Sleep(300 * time.Millisecond) // well past the deadline
+		}
+		err := c.Barrier()
+		if errors.Is(err, ErrDeadline) {
+			deadlineErrs.Add(1)
+		}
+		return err
+	})
+	if err == nil || !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v", err)
+	}
+	if deadlineErrs.Load() != 4 {
+		t.Fatalf("%d ranks saw ErrDeadline, want 4", deadlineErrs.Load())
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline release took %v", elapsed)
+	}
+}
+
+func TestDeadlineNotTrippedByFastRun(t *testing.T) {
+	// A healthy world far under the deadline must be unaffected by timers.
+	_, err := RunWithOptions(8, Options{Deadline: 5 * time.Second}, func(c *Comm) error {
+		for r := 0; r < 10; r++ {
+			if _, err := c.AllreduceSum(1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedSendLengthFails(t *testing.T) {
+	_, err := Run(3, func(c *Comm) error {
+		_, err := c.Alltoall([]int{1, 2}) // wrong length
+		if err == nil {
+			t.Error("mismatched length should error")
+		}
+		return err
 	})
 	if err == nil {
 		t.Fatal("expected error")
@@ -322,11 +506,15 @@ func TestNetModelNodeMapping(t *testing.T) {
 func TestBigWorld(t *testing.T) {
 	// 384 ranks (the paper's 64-node GPU configuration) must run fine.
 	const p = 384
-	_, err := Run(p, func(c *Comm) {
-		s := c.AllreduceSum(1)
+	_, err := Run(p, func(c *Comm) error {
+		s, err := c.AllreduceSum(1)
+		if err != nil {
+			return err
+		}
 		if s != p {
 			t.Errorf("sum = %d", s)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -20,6 +20,7 @@ import (
 
 	"dedukt/internal/cluster"
 	"dedukt/internal/dna"
+	"dedukt/internal/fault"
 	"dedukt/internal/gpusim"
 	"dedukt/internal/kcount"
 	"dedukt/internal/minimizer"
@@ -108,6 +109,21 @@ type Config struct {
 	// the same time partitions data evenly" the paper leaves as future
 	// work (§VII). Requires m ≤ 12.
 	BalancedPartition bool
+	// Fault configures the deterministic fault injector (see
+	// internal/fault): seeded kill/straggler/drop/corrupt events against
+	// the exchange path. The zero value injects nothing; the detection and
+	// recovery machinery (checksummed frames, retry) runs either way.
+	Fault fault.Config
+	// MaxRetries bounds how many times a round whose exchange arrived
+	// corrupted or incomplete is retried from the retained send buffers
+	// before the round degrades (verified payloads only, Result.Incomplete
+	// set). 0 means the default of 2; -1 disables retries entirely.
+	MaxRetries int
+	// ExchangeDeadline bounds how long a rank may wait inside one
+	// collective for its peers before the run fails with
+	// mpisim.ErrDeadline (a live-but-stalled peer; dead peers unblock
+	// waiters immediately regardless). 0 disables the deadline.
+	ExchangeDeadline time.Duration
 }
 
 // Validate checks the configuration.
@@ -148,7 +164,28 @@ func (c Config) Validate() error {
 	if c.TableLoad < 0 || c.TableLoad >= 1 {
 		return fmt.Errorf("pipeline: table load %.2f outside [0,1)", c.TableLoad)
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if c.MaxRetries < -1 {
+		return fmt.Errorf("pipeline: MaxRetries %d below -1", c.MaxRetries)
+	}
+	if c.ExchangeDeadline < 0 {
+		return fmt.Errorf("pipeline: negative ExchangeDeadline %v", c.ExchangeDeadline)
+	}
 	return nil
+}
+
+// maxRetries returns the retry budget (default 2; -1 configures zero).
+func (c Config) maxRetries() int {
+	switch {
+	case c.MaxRetries == 0:
+		return 2
+	case c.MaxRetries < 0:
+		return 0
+	default:
+		return c.MaxRetries
+	}
 }
 
 func (c Config) ordering() minimizer.Ordering {
@@ -250,6 +287,24 @@ type Result struct {
 	// set (nil otherwise). Partitions are disjoint; merge with
 	// kcount.Table.Merge for a global table.
 	Tables []*kcount.Table
+	// Incomplete reports that at least one exchange round exhausted its
+	// retry budget and degraded: unverifiable payloads were discarded, so
+	// the counts are a lower bound rather than exact. Faults itemizes the
+	// damage per rank.
+	Incomplete bool
+	// Faults is the per-rank fault and recovery tally (indexed by rank):
+	// injected kills/delays/drops/corruptions plus observed bad frames,
+	// retried rounds, and discarded items. All-zero on a healthy run.
+	Faults []fault.Counts
+}
+
+// TotalFaults folds the per-rank fault tallies into one.
+func (r *Result) TotalFaults() fault.Counts {
+	var sum fault.Counts
+	for _, c := range r.Faults {
+		sum.Add(c)
+	}
+	return sum
 }
 
 // MergedTable folds all retained rank tables into one (nil when the run did

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"dedukt/internal/dna"
 	"dedukt/internal/fastq"
+	"dedukt/internal/fault"
 	"dedukt/internal/kcount"
 	"dedukt/internal/kernels"
 	"dedukt/internal/minimizer"
@@ -13,10 +14,13 @@ import (
 // ablation for one rank, metering abstract work with the same constants the
 // GPU kernels use and converting it to Power9 time via the layout's
 // CPUModel.
-func runCPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) {
+func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) error {
 	model := *cfg.Layout.CPU
 	chunks := chunkReads(reads, cfg.RoundBases)
-	rounds := globalRounds(c, len(chunks))
+	rounds, err := globalRounds(c, len(chunks))
+	if err != nil {
+		return err
+	}
 	out.rounds = rounds
 	table := kcount.NewTable(1, cfg.Probing)
 	var bloom *kcount.Bloom
@@ -31,14 +35,18 @@ func runCPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 		for _, r := range reads {
 			expected += len(r.Seq)
 		}
-		var err error
 		bloom, err = kcount.NewBloom(expected+1, fp)
 		if err != nil {
-			panic(err)
+			return err
 		}
 	}
+	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
+	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out}
 
 	for r := 0; r < rounds; r++ {
+		if err := killOrStall(inj, c, r); err != nil {
+			return err
+		}
 		buf := buildBuffer(chunkFor(chunks, r))
 		data := buf.Data()
 
@@ -51,7 +59,10 @@ func runCPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 		if cfg.Mode == KmerMode {
 			sendWords, meter = cpuParseKmers(cfg, c.Size(), data)
 		} else {
-			sendWire, meter = cpuBuildSupermers(cfg, destMap, c.Size(), data)
+			sendWire, meter, err = cpuBuildSupermers(cfg, destMap, c.Size(), data)
+			if err != nil {
+				return err
+			}
 		}
 		out.parse += model.RankTimeLifted(meter.Ops, meter.Bytes, meter.Items, cfg.CPULoadLift)
 		out.parseOps += meter.Ops
@@ -65,21 +76,31 @@ func runCPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 				out.payloadSent += 8 * uint64(len(part))
 			}
 		} else {
-			stride := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}.Stride()
 			for d, part := range sendWire {
-				counts[d] = len(part) / stride
-				out.itemsSent += uint64(len(part) / stride)
+				counts[d] = len(part) / wire.Stride()
+				out.itemsSent += uint64(len(part) / wire.Stride())
 				out.payloadSent += uint64(len(part))
 			}
 		}
-		c.Alltoall(counts)
+		expect, err := ex.announce(counts)
+		if err != nil {
+			return err
+		}
 
 		var recvWords []uint64
 		var recvWire []byte
 		if cfg.Mode == KmerMode {
-			recvWords = flattenWords(c.AlltoallvUint64(sendWords))
+			recv, err := ex.exchangeWords(r, sendWords, expect)
+			if err != nil {
+				return err
+			}
+			recvWords = flattenWords(recv)
 		} else {
-			recvWire = flattenBytes(c.AlltoallvBytes(sendWire))
+			recv, err := ex.exchangeWire(r, wire, sendWire, expect)
+			if err != nil {
+				return err
+			}
+			recvWire = flattenBytes(recv)
 		}
 
 		// Count into the persistent per-rank table.
@@ -87,7 +108,10 @@ func runCPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 		if cfg.Mode == KmerMode {
 			cmeter = cpuCountKmers(cfg, table, bloom, recvWords)
 		} else {
-			cmeter = cpuCountSupermers(cfg, table, bloom, recvWire)
+			cmeter, err = cpuCountSupermers(cfg, table, bloom, recvWire)
+			if err != nil {
+				return err
+			}
 		}
 		out.count += model.RankTimeLifted(cmeter.Ops, cmeter.Bytes, cmeter.Items, cfg.CPULoadLift)
 		out.countOps += cmeter.Ops
@@ -99,6 +123,7 @@ func runCPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 	if cfg.KeepTables {
 		out.table = table
 	}
+	return nil
 }
 
 // cpuParseKmers is the scalar PARSEKMER of Alg. 1: a rolling sliding-window
@@ -139,7 +164,7 @@ func cpuParseKmers(cfg Config, nProc int, data []byte) ([][]uint64, kernels.Work
 
 // cpuBuildSupermers is the scalar BUILDSUPERMER of Alg. 2, windowed exactly
 // like the GPU kernel so both engines ship identical supermer sets.
-func cpuBuildSupermers(cfg Config, destMap []uint16, nProc int, data []byte) ([][]byte, kernels.WorkMeter) {
+func cpuBuildSupermers(cfg Config, destMap []uint16, nProc int, data []byte) ([][]byte, kernels.WorkMeter, error) {
 	var m kernels.WorkMeter
 	out := make([][]byte, nProc)
 	mc := cfg.minimizerConfig()
@@ -171,9 +196,9 @@ func cpuBuildSupermers(cfg Config, destMap []uint16, nProc int, data []byte) ([]
 		m.AddBytes(wire.Stride())
 	})
 	if err != nil {
-		panic(err)
+		return nil, m, err
 	}
-	return out, m
+	return out, m, nil
 }
 
 // cpuCountKmers is the scalar COUNTKMER of Alg. 1 over an open-addressing
@@ -211,14 +236,21 @@ func countOne(table *kcount.Table, bloom *kcount.Bloom, key uint64, m *kernels.W
 }
 
 // cpuCountSupermers extracts k-mers from received supermers and counts them
-// (Alg. 2 COUNTKMER).
-func cpuCountSupermers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, recv []byte) kernels.WorkMeter {
+// (Alg. 2 COUNTKMER). The received bytes are exchanged data: a decode
+// failure surfaces as an error, never a panic.
+func cpuCountSupermers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, recv []byte) (kernels.WorkMeter, error) {
 	var m kernels.WorkMeter
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
 	stride := wire.Stride()
-	n := len(recv) / stride
+	n, err := wire.Count(recv)
+	if err != nil {
+		return m, err
+	}
 	for i := 0; i < n; i++ {
-		seq, nk := wire.Decode(recv[i*stride:])
+		seq, nk, err := wire.Decode(recv[i*stride:])
+		if err != nil {
+			return m, err
+		}
 		m.AddBytes(stride)
 		var kw uint64
 		for j := 0; j < cfg.K-1; j++ {
@@ -231,7 +263,7 @@ func cpuCountSupermers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, rec
 			countOne(table, bloom, kw, &m)
 		}
 	}
-	return m
+	return m, nil
 }
 
 func kmerMask(k int) uint64 {

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"dedukt/internal/fault"
+	"dedukt/internal/kernels"
+	"dedukt/internal/mpisim"
+)
+
+// exchanger is the fault-tolerant exchange path shared by the GPU and CPU
+// rank bodies. Every per-destination payload travels inside a checksummed
+// frame (kernels.FrameBytes / FrameWords); the receiver verifies each frame
+// and cross-checks its item count against the Alltoall announcement. When
+// any rank receives a bad or missing frame, the world agrees (via
+// AllreduceSum) to retry the round from the retained send buffers, up to
+// maxRetries times. Payloads that already verified are kept across
+// attempts — a retry only needs the previously-bad sources to clear — and
+// the fault injector re-rolls per attempt, so transient faults do. A round
+// that exhausts its budget degrades: the verified payloads are counted,
+// the rest are discarded, and the rank's outcome is flagged incomplete.
+type exchanger struct {
+	c       *mpisim.Comm
+	inj     *fault.Injector
+	retries int
+	out     *rankOutcome
+}
+
+// announce runs the count exchange (MPI_Alltoall of Alg. 1) and returns the
+// per-source expected item counts.
+func (e *exchanger) announce(counts []int) ([]int, error) {
+	return e.c.Alltoall(counts)
+}
+
+// exchangeWords ships k-mer mode word payloads; expect is the per-source
+// item announcement from announce. It returns the per-source verified
+// payloads (nil for a source whose payload was lost past the retry budget).
+func (e *exchanger) exchangeWords(round int, send [][]uint64, expect []int) ([][]uint64, error) {
+	rank := e.c.Rank()
+	parts := make([][]uint64, len(send))
+	ok := make([]bool, len(send))
+	for attempt := 0; ; attempt++ {
+		framed := make([][]uint64, len(send))
+		for d, part := range send {
+			if e.inj.Drop(rank, round, attempt, d) {
+				continue // destination receives nil: a dropped payload
+			}
+			framed[d], _ = e.inj.CorruptWords(rank, round, attempt, d, kernels.FrameWords(part))
+		}
+		recv, err := e.c.AlltoallvUint64(framed)
+		if err != nil {
+			return nil, err
+		}
+		var bad uint64
+		for i, f := range recv {
+			if ok[i] {
+				continue // verified on an earlier attempt
+			}
+			payload, ferr := kernels.UnframeWords(f)
+			if ferr != nil || len(payload) != expect[i] {
+				bad++
+				continue
+			}
+			parts[i], ok[i] = payload, true
+		}
+		done, err := e.settle(round, attempt, bad)
+		if err != nil {
+			return nil, err
+		}
+		if !done {
+			continue
+		}
+		var lost uint64
+		for i := range parts {
+			if !ok[i] {
+				lost += uint64(expect[i])
+			}
+		}
+		e.degrade(lost, bad)
+		return parts, nil
+	}
+}
+
+// exchangeWire ships supermer-mode wire payloads; expect is the per-source
+// supermer announcement. Beyond the frame checksum, each accepted payload's
+// images are structurally verified (length bytes in range) before release.
+func (e *exchanger) exchangeWire(round int, wire kernels.SupermerWire, send [][]byte, expect []int) ([][]byte, error) {
+	rank := e.c.Rank()
+	parts := make([][]byte, len(send))
+	ok := make([]bool, len(send))
+	for attempt := 0; ; attempt++ {
+		framed := make([][]byte, len(send))
+		for d, part := range send {
+			if e.inj.Drop(rank, round, attempt, d) {
+				continue
+			}
+			framed[d], _ = e.inj.CorruptBytes(rank, round, attempt, d, kernels.FrameBytes(part, len(part)/wire.Stride()))
+		}
+		recv, err := e.c.AlltoallvBytes(framed)
+		if err != nil {
+			return nil, err
+		}
+		var bad uint64
+		for i, f := range recv {
+			if ok[i] {
+				continue // verified on an earlier attempt
+			}
+			payload, items, ferr := kernels.UnframeBytes(f)
+			if ferr != nil || items != expect[i] {
+				bad++
+				continue
+			}
+			if n, verr := wire.VerifyImages(payload); verr != nil || n != expect[i] {
+				bad++
+				continue
+			}
+			parts[i], ok[i] = payload, true
+		}
+		done, err := e.settle(round, attempt, bad)
+		if err != nil {
+			return nil, err
+		}
+		if !done {
+			continue
+		}
+		var lost uint64
+		for i := range parts {
+			if !ok[i] {
+				lost += uint64(expect[i])
+			}
+		}
+		e.degrade(lost, bad)
+		return parts, nil
+	}
+}
+
+// settle agrees world-wide on this attempt's outcome: done=true means the
+// caller must release the (possibly degraded) payloads; done=false means
+// every rank retries. The AllreduceSum keeps the decision collective —
+// ranks never diverge on whether a retry happens.
+func (e *exchanger) settle(round, attempt int, bad uint64) (done bool, err error) {
+	rank := e.c.Rank()
+	e.inj.RecordBadFrames(rank, bad)
+	totalBad, err := e.c.AllreduceSum(bad)
+	if err != nil {
+		return false, err
+	}
+	if totalBad == 0 {
+		return true, nil
+	}
+	if attempt < e.retries {
+		e.inj.RecordRetry(rank)
+		return false, nil
+	}
+	return true, nil // budget exhausted: degrade
+}
+
+// degrade flags the rank outcome when payloads were lost for good.
+func (e *exchanger) degrade(lost, bad uint64) {
+	if bad == 0 {
+		return
+	}
+	e.out.incomplete = true
+	e.inj.RecordDiscarded(e.c.Rank(), lost)
+}
+
+// killOrStall applies the injector's round-start faults for this rank: a
+// straggler stall (recoverable — peers wait, or trip the deadline when one
+// is configured) or a kill (the rank abandons the computation, poisoning
+// the world for its peers).
+func killOrStall(inj *fault.Injector, c *mpisim.Comm, round int) error {
+	if d := inj.Delay(c.Rank(), round); d > 0 {
+		time.Sleep(d)
+	}
+	if inj.Kill(c.Rank(), round) {
+		return fmt.Errorf("pipeline: rank %d at round %d: %w", c.Rank(), round, fault.ErrKilled)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dedukt/internal/cluster"
+	"dedukt/internal/fault"
+	"dedukt/internal/mpisim"
+)
+
+// faultEngines returns small per-engine layouts for the fault matrix.
+func faultEngines() map[string]cluster.Layout {
+	cpu := cluster.SummitCPU(1)
+	cpu.RanksPerNode = 6
+	cpu.Net.RanksPerNode = 6
+	return map[string]cluster.Layout{
+		"gpu": smallGPULayout(1),
+		"cpu": cpu,
+	}
+}
+
+// sameCounts asserts two results agree on everything the oracle checks.
+func sameCounts(t *testing.T, want, got *Result) {
+	t.Helper()
+	if got.TotalKmers != want.TotalKmers || got.DistinctKmers != want.DistinctKmers {
+		t.Fatalf("counts differ under faults: %d/%d vs clean %d/%d",
+			got.TotalKmers, got.DistinctKmers, want.TotalKmers, want.DistinctKmers)
+	}
+	for f, c := range want.Histogram.Counts {
+		if got.Histogram.Counts[f] != c {
+			t.Fatalf("histogram class %d differs: %d vs %d", f, got.Histogram.Counts[f], c)
+		}
+	}
+	if len(got.TopKmers) != len(want.TopKmers) {
+		t.Fatalf("top-k length differs: %d vs %d", len(got.TopKmers), len(want.TopKmers))
+	}
+	for i := range want.TopKmers {
+		if got.TopKmers[i] != want.TopKmers[i] {
+			t.Fatalf("top-k entry %d differs: %+v vs %+v", i, got.TopKmers[i], want.TopKmers[i])
+		}
+	}
+}
+
+// TestFaultRecoveryViaRetry is the headline robustness property: with drop
+// and corruption faults firing at seed-deterministic rates, the retry loop
+// recovers a byte-identical result — Retries > 0 proves faults actually
+// fired and were absorbed, Incomplete stays false.
+func TestFaultRecoveryViaRetry(t *testing.T) {
+	reads := testReads(t, 10_000, 4)
+	for engName, layout := range faultEngines() {
+		for _, mode := range []Mode{KmerMode, SupermerMode} {
+			t.Run(engName+"/"+mode.String(), func(t *testing.T) {
+				base := Default(layout, mode)
+				base.RoundBases = 4_000 // several rounds: more fault opportunities
+				clean, err := Run(base, reads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := base
+				cfg.Fault = fault.Config{Seed: 1, Drop: 0.05, Corrupt: 0.05}
+				cfg.MaxRetries = 8
+				res, err := Run(cfg, reads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Incomplete {
+					t.Fatal("run degraded despite ample retry budget")
+				}
+				tf := res.TotalFaults()
+				if tf.Dropped+tf.Corrupted == 0 {
+					t.Fatal("no faults fired; the test exercised nothing")
+				}
+				if tf.Retries == 0 {
+					t.Fatal("faults fired but no retries recorded")
+				}
+				if tf.BadFrames == 0 {
+					t.Fatal("faults fired but no bad frames observed")
+				}
+				sameCounts(t, clean, res)
+				checkAgainstOracle(t, cfg, reads, res)
+			})
+		}
+	}
+}
+
+// TestFaultDegradesPastRetryBudget: with retries disabled and persistent
+// drops, the run must neither deadlock nor panic — it returns a partial
+// result flagged Incomplete, with the damage itemized in Faults.
+func TestFaultDegradesPastRetryBudget(t *testing.T) {
+	reads := testReads(t, 10_000, 4)
+	for engName, layout := range faultEngines() {
+		for _, mode := range []Mode{KmerMode, SupermerMode} {
+			t.Run(engName+"/"+mode.String(), func(t *testing.T) {
+				base := Default(layout, mode)
+				clean, err := Run(base, reads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := base
+				cfg.Fault = fault.Config{Seed: 2, Drop: 0.5}
+				cfg.MaxRetries = -1 // no retries: every drop is final
+				res, err := Run(cfg, reads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Incomplete {
+					t.Fatal("half the payloads dropped with no retries, yet Incomplete is false")
+				}
+				tf := res.TotalFaults()
+				if tf.Dropped == 0 || tf.BadFrames == 0 {
+					t.Fatalf("degraded run recorded no damage: %+v", tf)
+				}
+				if tf.Discarded == 0 {
+					t.Fatal("payloads were lost but no discarded items recorded")
+				}
+				if res.TotalKmers >= clean.TotalKmers {
+					t.Fatalf("degraded run counted %d k-mers, clean run %d", res.TotalKmers, clean.TotalKmers)
+				}
+				if res.Histogram.Total() != res.TotalKmers {
+					t.Fatal("degraded result is internally inconsistent")
+				}
+			})
+		}
+	}
+}
+
+// TestFaultKillReturnsStructuredError: a killed rank must surface as a
+// structured error — the victim's fault.ErrKilled plus the peers'
+// mpisim.ErrPeerDead — never a hang or panic.
+func TestFaultKillReturnsStructuredError(t *testing.T) {
+	reads := testReads(t, 10_000, 4)
+	for engName, layout := range faultEngines() {
+		for _, mode := range []Mode{KmerMode, SupermerMode} {
+			t.Run(engName+"/"+mode.String(), func(t *testing.T) {
+				cfg := Default(layout, mode)
+				cfg.RoundBases = 4_000
+				cfg.Fault = fault.Config{Seed: 3, Kill: 0.3}
+				res, err := Run(cfg, reads)
+				if err == nil {
+					t.Fatalf("kill probability 0.3 over %d ranks fired nothing", layout.Ranks())
+				}
+				if res != nil {
+					t.Fatal("failed run returned a result")
+				}
+				if !errors.Is(err, fault.ErrKilled) {
+					t.Fatalf("error does not wrap fault.ErrKilled: %v", err)
+				}
+				if !errors.Is(err, mpisim.ErrPeerDead) {
+					t.Fatalf("surviving peers did not report ErrPeerDead: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultStragglerCompletes: a straggler stall is a performance fault, not
+// a correctness fault — without a deadline the peers wait it out and the
+// result is identical.
+func TestFaultStragglerCompletes(t *testing.T) {
+	reads := testReads(t, 10_000, 4)
+	layout := smallGPULayout(1)
+	for _, mode := range []Mode{KmerMode, SupermerMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			base := Default(layout, mode)
+			base.RoundBases = 4_000
+			clean, err := Run(base, reads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := base
+			cfg.Fault = fault.Config{Seed: 4, Delay: 0.4, DelayFor: time.Millisecond}
+			res, err := Run(cfg, reads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Incomplete {
+				t.Fatal("straggler stalls must not degrade the result")
+			}
+			if res.TotalFaults().Delayed == 0 {
+				t.Fatal("no straggler stalls fired")
+			}
+			sameCounts(t, clean, res)
+		})
+	}
+}
+
+// TestFaultStragglerTripsDeadline: with an ExchangeDeadline shorter than the
+// stall, the waiting peers abandon the collective with ErrDeadline instead
+// of waiting forever.
+func TestFaultStragglerTripsDeadline(t *testing.T) {
+	reads := testReads(t, 10_000, 4)
+	cfg := Default(smallGPULayout(1), SupermerMode)
+	cfg.Fault = fault.Config{Seed: 4, Delay: 0.4, DelayFor: 300 * time.Millisecond}
+	cfg.ExchangeDeadline = 25 * time.Millisecond
+	_, err := Run(cfg, reads)
+	if err == nil {
+		t.Fatal("stall 12x the deadline did not trip it")
+	}
+	if !errors.Is(err, mpisim.ErrDeadline) {
+		t.Fatalf("error does not wrap mpisim.ErrDeadline: %v", err)
+	}
+}
+
+// TestFaultScheduleDeterministic: the same seed replays the same faults and
+// the same recovery, down to the per-rank tallies.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	reads := testReads(t, 10_000, 4)
+	cfg := Default(smallGPULayout(1), SupermerMode)
+	cfg.RoundBases = 4_000
+	cfg.Fault = fault.Config{Seed: 1, Drop: 0.05, Corrupt: 0.05}
+	cfg.MaxRetries = 8
+	a, err := Run(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCounts(t, a, b)
+	for r := range a.Faults {
+		if a.Faults[r] != b.Faults[r] {
+			t.Fatalf("rank %d fault tally differs across identical runs: %+v vs %+v",
+				r, a.Faults[r], b.Faults[r])
+		}
+	}
+}

@@ -32,8 +32,9 @@ func chunkReads(reads []fastq.Record, maxBases int) [][]fastq.Record {
 // globalRounds agrees on a common round count: collectives are matched
 // across ranks, so every rank participates in the maximum number of rounds
 // (with empty sends once its own data is exhausted).
-func globalRounds(c *mpisim.Comm, localChunks int) int {
-	return int(c.AllreduceMax(uint64(localChunks)))
+func globalRounds(c *mpisim.Comm, localChunks int) (int, error) {
+	n, err := c.AllreduceMax(uint64(localChunks))
+	return int(n), err
 }
 
 // chunkFor returns the r-th chunk, or an empty read set when this rank has
@@ -50,10 +51,10 @@ func chunkFor(chunks [][]fastq.Record, r int) []fastq.Record {
 // rehashed into one sized for the new total. This models the device-side
 // rehash a fixed-memory GPU table needs between rounds; its cost is
 // dominated by the counting kernels and is not separately charged.
-func ensureCapacity(table *kcount.AtomicTable, incoming int, load float64, prob kcount.Probing) *kcount.AtomicTable {
+func ensureCapacity(table *kcount.AtomicTable, incoming int, load float64, prob kcount.Probing) (*kcount.AtomicTable, error) {
 	needed := table.Len() + incoming
 	if float64(needed) <= load*float64(table.Cap()) {
-		return table
+		return table, nil
 	}
 	bigger := kcount.NewAtomicTable(needed, load, prob)
 	var rehashErr error
@@ -66,7 +67,9 @@ func ensureCapacity(table *kcount.AtomicTable, incoming int, load float64, prob 
 		}
 	})
 	if rehashErr != nil {
-		panic(rehashErr) // sized for needed items; cannot fill
+		// Sized for needed items, so this cannot fill in practice; surface
+		// it as a rank error rather than a panic regardless.
+		return nil, rehashErr
 	}
-	return bigger
+	return bigger, nil
 }

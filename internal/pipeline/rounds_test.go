@@ -46,7 +46,10 @@ func TestEnsureCapacity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	grown := ensureCapacity(table, 1000, 0.5, kcount.Linear)
+	grown, err := ensureCapacity(table, 1000, 0.5, kcount.Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if grown.Cap() <= table.Cap() {
 		t.Fatalf("table did not grow: %d -> %d", table.Cap(), grown.Cap())
 	}
@@ -56,7 +59,10 @@ func TestEnsureCapacity(t *testing.T) {
 		}
 	}
 	// No growth needed: same table returned.
-	same := ensureCapacity(grown, 1, 0.5, kcount.Linear)
+	same, err := ensureCapacity(grown, 1, 0.5, kcount.Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if same != grown {
 		t.Fatal("unneeded growth")
 	}

@@ -7,6 +7,7 @@ import (
 
 	"dedukt/internal/dna"
 	"dedukt/internal/fastq"
+	"dedukt/internal/fault"
 	"dedukt/internal/gpusim"
 	"dedukt/internal/kcount"
 	"dedukt/internal/kernels"
@@ -29,11 +30,19 @@ type rankOutcome struct {
 	parseSt      gpusim.KernelStats
 	countSt      gpusim.KernelStats
 	rounds       int
+	incomplete   bool // a round degraded past its retry budget
 }
 
 // Run executes the configured pipeline over the reads and returns the
 // global result. The reads are partitioned across ranks by balanced base
 // count (the paper's parallel-I/O assumption, §IV-D).
+//
+// Failures are structured, never a panic or deadlock: a rank death
+// (injected or real) poisons the communicator and surfaces as an error
+// joining every rank's failure (see mpisim.Run); a corrupted or dropped
+// exchange is retried up to Config.MaxRetries times and, past that budget,
+// degrades the run to a partial result with Result.Incomplete set and the
+// per-rank damage in Result.Faults.
 func Run(cfg Config, reads []fastq.Record) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -46,22 +55,27 @@ func Run(cfg Config, reads []fastq.Record) (*Result, error) {
 		destMap = buildBalancedMap(cfg, reads)
 	}
 	p := cfg.Layout.Ranks()
+	inj, err := fault.New(cfg.Fault, p)
+	if err != nil {
+		return nil, err
+	}
 	parts := fastq.Partition(reads, p)
 	outcomes := make([]rankOutcome, p)
 
 	start := time.Now()
-	trace, err := mpisim.Run(p, func(c *mpisim.Comm) {
+	trace, err := mpisim.RunWithOptions(p, mpisim.Options{Deadline: cfg.ExchangeDeadline}, func(c *mpisim.Comm) error {
 		if cfg.Layout.GPU != nil {
-			runGPURank(cfg, destMap, c, parts[c.Rank()], &outcomes[c.Rank()])
-		} else {
-			runCPURank(cfg, destMap, c, parts[c.Rank()], &outcomes[c.Rank()])
+			return runGPURank(cfg, destMap, inj, c, parts[c.Rank()], &outcomes[c.Rank()])
 		}
+		return runCPURank(cfg, destMap, inj, c, parts[c.Rank()], &outcomes[c.Rank()])
 	})
 	wall := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
-	return aggregate(cfg, trace, outcomes, wall), nil
+	res := aggregate(cfg, trace, outcomes, wall)
+	res.Faults = inj.Snapshot()
+	return res, nil
 }
 
 // buildBuffer stages a rank's reads into the concatenated,
@@ -74,16 +88,23 @@ func buildBuffer(reads []fastq.Record) *dna.SeqBuffer {
 	return &b
 }
 
-func runGPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) {
+func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) error {
 	dev := gpusim.MustDevice(*cfg.Layout.GPU)
 	chunks := chunkReads(reads, cfg.RoundBases)
-	rounds := globalRounds(c, len(chunks))
+	rounds, err := globalRounds(c, len(chunks))
+	if err != nil {
+		return err
+	}
 	out.rounds = rounds
 
 	table := kcount.NewAtomicTable(1, cfg.tableLoad(), cfg.Probing)
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
+	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out}
 
 	for r := 0; r < rounds; r++ {
+		if err := killOrStall(inj, c, r); err != nil {
+			return err
+		}
 		buf := buildBuffer(chunkFor(chunks, r))
 		data := buf.Data()
 
@@ -106,14 +127,15 @@ func runGPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 			}, data)
 		}
 		if err != nil {
-			panic(err)
+			return err
 		}
 		out.parse += h2dIn + dev.Config().KernelTime(&parseSt)
 		out.parseOps += parseSt.ComputeOps
 		out.parseSt.Add(parseSt)
 
-		// Exchange: counts via Alltoall, payload via Alltoallv, with host
-		// staging (D2H out, H2D in) unless GPUDirect.
+		// Exchange: counts via Alltoall, checksummed payload frames via
+		// Alltoallv with round-level retry, and host staging (D2H out,
+		// H2D in) unless GPUDirect.
 		counts := make([]int, c.Size())
 		var bytesOut uint64
 		if cfg.Mode == KmerMode {
@@ -130,19 +152,28 @@ func runGPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 			}
 		}
 		out.payloadSent += bytesOut
-		c.Alltoall(counts)
+		expect, err := ex.announce(counts)
+		if err != nil {
+			return err
+		}
 
 		var recvWords []uint64
 		var recvWire []byte
 		var bytesIn uint64
 		if cfg.Mode == KmerMode {
-			recv := c.AlltoallvUint64(sendWords)
+			recv, err := ex.exchangeWords(r, sendWords, expect)
+			if err != nil {
+				return err
+			}
 			for _, part := range recv {
 				bytesIn += 8 * uint64(len(part))
 			}
 			recvWords = flattenWords(recv)
 		} else {
-			recv := c.AlltoallvBytes(sendWire)
+			recv, err := ex.exchangeWire(r, wire, sendWire, expect)
+			if err != nil {
+				return err
+			}
 			for _, part := range recv {
 				bytesIn += uint64(len(part))
 			}
@@ -156,15 +187,21 @@ func runGPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 		// partition, growing it between rounds when needed.
 		var countSt gpusim.KernelStats
 		if cfg.Mode == KmerMode {
-			table = ensureCapacity(table, len(recvWords), cfg.tableLoad(), cfg.Probing)
+			table, err = ensureCapacity(table, len(recvWords), cfg.tableLoad(), cfg.Probing)
+			if err != nil {
+				return err
+			}
 			countSt, err = kernels.CountKmers(dev, table, recvWords)
 		} else {
 			n := len(recvWire) / wire.Stride()
-			table = ensureCapacity(table, n*cfg.Window, cfg.tableLoad(), cfg.Probing)
+			table, err = ensureCapacity(table, n*cfg.Window, cfg.tableLoad(), cfg.Probing)
+			if err != nil {
+				return err
+			}
 			countSt, err = kernels.CountSupermers(dev, table, wire, recvWire)
 		}
 		if err != nil {
-			panic(err)
+			return err
 		}
 		out.count += dev.Config().KernelTime(&countSt)
 		out.countOps += countSt.ComputeOps
@@ -179,6 +216,7 @@ func runGPURank(cfg Config, destMap []uint16, c *mpisim.Comm, reads []fastq.Reco
 	if cfg.KeepTables {
 		out.table = snap
 	}
+	return nil
 }
 
 // topKPerRank bounds the per-rank contribution to the global top-k merge.
@@ -236,6 +274,9 @@ func aggregate(cfg Config, trace []mpisim.TraceEntry, outcomes []rankOutcome, wa
 		}
 		if o.rounds > res.Rounds {
 			res.Rounds = o.rounds
+		}
+		if o.incomplete {
+			res.Incomplete = true
 		}
 		res.ItemsExchanged += o.itemsSent
 		res.PayloadBytes += o.payloadSent
