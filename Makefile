@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-seeds bench experiments examples lint ci clean
+.PHONY: all build test race fuzz fuzz-seeds bench bench-serve serve-smoke experiments examples lint ci clean
 
 all: build test
 
 # The full gate CI runs: build, formatting/vet lint, race-enabled tests,
-# and every fuzz target over its seed corpus.
-ci: build lint race fuzz-seeds
+# every fuzz target over its seed corpus, and the serving-layer smoke test.
+ci: build lint race fuzz-seeds serve-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,17 @@ fuzz-seeds:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serving-layer benchmarks (internal/kserve), emitted as BENCH_serve.json
+# so successive PRs have a perf trajectory to compare against.
+bench-serve:
+	$(GO) test -run xxx -bench BenchmarkKserve -benchmem ./internal/kserve/ | tee /dev/stderr | $(GO) run ./scripts/bench2json > BENCH_serve.json
+
+# End-to-end smoke test of the query service: count a tiny synthetic
+# dataset, serve the KCD with cmd/kserve, curl /kmer, /batch and /metrics,
+# and assert the responses.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -28,6 +28,7 @@ import (
 	"dedukt/internal/fault"
 	"dedukt/internal/genome"
 	"dedukt/internal/kcount"
+	"dedukt/internal/kserve"
 	"dedukt/internal/minimizer"
 	"dedukt/internal/pipeline"
 	"dedukt/internal/stats"
@@ -56,6 +57,7 @@ func main() {
 		trimQ     = flag.Int("trimq", 0, "quality-trim read ends below this phred score before counting (0 = off)")
 		gpuStats  = flag.Bool("gpustats", false, "print GPU kernel efficiency metrics (GPU engine only)")
 		outKCD    = flag.String("okcd", "", "write the counted k-mers to this KCD database (see cmd/kmertools)")
+		serve     = flag.String("serve", "", "after counting, serve the spectrum over HTTP on this address (see cmd/kserve; blocks until SIGINT)")
 
 		faultSeed     = flag.Uint64("fault-seed", 0, "fault schedule seed (same seed replays the same faults)")
 		faultKill     = flag.Float64("fault-kill", 0, "per-(rank,round) probability a rank dies at round start")
@@ -108,7 +110,7 @@ func main() {
 		Ord:        ord,
 		Canonical:  *canonical,
 		GPUDirect:  *gpudirect,
-		KeepTables: *outKCD != "",
+		KeepTables: *outKCD != "" || *serve != "",
 		Fault: fault.Config{
 			Seed:     *faultSeed,
 			Kill:     *faultKill,
@@ -149,6 +151,31 @@ func main() {
 		}
 		log.Printf("wrote %s", *outKCD)
 	}
+	if *serve != "" {
+		if err := serveResult(*serve, cfg, res); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// serveResult is the count→serve handoff: the freshly counted spectrum is
+// handed to the kserve layer without touching disk and served until
+// SIGINT/SIGTERM.
+func serveResult(addr string, cfg pipeline.Config, res *pipeline.Result) error {
+	merged := res.MergedTable()
+	if merged == nil {
+		return fmt.Errorf("serve: no tables retained")
+	}
+	var flags uint32
+	if cfg.Canonical {
+		flags |= kcount.FlagCanonical
+	}
+	svc, err := kserve.New(kcount.FromTable(merged, cfg.K, flags), kserve.Options{Enc: cfg.Enc})
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %s distinct %d-mers", stats.Count(svc.Distinct()), svc.K())
+	return kserve.ServeUntilInterrupt(addr, svc, log.Printf)
 }
 
 // writeKCD merges the per-rank tables and saves a KCD database.

@@ -6,11 +6,13 @@
 //	kmertools info -db db.kcd
 //	kmertools histo -db db.kcd
 //	kmertools dump -db db.kcd [-n 20]
+//	kmertools lookup -db db.kcd ACGTACGTACGTACGTA ...   (or k-mers on stdin)
 //	kmertools intersect|union|subtract -a x.kcd -b y.kcd -o out.kcd
 //	kmertools filter -db db.kcd -min 3 -max 1000 -o out.kcd
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +43,8 @@ func main() {
 		err = runHisto(args)
 	case "dump":
 		err = runDump(args)
+	case "lookup":
+		err = runLookup(args)
 	case "intersect", "union", "subtract":
 		err = runSetOp(cmd, args)
 	case "filter":
@@ -54,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kmertools <count|info|histo|dump|intersect|union|subtract|filter> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: kmertools <count|info|histo|dump|lookup|intersect|union|subtract|filter> [flags]")
 	os.Exit(2)
 }
 
@@ -186,6 +190,51 @@ func runDump(args []string) error {
 		fmt.Printf("%s\t%d\n", dna.Kmer(e.Key).String(&dna.Random, d.K), e.Count)
 	}
 	return nil
+}
+
+// runLookup resolves ASCII k-mers against a KCD from the command line —
+// the batch twin of kserve's GET /kmer/{seq}, sharing the same
+// kcount.ParseQuery path (length check, packing, canonical folding).
+// K-mers come from the argument list, or from stdin (whitespace-separated)
+// when no arguments are given.
+func runLookup(args []string) error {
+	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+	db := fs.String("db", "", "KCD path")
+	strict := fs.Bool("strict", false, "fail on the first malformed k-mer instead of reporting and continuing")
+	fs.Parse(args)
+	d, err := loadDB(*db)
+	if err != nil {
+		return err
+	}
+	lookupOne := func(seq string) error {
+		key, err := kcount.ParseQuery(&dna.Random, d.K, d.Canonical(), seq)
+		if err != nil {
+			if *strict {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "kmertools: %v\n", err)
+			fmt.Printf("%s\tERR\n", seq)
+			return nil
+		}
+		fmt.Printf("%s\t%d\n", seq, d.Get(key))
+		return nil
+	}
+	if fs.NArg() > 0 {
+		for _, seq := range fs.Args() {
+			if err := lookupOne(seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		if err := lookupOne(sc.Text()); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }
 
 func runSetOp(op string, args []string) error {

@@ -1,0 +1,95 @@
+// Command kserve serves counted k-mer spectra (KCD databases, see
+// cmd/kmertools and dedukt -okcd) over HTTP: sharded by the pipeline's
+// exchange owner hash, with micro-batched shard workers, a hot-k-mer LRU,
+// and queue-depth admission control.
+//
+//	dedukt -okcd counts.kcd && kserve -kcd counts.kcd -addr :8080
+//	kserve -kcd a.kcd -kcd b.kcd      # union of compatible databases
+//
+//	curl localhost:8080/kmer/ACGTACGTACGTACGTA
+//	curl -X POST localhost:8080/batch -d '{"kmers":["ACGTACGTACGTACGTA"]}'
+//	curl localhost:8080/histogram
+//	curl localhost:8080/topn?n=10
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: in-flight requests finish, queued
+// lookups are answered, then the process exits.
+package main
+
+import (
+	"flag"
+	"log"
+	"strings"
+	"time"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kserve"
+	"dedukt/internal/stats"
+)
+
+// pathList collects repeated -kcd flags.
+type pathList []string
+
+func (p *pathList) String() string     { return strings.Join(*p, ",") }
+func (p *pathList) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kserve: ")
+	var kcds pathList
+	flag.Var(&kcds, "kcd", "KCD database to serve (repeatable; multiple files are unioned)")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		shards   = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 64, "max lookups per shard micro-batch")
+		maxWait  = flag.Duration("max-wait", 200*time.Microsecond, "max time a shard holds an open micro-batch (negative = serve immediately)")
+		queue    = flag.Int("queue", 1024, "per-shard queue depth before 429s")
+		cache    = flag.Int("cache", 4096, "hot-k-mer LRU size in entries (negative disables)")
+		topN     = flag.Int("topn", 64, "top-N horizon precomputed for /topn")
+		encoding = flag.String("encoding", "random", "base encoding the KCD was packed under: random (CLI default) or lex")
+	)
+	flag.Parse()
+	kcds = append(kcds, flag.Args()...)
+	if len(kcds) == 0 {
+		log.Fatal("at least one -kcd database is required")
+	}
+
+	enc := &dna.Random
+	switch *encoding {
+	case "random":
+	case "lex":
+		enc = &dna.Lexicographic
+	default:
+		log.Fatalf("unknown encoding %q", *encoding)
+	}
+
+	db, err := kserve.LoadDatabases(kcds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := kserve.New(db, kserve.Options{
+		Shards:     *shards,
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		TopN:       *topN,
+		Enc:        enc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s distinct %d-mers (%s) from %d file(s) across %d shards",
+		stats.Count(svc.Distinct()), svc.K(), canonicalLabel(svc.Canonical()),
+		len(kcds), svc.Metrics().Shards)
+	if err := kserve.ServeUntilInterrupt(*addr, svc, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func canonicalLabel(c bool) string {
+	if c {
+		return "canonical"
+	}
+	return "as counted"
+}

@@ -3,11 +3,34 @@ package kcount
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"sort"
 )
+
+// Sentinel errors for the two corruption classes a reader must distinguish:
+// a short file (interrupted download, partial write) versus a full-length
+// file whose bytes are wrong. Both are wrapped with positional context;
+// test with errors.Is.
+var (
+	// ErrTruncated marks a KCD stream that ended before the declared
+	// structure was complete (short magic, header, entry, or checksum).
+	ErrTruncated = errors.New("truncated database")
+	// ErrChecksum marks a structurally complete KCD whose trailing CRC32
+	// does not match the stream contents.
+	ErrChecksum = errors.New("checksum mismatch")
+)
+
+// eofAs maps the io.ReadFull end-of-input errors onto sentinel, keeping any
+// other I/O error (permission, device) intact.
+func eofAs(err, sentinel error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return sentinel
+	}
+	return err
+}
 
 // The KCD (k-mer count database) on-disk format stores a counted table
 // sorted by packed key — the library's equivalent of a KMC database
@@ -160,7 +183,7 @@ func readKCD(r io.Reader, fn func(key uint64, count uint32) error) (*Database, e
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("kcount: reading magic: %w", err)
+		return nil, fmt.Errorf("kcount: reading magic: %w", eofAs(err, ErrTruncated))
 	}
 	if string(magic) != kcdMagic {
 		return nil, fmt.Errorf("kcount: bad magic %q", magic)
@@ -168,7 +191,7 @@ func readKCD(r io.Reader, fn func(key uint64, count uint32) error) (*Database, e
 	crc := uint32(0)
 	readFull := func(buf []byte) error {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return err
+			return eofAs(err, ErrTruncated)
 		}
 		crc = crc32.Update(crc, crc32.IEEETable, buf)
 		return nil
@@ -220,10 +243,10 @@ func readKCD(r io.Reader, fn func(key uint64, count uint32) error) (*Database, e
 	}
 	var tail [4]byte
 	if _, err := io.ReadFull(br, tail[:]); err != nil {
-		return nil, fmt.Errorf("kcount: reading checksum: %w", err)
+		return nil, fmt.Errorf("kcount: reading checksum: %w", eofAs(err, ErrTruncated))
 	}
 	if got := binary.LittleEndian.Uint32(tail[:]); got != crc {
-		return nil, fmt.Errorf("kcount: checksum mismatch: file %08x, computed %08x", got, crc)
+		return nil, fmt.Errorf("kcount: %w: file %08x, computed %08x", ErrChecksum, got, crc)
 	}
 	return d, nil
 }

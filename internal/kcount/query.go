@@ -1,0 +1,76 @@
+package kcount
+
+import (
+	"fmt"
+
+	"dedukt/internal/dna"
+)
+
+// ParseQuery converts an ASCII k-mer into the packed key under which a
+// database with the given parameters stores it: the sequence is 2-bit
+// packed under e and, for canonical databases, folded to the canonical
+// strand. The sequence length must equal k — a query of the wrong length
+// can never hit, so it is an error rather than a silent zero.
+//
+// This is the single ASCII→key path shared by the kserve service and the
+// kmertools lookup subcommand, so CLI and HTTP queries agree byte-for-byte.
+func ParseQuery(e *dna.Encoding, k int, canonical bool, seq string) (uint64, error) {
+	if len(seq) != k {
+		return 0, fmt.Errorf("kcount: query length %d, database k=%d", len(seq), k)
+	}
+	w, err := dna.KmerFromString(e, seq)
+	if err != nil {
+		return 0, err
+	}
+	if canonical {
+		w = w.Canonical(e, k)
+	}
+	return uint64(w), nil
+}
+
+// Lookup resolves an ASCII k-mer against the database under encoding e,
+// honoring the database's canonical flag. Absent k-mers return count 0.
+func (d *Database) Lookup(e *dna.Encoding, seq string) (uint32, error) {
+	key, err := ParseQuery(e, d.K, d.Canonical(), seq)
+	if err != nil {
+		return 0, err
+	}
+	return d.Get(key), nil
+}
+
+// GetBatch resolves a batch of packed keys, appending one count per key
+// (0 for absent keys) to dst and returning it.
+func (d *Database) GetBatch(dst []uint32, keys []uint64) []uint32 {
+	for _, key := range keys {
+		dst = append(dst, d.Get(key))
+	}
+	return dst
+}
+
+// Split partitions the database into n shards by destOf(key) — typically
+// kernels.DestOf, the exchange phase's owner-rank hash, so a serving shard
+// owns exactly the keys the corresponding rank would have counted. Entry
+// order (ascending by key) is preserved within each shard; entries are
+// subslices-by-copy so shards stay valid if d is released.
+func (d *Database) Split(n int, destOf func(key uint64) int) ([]*Database, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("kcount: split into %d shards", n)
+	}
+	shards := make([]*Database, n)
+	sizes := make([]int, n)
+	for _, e := range d.Entries {
+		dest := destOf(e.Key)
+		if dest < 0 || dest >= n {
+			return nil, fmt.Errorf("kcount: destOf(%#x) = %d outside [0,%d)", e.Key, dest, n)
+		}
+		sizes[dest]++
+	}
+	for i := range shards {
+		shards[i] = &Database{K: d.K, Flags: d.Flags, Entries: make([]KV, 0, sizes[i])}
+	}
+	for _, e := range d.Entries {
+		s := shards[destOf(e.Key)]
+		s.Entries = append(s.Entries, e)
+	}
+	return shards, nil
+}

@@ -1,0 +1,92 @@
+package kserve
+
+import (
+	"context"
+	"time"
+)
+
+// call is one in-flight key resolution — a future completed exactly once
+// by the owning shard worker (or immediately, for cache hits and admission
+// failures). Multiple waiters may share a call via singleflight.
+type call struct {
+	key  uint64
+	val  uint32
+	err  error
+	done chan struct{}
+}
+
+func newCall(key uint64) *call {
+	return &call{key: key, done: make(chan struct{})}
+}
+
+// completedCall wraps an already-known value (cache hit) in the same shape.
+func completedCall(v uint32) *call {
+	c := &call{val: v, done: make(chan struct{})}
+	close(c.done)
+	return c
+}
+
+// complete publishes the result and releases every waiter. Must be called
+// exactly once per non-completed call.
+func (c *call) complete(v uint32, err error) {
+	c.val = v
+	c.err = err
+	close(c.done)
+}
+
+// wait blocks until the call completes or ctx is canceled. A canceled wait
+// abandons the call without canceling it — the shard still completes it
+// for any remaining singleflight waiters.
+func (c *call) wait(ctx context.Context) (uint32, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// collectBatch assembles one micro-batch: it blocks for the first request,
+// then keeps the batch open until it reaches maxBatch keys or maxWait has
+// elapsed — the serving-side analogue of the pipeline's bulk-synchronous
+// rounds, trading a bounded latency for fewer, larger probe passes. A
+// closed queue ends collection early; collectBatch returns (batch, false)
+// once the queue is closed and drained.
+func collectBatch(queue <-chan *call, batch []*call, maxBatch int, maxWait time.Duration) ([]*call, bool) {
+	first, ok := <-queue
+	if !ok {
+		return batch, false
+	}
+	batch = append(batch, first)
+
+	if maxWait <= 0 {
+		// Opportunistic drain: take whatever is already queued, never wait.
+		for len(batch) < maxBatch {
+			select {
+			case c, ok := <-queue:
+				if !ok {
+					return batch, false
+				}
+				batch = append(batch, c)
+			default:
+				return batch, true
+			}
+		}
+		return batch, true
+	}
+
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	for len(batch) < maxBatch {
+		select {
+		case c, ok := <-queue:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, c)
+		case <-timer.C:
+			return batch, true
+		}
+	}
+	return batch, true
+}

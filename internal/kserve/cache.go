@@ -1,0 +1,94 @@
+package kserve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the bounded hot-k-mer cache: packed key → count, evicting
+// least-recently-used. The spectrum is immutable while served, so entries
+// never need invalidation — the bound exists purely to cap memory on
+// heavy-tailed query mixes (the hot head of a read set hits a few thousand
+// k-mers overwhelmingly often).
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[uint64]*list.Element
+}
+
+type lruEntry struct {
+	key uint64
+	val uint32
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[uint64]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key uint64) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(key uint64, val uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key, val})
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup deduplicates concurrent lookups of the same key
+// (singleflight): the first requester becomes the leader and enqueues to
+// the shard; followers share the leader's call. The slot is cleared by the
+// shard worker after the value is published to the cache, so late
+// requesters hit the cache instead of re-flying.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[uint64]*call
+}
+
+// join returns the in-flight call for key, creating one (leader=true) if
+// none exists.
+func (g *flightGroup) join(key uint64) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c := g.m[key]; c != nil {
+		return c, false
+	}
+	c = newCall(key)
+	g.m[key] = c
+	return c, true
+}
+
+// forget clears key's slot (idempotent).
+func (g *flightGroup) forget(key uint64) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+}

@@ -1,0 +1,490 @@
+package kserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kcount"
+)
+
+// sampleDB builds a deterministic database of n-ish distinct k-mers.
+func sampleDB(t testing.TB, k, n int, seed int64, flags uint32) *kcount.Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tab := kcount.NewTable(n, kcount.Linear)
+	mask := uint64(dna.KmerMask(k))
+	for i := 0; i < n*3; i++ {
+		key := rng.Uint64() % (mask + 1)
+		if flags&kcount.FlagCanonical != 0 {
+			key = uint64(dna.Kmer(key).Canonical(&dna.Random, k))
+		}
+		tab.Inc(key)
+	}
+	return kcount.FromTable(tab, k, flags)
+}
+
+func newService(t testing.TB, db *kcount.Database, opts Options) *Service {
+	t.Helper()
+	svc, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func TestServiceLookupMatchesDatabase(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 2_000, 1, 0)
+	// MaxWait -1: sequential lookups would otherwise each pay the full
+	// micro-batch window (~ms of timer granularity × 2000 keys).
+	svc := newService(t, db, Options{Shards: 4, MaxWait: -1})
+	ctx := context.Background()
+
+	for _, e := range db.Entries {
+		got, err := svc.LookupKey(ctx, e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := db.Get(e.Key); got != want {
+			t.Fatalf("LookupKey(%#x) = %d, want %d", e.Key, got, want)
+		}
+	}
+	// ASCII path agrees with the packed path.
+	for _, e := range db.Entries[:50] {
+		seq := dna.Kmer(e.Key).String(&dna.Random, k)
+		got, err := svc.Lookup(ctx, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e.Count {
+			t.Fatalf("Lookup(%q) = %d, want %d", seq, got, e.Count)
+		}
+	}
+	// Absent keys are 0, nil.
+	absent := 0
+	for key := uint64(0); absent < 20; key++ {
+		if db.Get(key) != 0 {
+			continue
+		}
+		absent++
+		if got, err := svc.LookupKey(ctx, key); err != nil || got != 0 {
+			t.Fatalf("absent LookupKey(%#x) = %d, %v", key, got, err)
+		}
+	}
+	// Malformed queries error.
+	for _, bad := range []string{"", "ACGT", strings.Repeat("A", k-1), strings.Repeat("A", k)[:k-1] + "N"} {
+		if _, err := svc.Lookup(ctx, bad); err == nil {
+			t.Errorf("Lookup(%q) accepted", bad)
+		}
+	}
+}
+
+func TestServiceCanonical(t *testing.T) {
+	const k = 9
+	db := sampleDB(t, k, 500, 2, kcount.FlagCanonical)
+	svc := newService(t, db, Options{Shards: 3})
+	ctx := context.Background()
+	if !svc.Canonical() {
+		t.Fatal("canonical flag lost")
+	}
+	e := &dna.Random
+	for _, kv := range db.Entries[:50] {
+		fwd := dna.Kmer(kv.Key).String(e, k)
+		rc := dna.Kmer(kv.Key).ReverseComplement(e, k).String(e, k)
+		a, err := svc.Lookup(ctx, fwd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := svc.Lookup(ctx, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != kv.Count || b != kv.Count {
+			t.Fatalf("strands disagree for %q: fwd %d, rc %d, want %d", fwd, a, b, kv.Count)
+		}
+	}
+}
+
+func TestServiceBatch(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1_000, 3, 0)
+	svc := newService(t, db, Options{Shards: 4})
+	ctx := context.Background()
+
+	var seqs []string
+	var want []uint32
+	for _, e := range db.Entries[:200] {
+		seqs = append(seqs, dna.Kmer(e.Key).String(&dna.Random, k))
+		want = append(want, e.Count)
+	}
+	// Duplicates exercise coalescing; an absent k-mer rides along.
+	seqs = append(seqs, seqs[0], seqs[1])
+	want = append(want, want[0], want[1])
+	got, err := svc.LookupBatch(ctx, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch[%d] (%s) = %d, want %d", i, seqs[i], got[i], want[i])
+		}
+	}
+	// One bad k-mer fails the whole batch.
+	if _, err := svc.LookupBatch(ctx, []string{seqs[0], "NOPE"}); err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+}
+
+// TestServiceBatching pins the micro-batch coalescing path: with the
+// worker held on its first batch, queued requests must be served as one
+// batch of MaxBatch, not eight singletons.
+func TestServiceBatching(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 2_000, 4, 0)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	first := true
+	svc, err := New(db, Options{
+		Shards: 1, MaxBatch: 8, MaxWait: -1, QueueDepth: 64, CacheSize: -1,
+		testHookBeforeServe: func(_, _ int) {
+			if first { // worker-only, no lock needed
+				first = false
+				entered <- struct{}{}
+				<-release
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	c0, err := svc.getAsync(db.Entries[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker is now blocked serving [key0]
+	var calls []*call
+	for _, e := range db.Entries[1:9] {
+		c, err := svc.getAsync(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, c)
+	}
+	close(release)
+	ctx := context.Background()
+	if _, err := c0.wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range calls {
+		v, err := c.wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := db.Entries[i+1].Count; v != want {
+			t.Fatalf("batched call %d = %d, want %d", i, v, want)
+		}
+	}
+	m := svc.Metrics()
+	sh := m.PerShard[0]
+	if sh.Batches != 2 || sh.Served != 9 {
+		t.Fatalf("batches=%d served=%d, want 2 and 9", sh.Batches, sh.Served)
+	}
+	if sh.BatchSizeDist[batchBucket(8)] != 1 {
+		t.Fatalf("missing batch-of-8 in distribution: %v", sh.BatchSizeDist)
+	}
+}
+
+func TestCacheHitsAndSingleflight(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 500, 5, 0)
+	svc := newService(t, db, Options{Shards: 2, CacheSize: 128})
+	ctx := context.Background()
+	key := db.Entries[0].Key
+	for i := 0; i < 10; i++ {
+		if _, err := svc.LookupKey(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := svc.Metrics()
+	if m.CacheHits < 9 {
+		t.Fatalf("cache hits = %d, want ≥9", m.CacheHits)
+	}
+	if m.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %v", m.CacheHitRate)
+	}
+	if m.Requests != 10 {
+		t.Fatalf("requests = %d, want 10", m.Requests)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRU(2)
+	c.add(1, 10)
+	c.add(2, 20)
+	if _, ok := c.get(1); !ok { // refresh 1: now 2 is LRU
+		t.Fatal("key 1 missing")
+	}
+	c.add(3, 30)
+	if _, ok := c.get(2); ok {
+		t.Fatal("key 2 should have been evicted")
+	}
+	if v, ok := c.get(1); !ok || v != 10 {
+		t.Fatalf("key 1 lost: %d %v", v, ok)
+	}
+	if v, ok := c.get(3); !ok || v != 30 {
+		t.Fatalf("key 3 lost: %d %v", v, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	c.add(3, 33) // update in place
+	if v, _ := c.get(3); v != 33 {
+		t.Fatalf("update lost: %d", v)
+	}
+}
+
+func TestBatchBucket(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 64: 6, 65: 7, 128: 7, 129: 8, 100000: 8}
+	for n, want := range cases {
+		if got := batchBucket(n); got != want {
+			t.Errorf("batchBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if len(BatchBucketLabels) != batchBuckets {
+		t.Fatal("label/bucket mismatch")
+	}
+}
+
+func TestServiceClose(t *testing.T) {
+	db := sampleDB(t, 17, 200, 6, 0)
+	svc, err := New(db, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	svc.Close() // idempotent
+	if !svc.Draining() {
+		t.Fatal("Draining() false after Close")
+	}
+	if _, err := svc.LookupKey(context.Background(), db.Entries[0].Key); err != ErrClosed {
+		t.Fatalf("lookup after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1_000, 7, 0)
+	svc := newService(t, db, Options{Shards: 4, TopN: 16})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	get := func(t *testing.T, path string, wantCode int, into any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	t.Run("kmer", func(t *testing.T) {
+		e := db.Entries[0]
+		seq := dna.Kmer(e.Key).String(&dna.Random, k)
+		var res KmerResult
+		get(t, "/kmer/"+seq, http.StatusOK, &res)
+		if res.Count != e.Count || !res.Present || res.Kmer != seq {
+			t.Fatalf("point lookup: %+v, want count %d", res, e.Count)
+		}
+		get(t, "/kmer/AC", http.StatusBadRequest, nil)
+		get(t, "/kmer/"+strings.Repeat("N", k), http.StatusBadRequest, nil)
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		var seqs []string
+		for _, e := range db.Entries[:25] {
+			seqs = append(seqs, dna.Kmer(e.Key).String(&dna.Random, k))
+		}
+		body, _ := json.Marshal(batchRequest{Kmers: seqs})
+		resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /batch = %d", resp.StatusCode)
+		}
+		var br batchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		if len(br.Results) != len(seqs) {
+			t.Fatalf("batch results %d, want %d", len(br.Results), len(seqs))
+		}
+		for i, r := range br.Results {
+			if want := db.Entries[i].Count; r.Count != want {
+				t.Fatalf("batch[%d] = %d, want %d", i, r.Count, want)
+			}
+		}
+		// Malformed body and malformed k-mer are both 400.
+		for _, bad := range []string{"{", `{"kmers":["XYZ"]}`} {
+			resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(bad))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("bad batch %q = %d, want 400", bad, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("histogram", func(t *testing.T) {
+		var hr histogramResponse
+		get(t, "/histogram", http.StatusOK, &hr)
+		want := db.Histogram()
+		if hr.Distinct != want.Distinct() || hr.Total != want.Total() || hr.K != k {
+			t.Fatalf("histogram mismatch: %+v", hr)
+		}
+		for f, c := range want.Counts {
+			if hr.Classes[f] != c {
+				t.Fatalf("class %d = %d, want %d", f, hr.Classes[f], c)
+			}
+		}
+	})
+
+	t.Run("topn", func(t *testing.T) {
+		var tr topNResponse
+		get(t, "/topn?n=5", http.StatusOK, &tr)
+		want := db.Table().TopK(5)
+		if tr.N != 5 || len(tr.Kmers) != 5 {
+			t.Fatalf("topn shape: %+v", tr)
+		}
+		for i, kv := range want {
+			if tr.Kmers[i].Count != kv.Count {
+				t.Fatalf("top[%d] = %d, want %d", i, tr.Kmers[i].Count, kv.Count)
+			}
+			// Counts must agree with a point lookup of the same k-mer.
+			var res KmerResult
+			get(t, "/kmer/"+tr.Kmers[i].Kmer, http.StatusOK, &res)
+			if res.Count != kv.Count {
+				t.Fatalf("top[%d] point lookup = %d, want %d", i, res.Count, kv.Count)
+			}
+		}
+		get(t, "/topn?n=bogus", http.StatusBadRequest, nil)
+	})
+
+	t.Run("healthz", func(t *testing.T) {
+		var h healthResponse
+		get(t, "/healthz", http.StatusOK, &h)
+		if h.Status != "ok" || h.K != k || h.Shards != 4 {
+			t.Fatalf("healthz: %+v", h)
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		var m Metrics
+		get(t, "/metrics", http.StatusOK, &m)
+		if m.Shards != 4 || len(m.PerShard) != 4 {
+			t.Fatalf("metrics shards: %+v", m)
+		}
+		if m.Requests == 0 || m.ShardLoadImbalance < 1 {
+			t.Fatalf("metrics counters: requests=%d imbalance=%v", m.Requests, m.ShardLoadImbalance)
+		}
+		entries := 0
+		for _, sm := range m.PerShard {
+			entries += sm.Entries
+		}
+		if uint64(entries) != m.DistinctKmers {
+			t.Fatalf("shard entries %d, want %d", entries, m.DistinctKmers)
+		}
+	})
+
+	t.Run("draining", func(t *testing.T) {
+		svc.Close()
+		get(t, "/healthz", http.StatusServiceUnavailable, nil)
+		seq := dna.Kmer(db.Entries[0].Key).String(&dna.Random, k)
+		get(t, "/kmer/"+seq, http.StatusServiceUnavailable, nil)
+	})
+}
+
+func TestLookupContextCanceled(t *testing.T) {
+	db := sampleDB(t, 17, 200, 8, 0)
+	svc := newService(t, db, Options{Shards: 1, CacheSize: -1, MaxWait: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.LookupKey(ctx, db.Entries[0].Key); err != context.Canceled {
+		// A raced completion is acceptable; an error other than
+		// context.Canceled or nil is not.
+		if err != nil {
+			t.Fatalf("canceled lookup: %v", err)
+		}
+	}
+}
+
+func TestLoadDatabases(t *testing.T) {
+	dir := t.TempDir()
+	a := sampleDB(t, 17, 300, 9, 0)
+	b := sampleDB(t, 17, 300, 10, 0)
+	write := func(name string, d *kcount.Database) string {
+		path := dir + "/" + name
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFile(path, buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	pa, pb := write("a.kcd", a), write("b.kcd", b)
+
+	merged, err := LoadDatabases([]string{pa, pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := kcount.Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != want.Len() {
+		t.Fatalf("merged %d entries, want %d", merged.Len(), want.Len())
+	}
+	for _, e := range want.Entries {
+		if merged.Get(e.Key) != e.Count {
+			t.Fatalf("merged count for %#x = %d, want %d", e.Key, merged.Get(e.Key), e.Count)
+		}
+	}
+	if _, err := LoadDatabases(nil); err == nil {
+		t.Fatal("empty path list accepted")
+	}
+	if _, err := LoadDatabases([]string{dir + "/missing.kcd"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,140 @@
+package kserve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"dedukt/internal/stats"
+)
+
+// batchBuckets is the number of log2 batch-size histogram classes:
+// 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65–128, >128.
+const batchBuckets = 9
+
+// BatchBucketLabels names the batch-size distribution classes, index-aligned
+// with ShardMetrics.BatchSizeDist.
+var BatchBucketLabels = [batchBuckets]string{
+	"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128", ">128",
+}
+
+// batchBucket maps a batch size (≥1) to its log2 class.
+func batchBucket(n int) int {
+	b := bits.Len(uint(n - 1))
+	if b >= batchBuckets {
+		b = batchBuckets - 1
+	}
+	return b
+}
+
+// serviceMetrics are the service-wide hot-path counters.
+type serviceMetrics struct {
+	start       time.Time
+	requests    atomic.Uint64 // every lookup, including cache hits
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	coalesced   atomic.Uint64 // singleflight followers
+	rejected    atomic.Uint64 // admission-control drops
+}
+
+// shardMetrics are one shard's counters, written only by its worker and
+// the (lock-free) admission path.
+type shardMetrics struct {
+	enqueued  atomic.Uint64
+	served    atomic.Uint64
+	batches   atomic.Uint64
+	rejected  atomic.Uint64
+	batchDist [batchBuckets]atomic.Uint64
+}
+
+// Metrics is a point-in-time snapshot of the service, shaped for JSON
+// (/metrics). ShardLoadImbalance is max/avg of per-shard served requests —
+// the serving-side analogue of the paper's Table III load-imbalance metric,
+// computed with the same stats.Imbalance.
+type Metrics struct {
+	UptimeSec          float64        `json:"uptime_sec"`
+	K                  int            `json:"k"`
+	Canonical          bool           `json:"canonical"`
+	DistinctKmers      uint64         `json:"distinct_kmers"`
+	Shards             int            `json:"shards"`
+	Requests           uint64         `json:"requests"`
+	QPS                float64        `json:"qps"`
+	CacheHits          uint64         `json:"cache_hits"`
+	CacheMisses        uint64         `json:"cache_misses"`
+	CacheHitRate       float64        `json:"cache_hit_rate"`
+	CacheLen           int            `json:"cache_len"`
+	Coalesced          uint64         `json:"coalesced"`
+	Rejected           uint64         `json:"rejected"`
+	ShardLoadImbalance float64        `json:"shard_load_imbalance"`
+	EntryImbalance     float64        `json:"entry_imbalance"`
+	BatchBuckets       []string       `json:"batch_buckets"`
+	PerShard           []ShardMetrics `json:"per_shard"`
+}
+
+// ShardMetrics is one shard's slice of the snapshot.
+type ShardMetrics struct {
+	Shard         int      `json:"shard"`
+	Entries       int      `json:"entries"`
+	Served        uint64   `json:"served"`
+	Batches       uint64   `json:"batches"`
+	MeanBatchSize float64  `json:"mean_batch_size"`
+	Rejected      uint64   `json:"rejected"`
+	QueueDepth    int      `json:"queue_depth"`
+	QueueCap      int      `json:"queue_cap"`
+	BatchSizeDist []uint64 `json:"batch_size_dist"`
+}
+
+// Metrics snapshots the service counters. Counters are read individually
+// with atomic loads; the snapshot is consistent enough for monitoring, not
+// a linearizable cut.
+func (s *Service) Metrics() Metrics {
+	up := time.Since(s.met.start).Seconds()
+	m := Metrics{
+		UptimeSec:     up,
+		K:             s.k,
+		Canonical:     s.canonical,
+		DistinctKmers: s.distinct,
+		Shards:        len(s.shards),
+		Requests:      s.met.requests.Load(),
+		CacheHits:     s.met.cacheHits.Load(),
+		CacheMisses:   s.met.cacheMisses.Load(),
+		Coalesced:     s.met.coalesced.Load(),
+		Rejected:      s.met.rejected.Load(),
+		BatchBuckets:  BatchBucketLabels[:],
+	}
+	if up > 0 {
+		m.QPS = float64(m.Requests) / up
+	}
+	if probes := m.CacheHits + m.CacheMisses; probes > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(probes)
+	}
+	if s.cache != nil {
+		m.CacheLen = s.cache.len()
+	}
+	served := make([]uint64, len(s.shards))
+	entries := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		served[i] = sh.met.served.Load()
+		entries[i] = uint64(len(sh.entries))
+		sm := ShardMetrics{
+			Shard:         i,
+			Entries:       len(sh.entries),
+			Served:        served[i],
+			Batches:       sh.met.batches.Load(),
+			Rejected:      sh.met.rejected.Load(),
+			QueueDepth:    len(sh.queue),
+			QueueCap:      cap(sh.queue),
+			BatchSizeDist: make([]uint64, batchBuckets),
+		}
+		for b := range sm.BatchSizeDist {
+			sm.BatchSizeDist[b] = sh.met.batchDist[b].Load()
+		}
+		if sm.Batches > 0 {
+			sm.MeanBatchSize = float64(sm.Served) / float64(sm.Batches)
+		}
+		m.PerShard = append(m.PerShard, sm)
+	}
+	m.ShardLoadImbalance = stats.Imbalance(served)
+	m.EntryImbalance = stats.Imbalance(entries)
+	return m
+}

@@ -1,0 +1,251 @@
+package kserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kcount"
+)
+
+// maxBatchBody bounds a /batch request body; maxBatchKmers bounds how many
+// k-mers one batch may carry. Both protect the admission path from a single
+// oversized request.
+const (
+	maxBatchBody  = 4 << 20
+	maxBatchKmers = 8192
+)
+
+// KmerResult is one point-lookup answer.
+type KmerResult struct {
+	Kmer    string `json:"kmer"`
+	Count   uint32 `json:"count"`
+	Present bool   `json:"present"`
+}
+
+// batchRequest is the POST /batch body.
+type batchRequest struct {
+	Kmers []string `json:"kmers"`
+}
+
+// batchResponse is the POST /batch answer, results index-aligned with the
+// request.
+type batchResponse struct {
+	Results []KmerResult `json:"results"`
+}
+
+// histogramResponse is the GET /histogram answer.
+type histogramResponse struct {
+	K          int               `json:"k"`
+	Canonical  bool              `json:"canonical"`
+	Distinct   uint64            `json:"distinct"`
+	Total      uint64            `json:"total"`
+	Singletons uint64            `json:"singletons"`
+	Classes    map[uint32]uint64 `json:"classes"`
+}
+
+// topNResponse is the GET /topn answer.
+type topNResponse struct {
+	N     int          `json:"n"`
+	Kmers []KmerResult `json:"kmers"`
+}
+
+// healthResponse is the GET /healthz answer.
+type healthResponse struct {
+	Status   string `json:"status"`
+	K        int    `json:"k"`
+	Distinct uint64 `json:"distinct"`
+	Shards   int    `json:"shards"`
+}
+
+// NewHandler builds the HTTP surface over svc:
+//
+//	GET  /kmer/{seq}  point lookup (ASCII k-mer)
+//	POST /batch       bulk lookup {"kmers": ["ACGT…", …]}
+//	GET  /histogram   frequency spectrum
+//	GET  /topn?n=10   most frequent k-mers (precomputed horizon)
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     Metrics snapshot (JSON)
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /kmer/{seq}", func(w http.ResponseWriter, r *http.Request) {
+		seq := r.PathValue("seq")
+		count, err := svc.Lookup(r.Context(), seq)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, KmerResult{Kmer: seq, Count: count, Present: count > 0})
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+			return
+		}
+		if len(req.Kmers) > maxBatchKmers {
+			writeErr(w, fmt.Errorf("%w: batch of %d exceeds %d", errBadRequest, len(req.Kmers), maxBatchKmers))
+			return
+		}
+		counts, err := svc.LookupBatch(r.Context(), req.Kmers)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp := batchResponse{Results: make([]KmerResult, len(counts))}
+		for i, c := range counts {
+			resp.Results[i] = KmerResult{Kmer: req.Kmers[i], Count: c, Present: c > 0}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /histogram", func(w http.ResponseWriter, r *http.Request) {
+		h := svc.Histogram()
+		writeJSON(w, http.StatusOK, histogramResponse{
+			K: svc.K(), Canonical: svc.Canonical(),
+			Distinct: h.Distinct(), Total: h.Total(), Singletons: h.Singletons(),
+			Classes: h.Counts,
+		})
+	})
+	mux.HandleFunc("GET /topn", func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				writeErr(w, fmt.Errorf("%w: bad n %q", errBadRequest, q))
+				return
+			}
+			n = v
+		}
+		top := svc.Top(n)
+		resp := topNResponse{N: len(top), Kmers: make([]KmerResult, len(top))}
+		for i, kv := range top {
+			resp.Kmers[i] = KmerResult{
+				Kmer:    dna.Kmer(kv.Key).String(svc.opts.Enc, svc.K()),
+				Count:   kv.Count,
+				Present: true,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status, code := "ok", http.StatusOK
+		if svc.Draining() {
+			status, code = "draining", http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, healthResponse{
+			Status: status, K: svc.K(), Distinct: svc.Distinct(), Shards: len(svc.shards),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Metrics())
+	})
+	return mux
+}
+
+// errBadRequest tags client errors the generic mapper should turn into 400.
+var errBadRequest = errors.New("bad request")
+
+// writeErr maps service errors onto HTTP statuses: overload → 429 (with
+// Retry-After), draining → 503, malformed queries → 400.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Draining reports whether Close has begun.
+func (s *Service) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// ServeUntilInterrupt listens on addr (host:port; port 0 picks a free one),
+// serves the service's HTTP API, and blocks until SIGINT/SIGTERM, then
+// drains: in-flight HTTP requests get shutdownGrace to finish, queued
+// lookups are answered, workers exit. logf receives progress lines
+// (log.Printf-shaped); the bound address is always announced as
+// "listening on <addr>" so callers and scripts can discover dynamic ports.
+func ServeUntilInterrupt(addr string, svc *Service, logf func(format string, args ...any)) error {
+	const shutdownGrace = 10 * time.Second
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logf("listening on %s", ln.Addr())
+	srv := &http.Server{Handler: NewHandler(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case got := <-sig:
+		logf("caught %s, draining", got)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		svc.Close()
+		logf("drained")
+		return err
+	}
+}
+
+// LoadDatabases reads and unions one or more KCD files into a single
+// database (they must agree on k and flags) — the multi-file load path of
+// cmd/kserve, separated for testing.
+func LoadDatabases(paths []string) (*kcount.Database, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("kserve: no databases given")
+	}
+	var merged *kcount.Database
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		d, err := kcount.ReadDatabase(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if merged == nil {
+			merged = d
+			continue
+		}
+		merged, err = kcount.Union(merged, d)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,65 @@
+package kserve
+
+import (
+	"sort"
+
+	"dedukt/internal/kcount"
+)
+
+// shard owns one partition of the spectrum — the keys whose exchange
+// owner-rank hash maps to this shard — and serves them from a single
+// worker goroutine, so probes within a shard never contend.
+type shard struct {
+	id      int
+	entries []kcount.KV // ascending by key
+	queue   chan *call
+	met     shardMetrics
+	svc     *Service
+}
+
+// get is the point lookup: binary search over the sorted shard partition
+// (0 when absent), identical to kcount.Database.Get.
+func (sh *shard) get(key uint64) uint32 {
+	i := sort.Search(len(sh.entries), func(i int) bool { return sh.entries[i].Key >= key })
+	if i < len(sh.entries) && sh.entries[i].Key == key {
+		return sh.entries[i].Count
+	}
+	return 0
+}
+
+// run is the shard worker loop: collect a micro-batch, serve it, repeat
+// until the queue is closed and drained.
+func (sh *shard) run() {
+	defer sh.svc.wg.Done()
+	var batch []*call
+	for {
+		var open bool
+		batch, open = collectBatch(sh.queue, batch[:0], sh.svc.opts.MaxBatch, sh.svc.opts.MaxWait)
+		if len(batch) > 0 {
+			sh.serve(batch)
+		}
+		if !open {
+			return
+		}
+	}
+}
+
+// serve resolves one micro-batch: probe, publish to the cache, retire the
+// singleflight slot, release the waiters — in that order, so a request
+// arriving after the flight slot clears finds the value in the cache.
+func (sh *shard) serve(batch []*call) {
+	if hook := sh.svc.opts.testHookBeforeServe; hook != nil {
+		hook(sh.id, len(batch))
+	}
+	sh.met.batches.Add(1)
+	sh.met.served.Add(uint64(len(batch)))
+	sh.met.batchDist[batchBucket(len(batch))].Add(1)
+	for _, c := range batch {
+		v := sh.get(c.key)
+		if sh.svc.cache != nil {
+			sh.svc.cache.add(c.key, v)
+		}
+		sh.svc.flight.forget(c.key)
+		c.complete(v, nil)
+	}
+}

@@ -1,0 +1,228 @@
+package kserve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dedukt/internal/dna"
+)
+
+// TestConcurrentLookupsDuringShutdown fires point and batch lookups from
+// many goroutines while Close races them (run under -race). The invariant:
+// every lookup either returns the exact database count or fails with
+// ErrClosed/ErrOverloaded — never a wrong count, panic, or deadlock.
+func TestConcurrentLookupsDuringShutdown(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 2_000, 11, 0)
+	svc, err := New(db, Options{Shards: 4, MaxBatch: 16, MaxWait: 50 * time.Microsecond, QueueDepth: 256, CacheSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wrong, served, refused atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := db.Entries[i%len(db.Entries)]
+				i += 7
+				if g%2 == 0 {
+					got, err := svc.LookupKey(ctx, e.Key)
+					switch {
+					case err == nil:
+						served.Add(1)
+						if got != e.Count {
+							wrong.Add(1)
+						}
+					case errors.Is(err, ErrClosed), errors.Is(err, ErrOverloaded):
+						refused.Add(1)
+					default:
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+				} else {
+					keys := []uint64{e.Key, db.Entries[(i+1)%len(db.Entries)].Key}
+					got, err := svc.LookupKeys(ctx, keys)
+					switch {
+					case err == nil:
+						served.Add(1)
+						if got[0] != db.Get(keys[0]) || got[1] != db.Get(keys[1]) {
+							wrong.Add(1)
+						}
+					case errors.Is(err, ErrClosed), errors.Is(err, ErrOverloaded):
+						refused.Add(1)
+					default:
+						t.Errorf("unexpected batch error: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(5 * time.Millisecond)
+	// Two concurrent Closes race the lookups and each other.
+	var cwg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cwg.Add(1)
+		go func() { defer cwg.Done(); svc.Close() }()
+	}
+	cwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if wrong.Load() != 0 {
+		t.Fatalf("%d lookups returned wrong counts", wrong.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no lookup succeeded before shutdown")
+	}
+	// After a drained Close every new lookup is refused.
+	if _, err := svc.LookupKey(ctx, db.Entries[0].Key); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close lookup: %v", err)
+	}
+	t.Logf("served=%d refused=%d", served.Load(), refused.Load())
+}
+
+// TestBackpressure429 pins the admission-control path deterministically:
+// with the single shard's worker held mid-batch and its depth-1 queue
+// occupied, the next request must be rejected with ErrOverloaded — and
+// HTTP must translate that to 429 — instead of blocking or growing state.
+func TestBackpressure429(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1_000, 12, 0)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var once sync.Once
+	svc, err := New(db, Options{
+		Shards: 1, MaxBatch: 1, MaxWait: -1, QueueDepth: 1, CacheSize: -1,
+		testHookBeforeServe: func(_, _ int) {
+			once.Do(func() {
+				entered <- struct{}{}
+				<-release
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ctx := context.Background()
+	k0, k1, k2, k3 := db.Entries[0], db.Entries[1], db.Entries[2], db.Entries[3]
+
+	c0, err := svc.getAsync(k0.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker now blocked serving [k0]; queue empty
+
+	c1, err := svc.getAsync(k1.Key)
+	if err != nil {
+		t.Fatal(err) // occupies the single queue slot
+	}
+	if _, err := svc.getAsync(k2.Key); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated enqueue: %v, want ErrOverloaded", err)
+	}
+
+	// The HTTP layer reports the same condition as 429 with Retry-After.
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	seq := dna.Kmer(k3.Key).String(&dna.Random, k)
+	resp, err := http.Get(ts.URL + "/kmer/" + seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated GET = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Release the worker: the held and queued requests complete exactly.
+	close(release)
+	if v, err := c0.wait(ctx); err != nil || v != k0.Count {
+		t.Fatalf("held request: %d, %v; want %d", v, err, k0.Count)
+	}
+	if v, err := c1.wait(ctx); err != nil || v != k1.Count {
+		t.Fatalf("queued request: %d, %v; want %d", v, err, k1.Count)
+	}
+	m := svc.Metrics()
+	if m.Rejected < 2 {
+		t.Fatalf("rejected = %d, want ≥2", m.Rejected)
+	}
+}
+
+// TestQueuedLookupsAnswereredOnClose verifies graceful drain: requests
+// sitting in a shard queue when Close begins still complete with correct
+// counts rather than being dropped.
+func TestQueuedLookupsAnsweredOnClose(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1_000, 13, 0)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var once sync.Once
+	svc, err := New(db, Options{
+		Shards: 1, MaxBatch: 4, MaxWait: -1, QueueDepth: 64, CacheSize: -1,
+		testHookBeforeServe: func(_, _ int) {
+			once.Do(func() {
+				entered <- struct{}{}
+				<-release
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c0, err := svc.getAsync(db.Entries[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	var queued []*call
+	for _, e := range db.Entries[1:20] {
+		c, err := svc.getAsync(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, c)
+	}
+
+	done := make(chan struct{})
+	go func() { svc.Close(); close(done) }()
+	close(release)
+	<-done
+
+	ctx := context.Background()
+	if v, err := c0.wait(ctx); err != nil || v != db.Entries[0].Count {
+		t.Fatalf("first request: %d, %v", v, err)
+	}
+	for i, c := range queued {
+		v, err := c.wait(ctx)
+		if err != nil {
+			t.Fatalf("queued %d: %v", i, err)
+		}
+		if want := db.Entries[i+1].Count; v != want {
+			t.Fatalf("queued %d = %d, want %d", i, v, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+#!/bin/sh
+# serve-smoke: build cmd/kserve, serve a tiny synthetic KCD, and assert the
+# point, batch, and metrics endpoints answer correctly. Run via
+# `make serve-smoke`; part of `make ci`.
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    [ -f "$tmp/kserve.log" ] && sed 's/^/serve-smoke: kserve: /' "$tmp/kserve.log" >&2
+    exit 1
+}
+
+echo "serve-smoke: counting a tiny synthetic dataset"
+go run ./cmd/dedukt -okcd "$tmp/smoke.kcd" -hist 0 -top 0 >/dev/null 2>&1 || fail "dedukt -okcd"
+
+# Pick a known (k-mer, count) pair to assert against, straight from the KCD.
+go run ./cmd/kmertools dump -db "$tmp/smoke.kcd" -n 2 > "$tmp/dump.tsv" || fail "kmertools dump"
+KMER1=$(sed -n '1p' "$tmp/dump.tsv" | cut -f1)
+COUNT1=$(sed -n '1p' "$tmp/dump.tsv" | cut -f2)
+KMER2=$(sed -n '2p' "$tmp/dump.tsv" | cut -f1)
+COUNT2=$(sed -n '2p' "$tmp/dump.tsv" | cut -f2)
+[ -n "$KMER1" ] && [ -n "$COUNT2" ] || fail "could not extract sample k-mers from KCD"
+
+echo "serve-smoke: building and starting kserve"
+go build -o "$tmp/kserve" ./cmd/kserve || fail "go build ./cmd/kserve"
+"$tmp/kserve" -kcd "$tmp/smoke.kcd" -addr 127.0.0.1:0 2> "$tmp/kserve.log" &
+pid=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/.*listening on //p' "$tmp/kserve.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "kserve exited before listening"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || fail "kserve never announced its address"
+echo "serve-smoke: kserve is up on $ADDR"
+
+# Point lookup returns the exact count the database holds.
+curl -sf "http://$ADDR/kmer/$KMER1" | grep -q "\"count\":$COUNT1" \
+    || fail "GET /kmer/$KMER1 did not report count $COUNT1"
+
+# Batch lookup returns both counts; an absent-length query 400s.
+curl -sf -X POST "http://$ADDR/batch" -d "{\"kmers\":[\"$KMER1\",\"$KMER2\"]}" > "$tmp/batch.json" \
+    || fail "POST /batch"
+grep -q "\"count\":$COUNT1" "$tmp/batch.json" || fail "/batch missing count $COUNT1"
+grep -q "\"count\":$COUNT2" "$tmp/batch.json" || fail "/batch missing count $COUNT2"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/kmer/ACGT")
+[ "$code" = "400" ] || fail "malformed k-mer returned $code, want 400"
+
+# Histogram, top-N, health and metrics all answer.
+curl -sf "http://$ADDR/histogram" | grep -q '"distinct"' || fail "/histogram"
+curl -sf "http://$ADDR/topn?n=3" | grep -q '"kmers"' || fail "/topn"
+curl -sf "http://$ADDR/healthz" | grep -q '"status":"ok"' || fail "/healthz"
+curl -sf "http://$ADDR/metrics" > "$tmp/metrics.json" || fail "/metrics"
+grep -q '"shard_load_imbalance"' "$tmp/metrics.json" || fail "/metrics missing shard_load_imbalance"
+grep -q '"per_shard"' "$tmp/metrics.json" || fail "/metrics missing per_shard"
+grep -q '"requests":' "$tmp/metrics.json" || fail "/metrics missing requests"
+
+echo "serve-smoke: PASS"
