@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-seeds bench bench-serve serve-smoke experiments examples lint ci clean
+.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke trace-smoke experiments examples lint ci clean
 
 all: build test
 
 # The full gate CI runs: build, formatting/vet lint, race-enabled tests,
-# every fuzz target over its seed corpus, and the serving-layer smoke test.
-ci: build lint race fuzz-seeds serve-smoke
+# every fuzz target over its seed corpus, and the serving- and tracing-layer
+# smoke tests.
+ci: build lint race fuzz-seeds serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -39,11 +40,24 @@ bench:
 bench-serve:
 	$(GO) test -run xxx -bench BenchmarkKserve -benchmem ./internal/kserve/ | tee /dev/stderr | $(GO) run ./scripts/bench2json > BENCH_serve.json
 
+# End-to-end pipeline benchmarks (internal/pipeline), emitted as
+# BENCH_pipeline.json. BenchmarkPipelineSupermer is the nil-recorder
+# baseline; BenchmarkPipelineTraced bounds the observability overhead.
+bench-pipeline:
+	$(GO) test -run xxx -bench BenchmarkPipeline -benchmem ./internal/pipeline/ | tee /dev/stderr | $(GO) run ./scripts/bench2json > BENCH_pipeline.json
+
 # End-to-end smoke test of the query service: count a tiny synthetic
 # dataset, serve the KCD with cmd/kserve, curl /kmer, /batch and /metrics,
 # and assert the responses.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end smoke test of the observability layer: run a small traced
+# pipeline, validate the Chrome trace JSON with jq, and check the
+# Prometheus metrics exposition. Artifacts land in TRACE_SMOKE_OUT
+# (default: a temp dir) so CI can upload them.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -30,6 +30,7 @@ import (
 	"dedukt/internal/kcount"
 	"dedukt/internal/kserve"
 	"dedukt/internal/minimizer"
+	"dedukt/internal/obs"
 	"dedukt/internal/pipeline"
 	"dedukt/internal/stats"
 )
@@ -55,9 +56,14 @@ func main() {
 		histMax   = flag.Int("hist", 10, "print histogram classes up to this frequency")
 		asJSON    = flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 		trimQ     = flag.Int("trimq", 0, "quality-trim read ends below this phred score before counting (0 = off)")
+		roundB    = flag.Int("round-bases", 0, "cap the bases a rank processes per round, forcing multi-round operation (0 = one round)")
 		gpuStats  = flag.Bool("gpustats", false, "print GPU kernel efficiency metrics (GPU engine only)")
 		outKCD    = flag.String("okcd", "", "write the counted k-mers to this KCD database (see cmd/kmertools)")
 		serve     = flag.String("serve", "", "after counting, serve the spectrum over HTTP on this address (see cmd/kserve; blocks until SIGINT)")
+
+		runReport  = flag.Bool("report", false, "print the per-round observability report (imbalance trajectory, slowest-rank attribution, fault tallies)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics in Prometheus text format to this file")
 
 		faultSeed     = flag.Uint64("fault-seed", 0, "fault schedule seed (same seed replays the same faults)")
 		faultKill     = flag.Float64("fault-kill", 0, "per-(rank,round) probability a rank dies at round start")
@@ -119,8 +125,14 @@ func main() {
 			Drop:     *faultDrop,
 			Corrupt:  *faultCorrupt,
 		},
+		RoundBases:       *roundB,
 		MaxRetries:       *maxRetries,
 		ExchangeDeadline: *deadline,
+	}
+	var rec *obs.Recorder
+	if *runReport || *traceOut != "" || *metricsOut != "" || *serve != "" {
+		rec = obs.NewRecorder(layout.Ranks())
+		cfg.Obs = rec
 	}
 	switch *mode {
 	case "kmer":
@@ -135,6 +147,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if rec != nil {
+		if err := writeObsArtifacts(rec, *traceOut, *metricsOut); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *asJSON {
 		if err := reportJSON(os.Stdout, cfg, res, *top); err != nil {
 			log.Fatal(err)
@@ -145,6 +162,12 @@ func main() {
 	if *gpuStats && res.GPU {
 		reportGPUStats(os.Stdout, res)
 	}
+	if *runReport {
+		fmt.Fprintln(os.Stdout)
+		if err := rec.BuildReport().WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *outKCD != "" {
 		if err := writeKCD(*outKCD, cfg, res); err != nil {
 			log.Fatal(err)
@@ -152,16 +175,51 @@ func main() {
 		log.Printf("wrote %s", *outKCD)
 	}
 	if *serve != "" {
-		if err := serveResult(*serve, cfg, res); err != nil {
+		if err := serveResult(*serve, cfg, res, rec); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
+// writeObsArtifacts saves the recorded trace and metrics exposition to the
+// paths given by -trace-out and -metrics-out (empty paths are skipped).
+func writeObsArtifacts(rec *obs.Recorder, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote trace %s", tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := rec.Registry().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote metrics %s", metricsPath)
+	}
+	return nil
+}
+
 // serveResult is the count→serve handoff: the freshly counted spectrum is
 // handed to the kserve layer without touching disk and served until
-// SIGINT/SIGTERM.
-func serveResult(addr string, cfg pipeline.Config, res *pipeline.Result) error {
+// SIGINT/SIGTERM. The pipeline's recorder registry is shared with the
+// service, so GET /metrics exposes counting and serving metrics together.
+func serveResult(addr string, cfg pipeline.Config, res *pipeline.Result, rec *obs.Recorder) error {
 	merged := res.MergedTable()
 	if merged == nil {
 		return fmt.Errorf("serve: no tables retained")
@@ -170,7 +228,7 @@ func serveResult(addr string, cfg pipeline.Config, res *pipeline.Result) error {
 	if cfg.Canonical {
 		flags |= kcount.FlagCanonical
 	}
-	svc, err := kserve.New(kcount.FromTable(merged, cfg.K, flags), kserve.Options{Enc: cfg.Enc})
+	svc, err := kserve.New(kcount.FromTable(merged, cfg.K, flags), kserve.Options{Enc: cfg.Enc, Registry: rec.Registry()})
 	if err != nil {
 		return err
 	}

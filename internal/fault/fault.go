@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dedukt/internal/hash"
+	"dedukt/internal/obs"
 )
 
 // ErrKilled marks a rank terminated by the injector; pipeline rank bodies
@@ -218,6 +219,32 @@ func (in *Injector) RecordDiscarded(rank int, items uint64) {
 	if items > 0 {
 		in.counts[rank].discarded.Add(items)
 	}
+}
+
+// RegisterMetrics publishes the injector's run-wide tallies into an
+// observability registry: injected events by kind plus the recovery-side
+// observations (bad frames, retries, discarded items). Call after a run
+// completes; counters accumulate across runs sharing one registry.
+func (in *Injector) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	var sum Counts
+	for _, c := range in.Snapshot() {
+		sum.Add(c)
+	}
+	for _, kv := range []struct {
+		kind string
+		n    uint64
+	}{
+		{"kill", sum.Killed}, {"delay", sum.Delayed},
+		{"drop", sum.Dropped}, {"corrupt", sum.Corrupted},
+	} {
+		reg.Counter("fault_injected_total", "Injected fault events by kind.", obs.L("kind", kv.kind)).Add(kv.n)
+	}
+	reg.Counter("fault_bad_frames_total", "Frames that failed verification on receive.").Add(sum.BadFrames)
+	reg.Counter("fault_retries_total", "Exchange rounds retried.").Add(sum.Retries)
+	reg.Counter("fault_discarded_items_total", "Items lost to rounds degraded past the retry budget.").Add(sum.Discarded)
 }
 
 // Snapshot returns the per-rank tallies.

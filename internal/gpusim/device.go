@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dedukt/internal/obs"
 )
 
 // Device executes kernels under a Config.
@@ -15,6 +17,9 @@ type Device struct {
 	// the per-address maximum, used for the hotspot roofline term.
 	contention []uint64
 	arenaNext  uint64
+	// reg, when set via Observe, receives per-kernel efficiency counters
+	// after every launch.
+	reg *obs.Registry
 }
 
 // contentionBuckets is the sketch width. Counter-style hot addresses (a few
@@ -43,6 +48,25 @@ func MustDevice(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Observe attaches a metrics registry: every subsequent Launch publishes
+// its kernel stats (launches, divergence-adjusted and raw ops, memory
+// transactions, atomics) as counters labeled by kernel name. Set before
+// launching; a nil registry detaches.
+func (d *Device) Observe(reg *obs.Registry) { d.reg = reg }
+
+// publishStats records one launch's stats into the attached registry.
+func (d *Device) publishStats(s *KernelStats) {
+	if d.reg == nil {
+		return
+	}
+	kernel := obs.L("kernel", s.Name)
+	d.reg.Counter("gpusim_kernel_launches_total", "Kernel launches by kernel name.", kernel).Inc()
+	d.reg.Counter("gpusim_compute_ops_total", "Divergence-adjusted compute ops (max lane per warp × warp size).", kernel).Add(s.ComputeOps)
+	d.reg.Counter("gpusim_raw_compute_ops_total", "Per-lane compute ops before the divergence charge.", kernel).Add(s.RawComputeOps)
+	d.reg.Counter("gpusim_mem_transactions_total", "32-byte memory sectors moved after warp coalescing.", kernel).Add(s.MemTransactions)
+	d.reg.Counter("gpusim_atomic_ops_total", "Atomic operations issued.", kernel).Add(s.AtomicOps)
+}
 
 // Alloc reserves a 256-byte-aligned simulated device address range of the
 // given size and returns its base address. Kernels use these addresses when
@@ -199,6 +223,7 @@ func (d *Device) Launch(spec LaunchSpec, body func(tid int, ctx *Ctx)) (KernelSt
 	if maxBucket > stats.MaxAtomicPerAddr {
 		stats.MaxAtomicPerAddr = maxBucket
 	}
+	d.publishStats(&stats)
 	return stats, nil
 }
 

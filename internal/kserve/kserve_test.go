@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -406,7 +407,7 @@ func TestHTTPEndpoints(t *testing.T) {
 
 	t.Run("metrics", func(t *testing.T) {
 		var m Metrics
-		get(t, "/metrics", http.StatusOK, &m)
+		get(t, "/metrics?format=json", http.StatusOK, &m)
 		if m.Shards != 4 || len(m.PerShard) != 4 {
 			t.Fatalf("metrics shards: %+v", m)
 		}
@@ -419,6 +420,51 @@ func TestHTTPEndpoints(t *testing.T) {
 		}
 		if uint64(entries) != m.DistinctKmers {
 			t.Fatalf("shard entries %d, want %d", entries, m.DistinctKmers)
+		}
+	})
+
+	t.Run("metrics prometheus", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		body := buf.String()
+		for _, want := range []string{
+			"# TYPE kserve_requests_total counter",
+			"# TYPE kserve_shards gauge",
+			"# TYPE kserve_batch_size histogram",
+			`kserve_shard_served_total{shard="0"}`,
+			`kserve_batch_size_bucket{shard="0",le="+Inf"}`,
+			"kserve_shard_load_imbalance",
+		} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("prometheus exposition missing %q:\n%s", want, body)
+			}
+		}
+		// Every non-comment line is "name{labels} value" with a parseable
+		// float value — the shape Prometheus scrapers require.
+		for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				t.Fatalf("malformed exposition line %q", line)
+			}
+			if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+				t.Fatalf("bad value in line %q: %v", line, err)
+			}
 		}
 	})
 

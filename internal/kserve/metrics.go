@@ -2,9 +2,10 @@ package kserve
 
 import (
 	"math/bits"
-	"sync/atomic"
+	"strconv"
 	"time"
 
+	"dedukt/internal/obs"
 	"dedukt/internal/stats"
 )
 
@@ -18,6 +19,10 @@ var BatchBucketLabels = [batchBuckets]string{
 	"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128", ">128",
 }
 
+// batchSizeBounds are the Prometheus histogram upper bounds matching
+// BatchBucketLabels (the +Inf bucket is the final ">128" class).
+var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // batchBucket maps a batch size (≥1) to its log2 class.
 func batchBucket(n int) int {
 	b := bits.Len(uint(n - 1))
@@ -27,30 +32,95 @@ func batchBucket(n int) int {
 	return b
 }
 
-// serviceMetrics are the service-wide hot-path counters.
+// serviceMetrics are the service-wide hot-path counters, registered in the
+// shared observability registry (see newServiceMetrics) so GET /metrics
+// exposes them in Prometheus text format alongside every other subsystem.
 type serviceMetrics struct {
 	start       time.Time
-	requests    atomic.Uint64 // every lookup, including cache hits
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	coalesced   atomic.Uint64 // singleflight followers
-	rejected    atomic.Uint64 // admission-control drops
+	requests    *obs.Counter // every lookup, including cache hits
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	coalesced   *obs.Counter // singleflight followers
+	rejected    *obs.Counter // admission-control drops
 }
 
 // shardMetrics are one shard's counters, written only by its worker and
 // the (lock-free) admission path.
 type shardMetrics struct {
-	enqueued  atomic.Uint64
-	served    atomic.Uint64
-	batches   atomic.Uint64
-	rejected  atomic.Uint64
-	batchDist [batchBuckets]atomic.Uint64
+	enqueued  *obs.Counter
+	served    *obs.Counter
+	batches   *obs.Counter
+	rejected  *obs.Counter
+	batchSize *obs.Histogram
+}
+
+// initMetrics registers the service's metric families into reg and wires
+// the derived gauges (uptime, QPS, hit rate, imbalance) as exposition-time
+// functions over the live counters.
+func (s *Service) initMetrics(reg *obs.Registry) {
+	s.reg = reg
+	s.met = serviceMetrics{
+		start:       time.Now(),
+		requests:    reg.Counter("kserve_requests_total", "Lookups received, including cache hits."),
+		cacheHits:   reg.Counter("kserve_cache_hits_total", "Lookups answered by the hot-k-mer cache."),
+		cacheMisses: reg.Counter("kserve_cache_misses_total", "Lookups that missed the cache."),
+		coalesced:   reg.Counter("kserve_coalesced_total", "Lookups coalesced onto an in-flight request (singleflight followers)."),
+		rejected:    reg.Counter("kserve_rejected_total", "Lookups shed by admission control (HTTP 429)."),
+	}
+	reg.Gauge("kserve_k", "Served k-mer length.").Set(float64(s.k))
+	reg.Gauge("kserve_distinct_kmers", "Distinct k-mers in the served spectrum.").Set(float64(s.distinct))
+	reg.Gauge("kserve_shards", "Number of serving shards.").Set(float64(len(s.shards)))
+	reg.GaugeFunc("kserve_uptime_seconds", "Seconds since the service started.", func() float64 {
+		return time.Since(s.met.start).Seconds()
+	})
+	reg.GaugeFunc("kserve_qps", "Mean lookups per second since start.", func() float64 {
+		if up := time.Since(s.met.start).Seconds(); up > 0 {
+			return float64(s.met.requests.Value()) / up
+		}
+		return 0
+	})
+	reg.GaugeFunc("kserve_cache_hit_rate", "Cache hits / (hits + misses).", func() float64 {
+		h, m := s.met.cacheHits.Value(), s.met.cacheMisses.Value()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+	reg.GaugeFunc("kserve_cache_len", "Entries in the hot-k-mer cache.", func() float64 {
+		if s.cache == nil {
+			return 0
+		}
+		return float64(s.cache.len())
+	})
+	reg.GaugeFunc("kserve_shard_load_imbalance", "Max/avg of per-shard served lookups (the paper's Table III metric, serving side).", func() float64 {
+		served := make([]uint64, len(s.shards))
+		for i, sh := range s.shards {
+			served[i] = sh.met.served.Value()
+		}
+		return stats.Imbalance(served)
+	})
+}
+
+// initShardMetrics registers one shard's metric series, labeled by shard id.
+func (s *Service) initShardMetrics(reg *obs.Registry, sh *shard) {
+	label := obs.L("shard", strconv.Itoa(sh.id))
+	sh.met = shardMetrics{
+		enqueued:  reg.Counter("kserve_shard_enqueued_total", "Lookups enqueued per shard.", label),
+		served:    reg.Counter("kserve_shard_served_total", "Lookups served per shard.", label),
+		batches:   reg.Counter("kserve_shard_batches_total", "Micro-batches served per shard.", label),
+		rejected:  reg.Counter("kserve_shard_rejected_total", "Lookups shed per shard (full queue).", label),
+		batchSize: reg.Histogram("kserve_batch_size", "Micro-batch size distribution.", batchSizeBounds, label),
+	}
+	reg.GaugeFunc("kserve_shard_queue_depth", "Pending lookups per shard.", func() float64 {
+		return float64(len(sh.queue))
+	}, label)
+	reg.Gauge("kserve_shard_entries", "Distinct k-mers owned per shard.", label).Set(float64(len(sh.entries)))
 }
 
 // Metrics is a point-in-time snapshot of the service, shaped for JSON
-// (/metrics). ShardLoadImbalance is max/avg of per-shard served requests —
-// the serving-side analogue of the paper's Table III load-imbalance metric,
-// computed with the same stats.Imbalance.
+// (/metrics?format=json). ShardLoadImbalance is max/avg of per-shard served
+// requests — the serving-side analogue of the paper's Table III
+// load-imbalance metric, computed with the same stats.Imbalance.
 type Metrics struct {
 	UptimeSec          float64        `json:"uptime_sec"`
 	K                  int            `json:"k"`
@@ -95,11 +165,11 @@ func (s *Service) Metrics() Metrics {
 		Canonical:     s.canonical,
 		DistinctKmers: s.distinct,
 		Shards:        len(s.shards),
-		Requests:      s.met.requests.Load(),
-		CacheHits:     s.met.cacheHits.Load(),
-		CacheMisses:   s.met.cacheMisses.Load(),
-		Coalesced:     s.met.coalesced.Load(),
-		Rejected:      s.met.rejected.Load(),
+		Requests:      s.met.requests.Value(),
+		CacheHits:     s.met.cacheHits.Value(),
+		CacheMisses:   s.met.cacheMisses.Value(),
+		Coalesced:     s.met.coalesced.Value(),
+		Rejected:      s.met.rejected.Value(),
 		BatchBuckets:  BatchBucketLabels[:],
 	}
 	if up > 0 {
@@ -114,23 +184,21 @@ func (s *Service) Metrics() Metrics {
 	served := make([]uint64, len(s.shards))
 	entries := make([]uint64, len(s.shards))
 	for i, sh := range s.shards {
-		served[i] = sh.met.served.Load()
+		served[i] = sh.met.served.Value()
 		entries[i] = uint64(len(sh.entries))
+		dist, batches, sum := sh.met.batchSize.Snapshot()
 		sm := ShardMetrics{
 			Shard:         i,
 			Entries:       len(sh.entries),
 			Served:        served[i],
-			Batches:       sh.met.batches.Load(),
-			Rejected:      sh.met.rejected.Load(),
+			Batches:       batches,
+			Rejected:      sh.met.rejected.Value(),
 			QueueDepth:    len(sh.queue),
 			QueueCap:      cap(sh.queue),
-			BatchSizeDist: make([]uint64, batchBuckets),
+			BatchSizeDist: dist,
 		}
-		for b := range sm.BatchSizeDist {
-			sm.BatchSizeDist[b] = sh.met.batchDist[b].Load()
-		}
-		if sm.Batches > 0 {
-			sm.MeanBatchSize = float64(sm.Served) / float64(sm.Batches)
+		if batches > 0 {
+			sm.MeanBatchSize = sum / float64(batches)
 		}
 		m.PerShard = append(m.PerShard, sm)
 	}

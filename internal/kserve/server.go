@@ -74,7 +74,8 @@ type healthResponse struct {
 //	GET  /histogram   frequency spectrum
 //	GET  /topn?n=10   most frequent k-mers (precomputed horizon)
 //	GET  /healthz     liveness (503 while draining)
-//	GET  /metrics     Metrics snapshot (JSON)
+//	GET  /metrics     Prometheus text exposition (?format=json for the
+//	                  legacy Metrics snapshot)
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /kmer/{seq}", func(w http.ResponseWriter, r *http.Request) {
@@ -147,7 +148,13 @@ func NewHandler(svc *Service) http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Metrics())
+		if r.URL.Query().Get("format") == "json" ||
+			r.Header.Get("Accept") == "application/json" {
+			writeJSON(w, http.StatusOK, svc.Metrics())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = svc.Registry().WritePrometheus(w)
 	})
 	return mux
 }

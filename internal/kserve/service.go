@@ -31,6 +31,7 @@ import (
 	"dedukt/internal/dna"
 	"dedukt/internal/kcount"
 	"dedukt/internal/kernels"
+	"dedukt/internal/obs"
 )
 
 // Exported failure modes; the HTTP layer maps them to 429 and 503.
@@ -63,6 +64,11 @@ type Options struct {
 	// Enc is the base encoding ASCII queries are packed under (default
 	// dna.Random, the CLI's encoding).
 	Enc *dna.Encoding
+	// Registry, when non-nil, is the observability registry the service
+	// registers its metrics into — share one with a pipeline recorder to
+	// get counting and serving metrics in a single /metrics exposition.
+	// nil creates a private registry (GET /metrics works either way).
+	Registry *obs.Registry
 
 	// testHookBeforeServe, when set (tests only), runs in a shard worker
 	// before each batch is served — used to hold a shard busy
@@ -109,6 +115,7 @@ type Service struct {
 	cache     *lruCache // nil when disabled
 	flight    flightGroup
 	met       serviceMetrics
+	reg       *obs.Registry
 
 	// Precomputed at load: whole-spectrum queries never touch the shards.
 	hist     kcount.Histogram
@@ -148,7 +155,11 @@ func New(db *kcount.Database, opts Options) (*Service, error) {
 		s.cache = newLRU(opts.CacheSize)
 	}
 	s.flight.m = make(map[uint64]*call)
-	s.met.start = time.Now()
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.initMetrics(reg)
 	s.shards = make([]*shard, opts.Shards)
 	for i, p := range parts {
 		s.shards[i] = &shard{
@@ -157,11 +168,19 @@ func New(db *kcount.Database, opts Options) (*Service, error) {
 			queue:   make(chan *call, opts.QueueDepth),
 			svc:     s,
 		}
+		s.initShardMetrics(reg, s.shards[i])
+	}
+	for i := range s.shards {
 		s.wg.Add(1)
 		go s.shards[i].run()
 	}
 	return s, nil
 }
+
+// Registry returns the observability registry the service's metrics live
+// in — the one passed via Options.Registry, or the private registry New
+// created. Use it to serve Prometheus text exposition.
+func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // K returns the database k-mer length.
 func (s *Service) K() int { return s.k }

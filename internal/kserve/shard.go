@@ -53,7 +53,7 @@ func (sh *shard) serve(batch []*call) {
 	}
 	sh.met.batches.Add(1)
 	sh.met.served.Add(uint64(len(batch)))
-	sh.met.batchDist[batchBucket(len(batch))].Add(1)
+	sh.met.batchSize.Observe(float64(len(batch)))
 	for _, c := range batch {
 		v := sh.get(c.key)
 		if sh.svc.cache != nil {

@@ -18,10 +18,15 @@
 package mpisim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
+
+	"dedukt/internal/obs"
 )
 
 // ErrPeerDead is wrapped by collective errors after a peer rank has failed
@@ -42,6 +47,10 @@ type Options struct {
 	// via poisoning; the deadline additionally catches live-but-stalled
 	// peers). The deadline is per collective call, not per run.
 	Deadline time.Duration
+	// Obs, when non-nil, receives collective metrics (ops and bytes per
+	// collective kind, deadline hits) in its registry and a deadline_hit
+	// instant event when a collective times out.
+	Obs *obs.Recorder
 }
 
 // Comm is one rank's handle on the communicator.
@@ -54,6 +63,7 @@ type Comm struct {
 type world struct {
 	size     int
 	deadline time.Duration
+	obs      *obs.Recorder
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -106,7 +116,7 @@ func RunWithOptions(size int, opt Options, body func(c *Comm) error) (trace []Tr
 	if opt.Deadline < 0 {
 		return nil, fmt.Errorf("mpisim: negative deadline %v", opt.Deadline)
 	}
-	w := &world{size: size, deadline: opt.Deadline, slots: make([]any, size)}
+	w := &world{size: size, deadline: opt.Deadline, obs: opt.Obs, slots: make([]any, size)}
 	w.cond = sync.NewCond(&w.mu)
 
 	errs := make([]error, size)
@@ -125,7 +135,13 @@ func RunWithOptions(size int, opt Options, body func(c *Comm) error) (trace []Tr
 					w.poison(fmt.Errorf("mpisim: rank %d dead: %w", rank, ErrPeerDead))
 				}
 			}()
-			errs[rank] = body(&Comm{rank: rank, world: w})
+			// pprof labels attribute CPU samples of large simulated worlds
+			// to their rank; the obs span recorder refines the phase label
+			// while phases are open.
+			pprof.Do(context.Background(), pprof.Labels("rank", strconv.Itoa(rank), "phase", "rank-body"),
+				func(context.Context) {
+					errs[rank] = body(&Comm{rank: rank, world: w})
+				})
 		}(r)
 	}
 	wg.Wait()
@@ -158,9 +174,9 @@ func (c *Comm) Size() int { return c.world.size }
 // Barrier blocks until every rank has entered it, or fails with an error
 // wrapping ErrPeerDead (a peer died) or ErrDeadline (the wait exceeded the
 // communicator deadline).
-func (c *Comm) Barrier() error { return c.world.barrier() }
+func (c *Comm) Barrier() error { return c.world.barrier(c.rank) }
 
-func (w *world) barrier() error {
+func (w *world) barrier(rank int) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failure != nil {
@@ -180,11 +196,18 @@ func (w *world) barrier() error {
 	if w.deadline > 0 {
 		timer := time.AfterFunc(w.deadline, func() {
 			w.mu.Lock()
-			if !satisfied && w.failure == nil {
+			fired := !satisfied && w.failure == nil
+			if fired {
 				w.failure = fmt.Errorf("mpisim: waited %v in a collective: %w", w.deadline, ErrDeadline)
 				w.cond.Broadcast()
 			}
 			w.mu.Unlock()
+			if fired && w.obs != nil {
+				// The stalled peer is unknown; the instant lands on the rank
+				// whose wait tripped the deadline (round unknown here: -1).
+				w.obs.Instant(rank, -1, obs.EvDeadline)
+				w.obs.Registry().Counter("mpisim_deadline_hits_total", "Collectives that exceeded the communicator deadline.").Inc()
+			}
 		})
 		defer timer.Stop()
 	}
@@ -202,28 +225,35 @@ func (w *world) barrier() error {
 func exchange[T any](c *Comm, v T) ([]T, error) {
 	w := c.world
 	w.slots[c.rank] = v
-	if err := w.barrier(); err != nil {
+	if err := w.barrier(c.rank); err != nil {
 		return nil, err
 	}
 	out := make([]T, w.size)
 	for i, s := range w.slots {
 		out[i] = s.(T)
 	}
-	if err := w.barrier(); err != nil {
+	if err := w.barrier(c.rank); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// record appends a trace entry exactly once per collective (rank 0 writes).
+// record appends a trace entry exactly once per collective (rank 0 writes)
+// and, when a recorder is attached, publishes per-op collective metrics.
 func (c *Comm) record(op string, bytes [][]uint64) {
 	if c.rank != 0 {
 		return
 	}
 	w := c.world
+	e := TraceEntry{Op: op, Bytes: bytes}
 	w.traceMu.Lock()
-	w.trace = append(w.trace, TraceEntry{Op: op, Bytes: bytes})
+	w.trace = append(w.trace, e)
 	w.traceMu.Unlock()
+	if w.obs != nil {
+		reg := w.obs.Registry()
+		reg.Counter("mpisim_collectives_total", "Completed collectives by kind.", obs.L("op", op)).Inc()
+		reg.Counter("mpisim_collective_bytes_total", "Payload bytes moved by collectives, by kind.", obs.L("op", op)).Add(e.TotalBytes())
+	}
 }
 
 // Alltoall exchanges one int per destination: rank i's send[j] arrives as

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a Prometheus-text-format metrics registry. Every subsystem —
+// the pipeline, the mpisim collectives, the gpusim kernel engine, the fault
+// injector, and the kserve serving layer — registers counters, gauges and
+// histograms here; WritePrometheus renders the whole set as one exposition
+// document ("# HELP" / "# TYPE" lines plus samples).
+//
+// Registration is get-or-create: asking for the same (name, labels) twice
+// returns the same metric, so hot paths may resolve metrics lazily without
+// coordinating ownership. All metric operations are safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, typ string
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []*series
+}
+
+// series is one labeled instance of a metric.
+type series struct {
+	labels  string // rendered `k="v",k2="v2"` (no braces), "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution metric. Buckets are upper bounds
+// in ascending order; an implicit +Inf bucket is always present.
+type Histogram struct {
+	upper   []float64
+	buckets []atomic.Uint64 // len(upper)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the per-bucket (non-cumulative) counts, the sample count
+// and the sample sum. The returned slice has one entry per configured upper
+// bound plus a final +Inf entry.
+func (h *Histogram) Snapshot() (buckets []uint64, count uint64, sum float64) {
+	buckets = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.count.Load(), math.Float64frombits(h.sumBits.Load())
+}
+
+// Counter returns the counter with the given name and labels, creating it
+// (and its family) on first use. The name must stay one metric type; mixing
+// types under one name panics (programmer error).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	var c *Counter
+	r.getSeries(name, help, "counter", labels, func(s *series) {
+		if s.counter == nil {
+			s.counter = &Counter{}
+		}
+		c = s.counter
+	})
+	return c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	var g *Gauge
+	r.getSeries(name, help, "gauge", labels, func(s *series) {
+		if s.gauge == nil {
+			s.gauge = &Gauge{}
+		}
+		g = s.gauge
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from f at exposition time
+// (queue depths, cache sizes — state that already lives elsewhere). Calling
+// it again for the same (name, labels) replaces f. f must not register or
+// render metrics itself (it runs under the family lock).
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	r.getSeries(name, help, "gauge", labels, func(s *series) {
+		s.gaugeFn = f
+	})
+}
+
+// Histogram returns the histogram with the given name, labels and upper
+// bounds, creating it on first use. Buckets must be ascending; they are
+// fixed at first registration.
+func (r *Registry) Histogram(name, help string, upper []float64, labels ...Label) *Histogram {
+	var out *Histogram
+	r.getSeries(name, help, "histogram", labels, func(s *series) {
+		if s.hist == nil {
+			h := &Histogram{
+				upper:   append([]float64(nil), upper...),
+				buckets: make([]atomic.Uint64, len(upper)+1),
+			}
+			if !sort.Float64sAreSorted(h.upper) {
+				panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+			}
+			s.hist = h
+		}
+		out = s.hist
+	})
+	return out
+}
+
+// getSeries resolves (name, labels) to its series, creating the family and
+// series on first use, and runs init on it under the family lock — the
+// lock is what makes concurrent get-or-create of the same metric safe.
+func (r *Registry) getSeries(name, help, typ string, labels []Label, init func(*series)) {
+	r.mu.Lock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.fams[name] = f
+	}
+	r.mu.Unlock()
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.series[key] = s
+		f.order = append(f.order, s)
+	}
+	init(s)
+}
+
+// renderLabels renders labels in the given order as `k="v",k2="v2"`.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), families sorted by name, series in
+// registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		// Series instruments are written under the family lock (lazy init,
+		// GaugeFunc replacement), so render under it too.
+		f.mu.Lock()
+		for _, s := range f.order {
+			writeSeries(&sb, f, s)
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeSeries(sb *strings.Builder, f *family, s *series) {
+	switch {
+	case s.counter != nil:
+		fmt.Fprintf(sb, "%s %d\n", sampleName(f.name, s.labels), s.counter.Value())
+	case s.gaugeFn != nil:
+		fmt.Fprintf(sb, "%s %s\n", sampleName(f.name, s.labels), formatFloat(s.gaugeFn()))
+	case s.gauge != nil:
+		fmt.Fprintf(sb, "%s %s\n", sampleName(f.name, s.labels), formatFloat(s.gauge.Value()))
+	case s.hist != nil:
+		buckets, count, sum := s.hist.Snapshot()
+		var cum uint64
+		for i, n := range buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(s.hist.upper) {
+				le = formatFloat(s.hist.upper[i])
+			}
+			labels := s.labels
+			if labels != "" {
+				labels += ","
+			}
+			labels += `le="` + le + `"`
+			fmt.Fprintf(sb, "%s %d\n", sampleName(f.name+"_bucket", labels), cum)
+		}
+		fmt.Fprintf(sb, "%s %s\n", sampleName(f.name+"_sum", s.labels), formatFloat(sum))
+		fmt.Fprintf(sb, "%s %d\n", sampleName(f.name+"_count", s.labels), count)
+	}
+}
+
+func sampleName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "Requests.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create: same (name, labels) resolves to the same metric.
+	if again := reg.Counter("reqs_total", "Requests."); again != c {
+		t.Fatal("second Counter call returned a different instance")
+	}
+	labeled := reg.Counter("reqs_total", "Requests.", L("code", "200"))
+	if labeled == c {
+		t.Fatal("labeled series aliased the unlabeled one")
+	}
+
+	g := reg.Gauge("temp", "Temperature.")
+	g.Set(-3.5)
+	if got := g.Value(); got != -3.5 {
+		t.Fatalf("gauge = %v, want -3.5", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "Latency.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	buckets, count, sum := h.Snapshot()
+	if want := []uint64{2, 1, 1, 1}; len(buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(buckets), len(want))
+	} else {
+		for i := range want {
+			if buckets[i] != want[i] {
+				t.Fatalf("bucket[%d] = %d, want %d (%v)", i, buckets[i], want[i], buckets)
+			}
+		}
+	}
+	if count != 5 || sum != 106 {
+		t.Fatalf("count=%d sum=%v, want 5, 106", count, sum)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name did not panic")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+func TestUnsortedHistogramPanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending histogram bounds did not panic")
+		}
+	}()
+	reg.Histogram("h", "", []float64{4, 2, 1})
+}
+
+// TestWritePrometheus pins the full exposition document: HELP/TYPE lines,
+// family sort order, series registration order, label escaping, and the
+// cumulative histogram rendering scrapers require.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "Bytes.", L("dir", "in")).Add(7)
+	reg.Counter("b_total", "Bytes.", L("dir", "out")).Add(9)
+	reg.Gauge("a_gauge", "A gauge.").Set(1.5)
+	reg.GaugeFunc("z_fn", "Computed.", func() float64 { return 42 })
+	h := reg.Histogram("h_lat", "Latency.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	reg.Counter("esc_total", "Escapes.", L("p", `a"b\c`)).Inc()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge A gauge.
+# TYPE a_gauge gauge
+a_gauge 1.5
+# HELP b_total Bytes.
+# TYPE b_total counter
+b_total{dir="in"} 7
+b_total{dir="out"} 9
+# HELP esc_total Escapes.
+# TYPE esc_total counter
+esc_total{p="a\"b\\c"} 1
+# HELP h_lat Latency.
+# TYPE h_lat histogram
+h_lat_bucket{le="1"} 1
+h_lat_bucket{le="2"} 2
+h_lat_bucket{le="+Inf"} 3
+h_lat_sum 11
+h_lat_count 3
+# HELP z_fn Computed.
+# TYPE z_fn gauge
+z_fn 42
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestConcurrentGetOrCreate races lazy registration from many goroutines
+// (run with -race): every caller must resolve to the same instrument, and
+// no increment may be lost to a double-init.
+func TestConcurrentGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("shared_total", "").Inc()
+				reg.Histogram("shared_hist", "", []float64{1, 2}).Observe(1)
+				var sb strings.Builder
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d (lost increments to double-init)", got, workers*perWorker)
+	}
+	if _, count, _ := reg.Histogram("shared_hist", "", []float64{1, 2}).Snapshot(); count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", count, workers*perWorker)
+	}
+}
+
+func TestGaugeFuncReplacement(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("g", "", func() float64 { return 1 })
+	reg.GaugeFunc("g", "", func() float64 { return 2 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "g 2\n") {
+		t.Fatalf("re-registered GaugeFunc not replaced:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// traceEvent is one entry of the Chrome trace-event format (the JSON array
+// flavor Perfetto and chrome://tracing load). Fields follow the Trace Event
+// Format spec: ph "M" = metadata, "X" = complete span, "i" = instant.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`            // microseconds since trace origin
+	Dur  *float64       `json:"dur,omitempty"` // microseconds, complete events only
+	S    string         `json:"s,omitempty"`   // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports every recorded span and instant as Chrome trace-event
+// JSON. One trace thread per rank (tid = rank); span args carry the round,
+// the modeled Summit time in microseconds, and the item count, so both the
+// Go wall timeline and the modeled timeline are inspectable in Perfetto.
+// A nil recorder writes a valid empty trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if r != nil {
+		f.TraceEvents = r.traceEvents()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+func (r *Recorder) traceEvents() []traceEvent {
+	spans := r.Spans()
+	instants := r.Instants()
+
+	ranks := map[int]bool{}
+	for _, s := range spans {
+		ranks[s.Rank] = true
+	}
+	for _, i := range instants {
+		ranks[i.Rank] = true
+	}
+	rankIDs := make([]int, 0, len(ranks))
+	for rk := range ranks {
+		rankIDs = append(rankIDs, rk)
+	}
+	sort.Ints(rankIDs)
+
+	events := make([]traceEvent, 0, len(spans)+len(instants)+len(rankIDs)+1)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "dedukt"},
+	})
+	for _, rk := range rankIDs {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: rk,
+			Args: map[string]any{"name": "rank " + strconv.Itoa(rk)},
+		})
+	}
+
+	body := make([]traceEvent, 0, len(spans)+len(instants))
+	for _, s := range spans {
+		dur := micros(s.Dur)
+		args := map[string]any{
+			"round":      s.Round,
+			"modeled_us": micros(s.Modeled),
+		}
+		if s.Items > 0 {
+			args["items"] = s.Items
+		}
+		body = append(body, traceEvent{
+			Name: s.Phase, Ph: "X", Pid: 0, Tid: s.Rank,
+			Ts: micros(s.Start), Dur: &dur, Args: args,
+		})
+	}
+	for _, i := range instants {
+		body = append(body, traceEvent{
+			Name: i.Name, Ph: "i", Pid: 0, Tid: i.Rank,
+			Ts: micros(i.At), S: "t",
+			Args: map[string]any{"round": i.Round},
+		})
+	}
+	// Deterministic order: by timestamp, longer spans first at equal start
+	// so enclosing spans precede nested ones, then by rank.
+	sort.SliceStable(body, func(a, b int) bool {
+		if body[a].Ts != body[b].Ts {
+			return body[a].Ts < body[b].Ts
+		}
+		da, db := 0.0, 0.0
+		if body[a].Dur != nil {
+			da = *body[a].Dur
+		}
+		if body[b].Dur != nil {
+			db = *body[b].Dur
+		}
+		if da != db {
+			return da > db
+		}
+		return body[a].Tid < body[b].Tid
+	})
+	return append(events, body...)
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedRecorder fabricates a recorder with deterministic spans and instants
+// (bypassing the wall clock) so the trace export can be golden-tested
+// byte-for-byte.
+func fixedRecorder() *Recorder {
+	rec := NewRecorder(2)
+	add := func(rank, round int, phase string, start, dur, modeled time.Duration, items uint64) {
+		sh := rec.shard(rank)
+		sh.spans = append(sh.spans, Span{
+			Rank: rank, Round: round, Phase: phase,
+			Start: start, Dur: dur, Modeled: modeled, Items: items,
+		})
+	}
+	add(0, 0, PhaseParse, 0, 100*time.Microsecond, 40*time.Microsecond, 10)
+	add(0, 0, PhaseExchange, 100*time.Microsecond, 300*time.Microsecond, 80*time.Microsecond, 10)
+	add(0, 0, PhaseRetry, 250*time.Microsecond, 100*time.Microsecond, 0, 10)
+	add(0, 0, PhaseCount, 400*time.Microsecond, 50*time.Microsecond, 20*time.Microsecond, 10)
+	add(1, 0, PhaseParse, 0, 120*time.Microsecond, 40*time.Microsecond, 14)
+	add(1, 0, PhaseExchange, 120*time.Microsecond, 280*time.Microsecond, 80*time.Microsecond, 14)
+	add(1, 0, PhaseCount, 400*time.Microsecond, 70*time.Microsecond, 20*time.Microsecond, 14)
+	sh := rec.shard(1)
+	sh.instants = append(sh.instants, Instant{Rank: 1, Round: 0, Name: EvDrop, At: 150 * time.Microsecond})
+	sh.instants = append(sh.instants, Instant{Rank: 1, Round: 0, Name: EvRetry, At: 240 * time.Microsecond})
+	return rec
+}
+
+func TestWriteTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedRecorder().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace drifted from golden file (re-run with -update if intended):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceShape decodes the export and checks the structural invariants the
+// Perfetto/chrome://tracing loader relies on.
+func TestTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedRecorder().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var meta, spans, instants int
+	lastTs := -1.0
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			continue
+		case "X":
+			spans++
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("span %q missing dur", ev.Name)
+			}
+			if _, ok := ev.Args["round"]; !ok {
+				t.Fatalf("span %q missing round arg", ev.Name)
+			}
+			if _, ok := ev.Args["modeled_us"]; !ok {
+				t.Fatalf("span %q missing modeled_us arg", ev.Name)
+			}
+		case "i":
+			instants++
+			if ev.S != "t" {
+				t.Fatalf("instant %q scope = %q, want t", ev.Name, ev.S)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Ts < lastTs {
+			t.Fatalf("events not time-ordered: %v after %v", ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+	}
+	if meta != 3 { // process_name + 2 thread_names
+		t.Fatalf("metadata events = %d, want 3", meta)
+	}
+	if spans != 7 || instants != 2 {
+		t.Fatalf("spans=%d instants=%d, want 7, 2", spans, instants)
+	}
+}
+
+func TestWriteTraceNil(t *testing.T) {
+	var rec *Recorder
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil-recorder trace is not valid JSON: %v", err)
+	}
+	if evs, ok := f["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("nil-recorder trace events = %v, want empty array", f["traceEvents"])
+	}
+}

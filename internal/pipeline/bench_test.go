@@ -1,0 +1,62 @@
+package pipeline
+
+import (
+	"io"
+	"testing"
+
+	"dedukt/internal/fastq"
+	"dedukt/internal/genome"
+	"dedukt/internal/obs"
+)
+
+// benchReads generates the shared benchmark read set once.
+func benchReads(b *testing.B) []fastq.Record {
+	b.Helper()
+	g, err := genome.Generate("bench", genome.Config{
+		Length: 20_000, RepeatFraction: 0.2,
+		RepeatMinLen: 100, RepeatMaxLen: 400, GC: 0.5, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := genome.DefaultLongReads()
+	prof.MeanLen = 800
+	prof.AmbigRate = 0.002
+	reads, err := genome.SimulateReads(g, 8, prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reads
+}
+
+func benchRun(b *testing.B, rec *obs.Recorder) {
+	reads := benchReads(b)
+	cfg := Default(smallGPULayout(1), SupermerMode)
+	cfg.Obs = rec
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, reads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LoadImbalance(), "imbalance")
+	}
+}
+
+// BenchmarkPipelineSupermer is the nil-recorder baseline the observability
+// overhead budget is measured against (instrumented call sites present,
+// recording off).
+func BenchmarkPipelineSupermer(b *testing.B) {
+	benchRun(b, nil)
+}
+
+// BenchmarkPipelineTraced runs the same pipeline with a live recorder and
+// trace export, bounding the cost of turning observability on.
+func BenchmarkPipelineTraced(b *testing.B) {
+	rec := obs.NewRecorder(smallGPULayout(1).Ranks())
+	benchRun(b, rec)
+	b.StopTimer()
+	if err := rec.WriteTrace(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"dedukt/internal/kcount"
 	"dedukt/internal/minimizer"
 	"dedukt/internal/mpisim"
+	"dedukt/internal/obs"
 )
 
 // Mode selects the exchanged unit.
@@ -124,6 +125,10 @@ type Config struct {
 	// mpisim.ErrDeadline (a live-but-stalled peer; dead peers unblock
 	// waiters immediately regardless). 0 disables the deadline.
 	ExchangeDeadline time.Duration
+	// Obs, when non-nil, records per-rank per-round phase spans, fault
+	// instants, and run metrics (see internal/obs). nil disables
+	// observability at zero cost to the hot paths.
+	Obs *obs.Recorder
 }
 
 // Validate checks the configuration.

@@ -8,6 +8,7 @@ import (
 	"dedukt/internal/kernels"
 	"dedukt/internal/minimizer"
 	"dedukt/internal/mpisim"
+	"dedukt/internal/obs"
 )
 
 // runCPURank executes the scalar baseline (Alg. 1) or the CPU-supermer
@@ -40,17 +41,20 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 			return err
 		}
 	}
+	rec := cfg.Obs
+	rank := c.Rank()
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
-	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out}
+	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
 
 	for r := 0; r < rounds; r++ {
-		if err := killOrStall(inj, c, r); err != nil {
+		if err := killOrStall(inj, c, r, rec); err != nil {
 			return err
 		}
 		buf := buildBuffer(chunkFor(chunks, r))
 		data := buf.Data()
 
 		// Parse & process.
+		sp := rec.Begin(rank, r, obs.PhaseParse)
 		var (
 			sendWords [][]uint64
 			sendWire  [][]byte
@@ -61,60 +65,78 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		} else {
 			sendWire, meter, err = cpuBuildSupermers(cfg, destMap, c.Size(), data)
 			if err != nil {
+				sp.End(0, 0)
 				return err
 			}
 		}
-		out.parse += model.RankTimeLifted(meter.Ops, meter.Bytes, meter.Items, cfg.CPULoadLift)
+		parseModeled := model.RankTimeLifted(meter.Ops, meter.Bytes, meter.Items, cfg.CPULoadLift)
+		out.parse += parseModeled
 		out.parseOps += meter.Ops
 
 		// Exchange (no staging legs on the CPU pipeline).
 		counts := make([]int, c.Size())
+		var roundSent uint64
 		if cfg.Mode == KmerMode {
 			for d, part := range sendWords {
 				counts[d] = len(part)
-				out.itemsSent += uint64(len(part))
+				roundSent += uint64(len(part))
 				out.payloadSent += 8 * uint64(len(part))
 			}
 		} else {
 			for d, part := range sendWire {
 				counts[d] = len(part) / wire.Stride()
-				out.itemsSent += uint64(len(part) / wire.Stride())
+				roundSent += uint64(len(part) / wire.Stride())
 				out.payloadSent += uint64(len(part))
 			}
 		}
+		out.itemsSent += roundSent
+		sp.End(parseModeled, roundSent)
+
+		sp = rec.Begin(rank, r, obs.PhaseExchange)
 		expect, err := ex.announce(counts)
 		if err != nil {
+			sp.End(0, 0)
 			return err
 		}
 
 		var recvWords []uint64
 		var recvWire []byte
+		var roundRecv uint64
 		if cfg.Mode == KmerMode {
 			recv, err := ex.exchangeWords(r, sendWords, expect)
 			if err != nil {
+				sp.End(0, 0)
 				return err
 			}
 			recvWords = flattenWords(recv)
+			roundRecv = uint64(len(recvWords))
 		} else {
 			recv, err := ex.exchangeWire(r, wire, sendWire, expect)
 			if err != nil {
+				sp.End(0, 0)
 				return err
 			}
 			recvWire = flattenBytes(recv)
+			roundRecv = uint64(len(recvWire) / wire.Stride())
 		}
+		sp.End(0, roundRecv)
 
 		// Count into the persistent per-rank table.
+		sp = rec.Begin(rank, r, obs.PhaseCount)
 		var cmeter kernels.WorkMeter
 		if cfg.Mode == KmerMode {
 			cmeter = cpuCountKmers(cfg, table, bloom, recvWords)
 		} else {
 			cmeter, err = cpuCountSupermers(cfg, table, bloom, recvWire)
 			if err != nil {
+				sp.End(0, 0)
 				return err
 			}
 		}
-		out.count += model.RankTimeLifted(cmeter.Ops, cmeter.Bytes, cmeter.Items, cfg.CPULoadLift)
+		countModeled := model.RankTimeLifted(cmeter.Ops, cmeter.Bytes, cmeter.Items, cfg.CPULoadLift)
+		out.count += countModeled
 		out.countOps += cmeter.Ops
+		sp.End(countModeled, roundRecv)
 	}
 	out.counted = table.TotalCount()
 	out.distinct = uint64(table.Len())

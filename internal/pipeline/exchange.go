@@ -7,6 +7,7 @@ import (
 	"dedukt/internal/fault"
 	"dedukt/internal/kernels"
 	"dedukt/internal/mpisim"
+	"dedukt/internal/obs"
 )
 
 // exchanger is the fault-tolerant exchange path shared by the GPU and CPU
@@ -20,11 +21,16 @@ import (
 // the fault injector re-rolls per attempt, so transient faults do. A round
 // that exhausts its budget degrades: the verified payloads are counted,
 // the rest are discarded, and the rank's outcome is flagged incomplete.
+//
+// When a recorder is configured, injected drops/corruptions surface as
+// instant events, each retry attempt gets its own span nested inside the
+// exchange span, and a degraded round emits a degraded_round instant.
 type exchanger struct {
 	c       *mpisim.Comm
 	inj     *fault.Injector
 	retries int
 	out     *rankOutcome
+	rec     *obs.Recorder
 }
 
 // announce runs the count exchange (MPI_Alltoall of Alg. 1) and returns the
@@ -41,15 +47,22 @@ func (e *exchanger) exchangeWords(round int, send [][]uint64, expect []int) ([][
 	parts := make([][]uint64, len(send))
 	ok := make([]bool, len(send))
 	for attempt := 0; ; attempt++ {
+		sp := e.beginAttempt(rank, round, attempt)
 		framed := make([][]uint64, len(send))
 		for d, part := range send {
 			if e.inj.Drop(rank, round, attempt, d) {
+				e.rec.Instant(rank, round, obs.EvDrop)
 				continue // destination receives nil: a dropped payload
 			}
-			framed[d], _ = e.inj.CorruptWords(rank, round, attempt, d, kernels.FrameWords(part))
+			var hit bool
+			framed[d], hit = e.inj.CorruptWords(rank, round, attempt, d, kernels.FrameWords(part))
+			if hit {
+				e.rec.Instant(rank, round, obs.EvCorrupt)
+			}
 		}
 		recv, err := e.c.AlltoallvUint64(framed)
 		if err != nil {
+			sp.End(0, 0)
 			return nil, err
 		}
 		var bad uint64
@@ -65,6 +78,7 @@ func (e *exchanger) exchangeWords(round int, send [][]uint64, expect []int) ([][
 			parts[i], ok[i] = payload, true
 		}
 		done, err := e.settle(round, attempt, bad)
+		sp.End(0, bad)
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +91,7 @@ func (e *exchanger) exchangeWords(round int, send [][]uint64, expect []int) ([][
 				lost += uint64(expect[i])
 			}
 		}
-		e.degrade(lost, bad)
+		e.degrade(round, lost, bad)
 		return parts, nil
 	}
 }
@@ -90,15 +104,22 @@ func (e *exchanger) exchangeWire(round int, wire kernels.SupermerWire, send [][]
 	parts := make([][]byte, len(send))
 	ok := make([]bool, len(send))
 	for attempt := 0; ; attempt++ {
+		sp := e.beginAttempt(rank, round, attempt)
 		framed := make([][]byte, len(send))
 		for d, part := range send {
 			if e.inj.Drop(rank, round, attempt, d) {
+				e.rec.Instant(rank, round, obs.EvDrop)
 				continue
 			}
-			framed[d], _ = e.inj.CorruptBytes(rank, round, attempt, d, kernels.FrameBytes(part, len(part)/wire.Stride()))
+			var hit bool
+			framed[d], hit = e.inj.CorruptBytes(rank, round, attempt, d, kernels.FrameBytes(part, len(part)/wire.Stride()))
+			if hit {
+				e.rec.Instant(rank, round, obs.EvCorrupt)
+			}
 		}
 		recv, err := e.c.AlltoallvBytes(framed)
 		if err != nil {
+			sp.End(0, 0)
 			return nil, err
 		}
 		var bad uint64
@@ -118,6 +139,7 @@ func (e *exchanger) exchangeWire(round int, wire kernels.SupermerWire, send [][]
 			parts[i], ok[i] = payload, true
 		}
 		done, err := e.settle(round, attempt, bad)
+		sp.End(0, bad)
 		if err != nil {
 			return nil, err
 		}
@@ -130,9 +152,19 @@ func (e *exchanger) exchangeWire(round int, wire kernels.SupermerWire, send [][]
 				lost += uint64(expect[i])
 			}
 		}
-		e.degrade(lost, bad)
+		e.degrade(round, lost, bad)
 		return parts, nil
 	}
+}
+
+// beginAttempt opens a retry span for attempts past the first (the first
+// attempt lives inside the enclosing exchange span). The zero handle it
+// returns for attempt 0 (or a nil recorder) makes End a no-op.
+func (e *exchanger) beginAttempt(rank, round, attempt int) obs.SpanHandle {
+	if attempt == 0 {
+		return obs.SpanHandle{}
+	}
+	return e.rec.Begin(rank, round, obs.PhaseRetry)
 }
 
 // settle agrees world-wide on this attempt's outcome: done=true means the
@@ -151,29 +183,34 @@ func (e *exchanger) settle(round, attempt int, bad uint64) (done bool, err error
 	}
 	if attempt < e.retries {
 		e.inj.RecordRetry(rank)
+		e.rec.Instant(rank, round, obs.EvRetry)
 		return false, nil
 	}
 	return true, nil // budget exhausted: degrade
 }
 
 // degrade flags the rank outcome when payloads were lost for good.
-func (e *exchanger) degrade(lost, bad uint64) {
+func (e *exchanger) degrade(round int, lost, bad uint64) {
 	if bad == 0 {
 		return
 	}
 	e.out.incomplete = true
 	e.inj.RecordDiscarded(e.c.Rank(), lost)
+	e.rec.Instant(e.c.Rank(), round, obs.EvDegraded)
 }
 
 // killOrStall applies the injector's round-start faults for this rank: a
 // straggler stall (recoverable — peers wait, or trip the deadline when one
 // is configured) or a kill (the rank abandons the computation, poisoning
-// the world for its peers).
-func killOrStall(inj *fault.Injector, c *mpisim.Comm, round int) error {
+// the world for its peers). Fired faults surface as instant events when a
+// recorder is configured.
+func killOrStall(inj *fault.Injector, c *mpisim.Comm, round int, rec *obs.Recorder) error {
 	if d := inj.Delay(c.Rank(), round); d > 0 {
+		rec.Instant(c.Rank(), round, obs.EvDelay)
 		time.Sleep(d)
 	}
 	if inj.Kill(c.Rank(), round) {
+		rec.Instant(c.Rank(), round, obs.EvKill)
 		return fmt.Errorf("pipeline: rank %d at round %d: %w", c.Rank(), round, fault.ErrKilled)
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 	"dedukt/internal/kcount"
 	"dedukt/internal/kernels"
 	"dedukt/internal/mpisim"
+	"dedukt/internal/obs"
 )
 
 // rankOutcome collects one rank's contribution to the global result.
@@ -63,7 +64,7 @@ func Run(cfg Config, reads []fastq.Record) (*Result, error) {
 	outcomes := make([]rankOutcome, p)
 
 	start := time.Now()
-	trace, err := mpisim.RunWithOptions(p, mpisim.Options{Deadline: cfg.ExchangeDeadline}, func(c *mpisim.Comm) error {
+	trace, err := mpisim.RunWithOptions(p, mpisim.Options{Deadline: cfg.ExchangeDeadline, Obs: cfg.Obs}, func(c *mpisim.Comm) error {
 		if cfg.Layout.GPU != nil {
 			return runGPURank(cfg, destMap, inj, c, parts[c.Rank()], &outcomes[c.Rank()])
 		}
@@ -75,7 +76,36 @@ func Run(cfg Config, reads []fastq.Record) (*Result, error) {
 	}
 	res := aggregate(cfg, trace, outcomes, wall)
 	res.Faults = inj.Snapshot()
+	if cfg.Obs != nil {
+		registerRunMetrics(cfg.Obs.Registry(), res)
+		inj.RegisterMetrics(cfg.Obs.Registry())
+	}
 	return res, nil
+}
+
+// registerRunMetrics publishes the run's headline numbers into the shared
+// metrics registry so `-metrics-out` and scrapers see the pipeline beside
+// the mpisim/gpusim/fault series. Counters accumulate across runs sharing
+// one recorder; gauges reflect the latest run.
+func registerRunMetrics(reg *obs.Registry, res *Result) {
+	reg.Counter("pipeline_items_exchanged_total", "Exchanged units (k-mers or supermers) across all ranks and rounds.").Add(res.ItemsExchanged)
+	reg.Counter("pipeline_payload_bytes_total", "Exchanged payload volume including supermer length bytes.").Add(res.PayloadBytes)
+	reg.Counter("pipeline_kmers_counted_total", "Counted k-mer instances.").Add(res.TotalKmers)
+	reg.Gauge("pipeline_distinct_kmers", "Distinct k-mers in the counted spectrum.").Set(float64(res.DistinctKmers))
+	reg.Gauge("pipeline_rounds", "Parse-exchange-count rounds executed.").Set(float64(res.Rounds))
+	reg.Gauge("pipeline_load_imbalance", "Max/avg of per-rank counted k-mers (Table III).").Set(res.LoadImbalance())
+	incomplete := 0.0
+	if res.Incomplete {
+		incomplete = 1
+	}
+	reg.Gauge("pipeline_incomplete", "1 when a round degraded past its retry budget (counts are a lower bound).").Set(incomplete)
+	for phase, d := range map[string]time.Duration{
+		"parse":    res.Modeled.Parse,
+		"exchange": res.Modeled.Exchange,
+		"count":    res.Modeled.Count,
+	} {
+		reg.Gauge("pipeline_phase_seconds", "Summit-projected phase time (bulk-synchronous: slowest rank).", obs.L("phase", phase)).Set(d.Seconds())
+	}
 }
 
 // buildBuffer stages a rank's reads into the concatenated,
@@ -90,6 +120,9 @@ func buildBuffer(reads []fastq.Record) *dna.SeqBuffer {
 
 func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) error {
 	dev := gpusim.MustDevice(*cfg.Layout.GPU)
+	if cfg.Obs != nil {
+		dev.Observe(cfg.Obs.Registry())
+	}
 	chunks := chunkReads(reads, cfg.RoundBases)
 	rounds, err := globalRounds(c, len(chunks))
 	if err != nil {
@@ -97,20 +130,27 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	}
 	out.rounds = rounds
 
+	rec := cfg.Obs
+	rank := c.Rank()
 	table := kcount.NewAtomicTable(1, cfg.tableLoad(), cfg.Probing)
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
-	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out}
+	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
 
 	for r := 0; r < rounds; r++ {
-		if err := killOrStall(inj, c, r); err != nil {
+		if err := killOrStall(inj, c, r, rec); err != nil {
 			return err
 		}
+
+		// Stage: build the round's concatenated base buffer and model its
+		// host→device transfer.
+		sp := rec.Begin(rank, r, obs.PhaseStageH2D)
 		buf := buildBuffer(chunkFor(chunks, r))
 		data := buf.Data()
-
-		// Parse & process: stage the round's read buffer to the device,
-		// run the parse (or supermer) kernel.
 		h2dIn := dev.Config().TransferTime(int64(len(data)))
+		sp.End(h2dIn, uint64(len(data)))
+
+		// Parse & process: run the parse (or supermer) kernel.
+		sp = rec.Begin(rank, r, obs.PhaseParse)
 		var (
 			sendWords [][]uint64 // kmer mode payload
 			sendWire  [][]byte   // supermer mode payload
@@ -127,68 +167,85 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 			}, data)
 		}
 		if err != nil {
+			sp.End(0, 0)
 			return err
 		}
 		out.parse += h2dIn + dev.Config().KernelTime(&parseSt)
 		out.parseOps += parseSt.ComputeOps
 		out.parseSt.Add(parseSt)
 
-		// Exchange: counts via Alltoall, checksummed payload frames via
-		// Alltoallv with round-level retry, and host staging (D2H out,
-		// H2D in) unless GPUDirect.
+		// Per-destination counts for the announcement (and the parse span's
+		// item tally).
 		counts := make([]int, c.Size())
-		var bytesOut uint64
+		var bytesOut, roundSent uint64
 		if cfg.Mode == KmerMode {
 			for d, part := range sendWords {
 				counts[d] = len(part)
-				out.itemsSent += uint64(len(part))
+				roundSent += uint64(len(part))
 				bytesOut += 8 * uint64(len(part))
 			}
 		} else {
 			for d, part := range sendWire {
 				counts[d] = len(part) / wire.Stride()
-				out.itemsSent += uint64(len(part) / wire.Stride())
+				roundSent += uint64(len(part) / wire.Stride())
 				bytesOut += uint64(len(part))
 			}
 		}
+		out.itemsSent += roundSent
 		out.payloadSent += bytesOut
+		sp.End(dev.Config().KernelTime(&parseSt), roundSent)
+
+		// Exchange: counts via Alltoall, checksummed payload frames via
+		// Alltoallv with round-level retry, and host staging (D2H out,
+		// H2D in) unless GPUDirect.
+		sp = rec.Begin(rank, r, obs.PhaseExchange)
 		expect, err := ex.announce(counts)
 		if err != nil {
+			sp.End(0, 0)
 			return err
 		}
 
 		var recvWords []uint64
 		var recvWire []byte
-		var bytesIn uint64
+		var bytesIn, roundRecv uint64
 		if cfg.Mode == KmerMode {
 			recv, err := ex.exchangeWords(r, sendWords, expect)
 			if err != nil {
+				sp.End(0, 0)
 				return err
 			}
 			for _, part := range recv {
 				bytesIn += 8 * uint64(len(part))
 			}
 			recvWords = flattenWords(recv)
+			roundRecv = uint64(len(recvWords))
 		} else {
 			recv, err := ex.exchangeWire(r, wire, sendWire, expect)
 			if err != nil {
+				sp.End(0, 0)
 				return err
 			}
 			for _, part := range recv {
 				bytesIn += uint64(len(part))
 			}
 			recvWire = flattenBytes(recv)
+			roundRecv = uint64(len(recvWire) / wire.Stride())
 		}
+		var stage time.Duration
 		if !cfg.GPUDirect {
-			out.stage += dev.Config().TransferTime(int64(bytesOut)) + dev.Config().TransferTime(int64(bytesIn))
+			stage = dev.Config().TransferTime(int64(bytesOut)) + dev.Config().TransferTime(int64(bytesIn))
+			out.stage += stage
 		}
+		sp.End(stage, roundRecv)
 
 		// Count: insert the round's received items into this rank's table
 		// partition, growing it between rounds when needed.
+		sp = rec.Begin(rank, r, obs.PhaseCount)
 		var countSt gpusim.KernelStats
 		if cfg.Mode == KmerMode {
 			table, err = ensureCapacity(table, len(recvWords), cfg.tableLoad(), cfg.Probing)
 			if err != nil {
+				sp.End(0, 0)
 				return err
 			}
 			countSt, err = kernels.CountKmers(dev, table, recvWords)
@@ -196,16 +253,19 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 			n := len(recvWire) / wire.Stride()
 			table, err = ensureCapacity(table, n*cfg.Window, cfg.tableLoad(), cfg.Probing)
 			if err != nil {
+				sp.End(0, 0)
 				return err
 			}
 			countSt, err = kernels.CountSupermers(dev, table, wire, recvWire)
 		}
 		if err != nil {
+			sp.End(0, 0)
 			return err
 		}
 		out.count += dev.Config().KernelTime(&countSt)
 		out.countOps += countSt.ComputeOps
 		out.countSt.Add(countSt)
+		sp.End(dev.Config().KernelTime(&countSt), roundRecv)
 	}
 
 	snap := table.Snapshot()

@@ -63,9 +63,20 @@ code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/kmer/ACGT")
 curl -sf "http://$ADDR/histogram" | grep -q '"distinct"' || fail "/histogram"
 curl -sf "http://$ADDR/topn?n=3" | grep -q '"kmers"' || fail "/topn"
 curl -sf "http://$ADDR/healthz" | grep -q '"status":"ok"' || fail "/healthz"
-curl -sf "http://$ADDR/metrics" > "$tmp/metrics.json" || fail "/metrics"
-grep -q '"shard_load_imbalance"' "$tmp/metrics.json" || fail "/metrics missing shard_load_imbalance"
-grep -q '"per_shard"' "$tmp/metrics.json" || fail "/metrics missing per_shard"
-grep -q '"requests":' "$tmp/metrics.json" || fail "/metrics missing requests"
+
+# /metrics defaults to Prometheus text exposition with typed families.
+curl -sf "http://$ADDR/metrics" > "$tmp/metrics.prom" || fail "/metrics"
+grep -q '^# TYPE kserve_requests_total counter' "$tmp/metrics.prom" \
+    || fail "/metrics missing TYPE kserve_requests_total"
+grep -q '^kserve_shard_load_imbalance ' "$tmp/metrics.prom" \
+    || fail "/metrics missing kserve_shard_load_imbalance"
+grep -q 'kserve_batch_size_bucket{.*le="+Inf"}' "$tmp/metrics.prom" \
+    || fail "/metrics missing kserve_batch_size histogram"
+
+# The legacy JSON snapshot stays reachable under ?format=json.
+curl -sf "http://$ADDR/metrics?format=json" > "$tmp/metrics.json" || fail "/metrics?format=json"
+grep -q '"shard_load_imbalance"' "$tmp/metrics.json" || fail "/metrics json missing shard_load_imbalance"
+grep -q '"per_shard"' "$tmp/metrics.json" || fail "/metrics json missing per_shard"
+grep -q '"requests":' "$tmp/metrics.json" || fail "/metrics json missing requests"
 
 echo "serve-smoke: PASS"

@@ -1,0 +1,69 @@
+#!/bin/sh
+# trace-smoke: run a small traced pipeline with injected faults, validate
+# the Chrome trace-event JSON with jq, and check the Prometheus metrics
+# exposition and the -report output. Run via `make trace-smoke`; part of
+# `make ci`. Artifacts are written to TRACE_SMOKE_OUT (default: a temp
+# dir removed on exit) so CI can upload them.
+set -eu
+
+keep=1
+if [ -z "${TRACE_SMOKE_OUT:-}" ]; then
+    TRACE_SMOKE_OUT=$(mktemp -d)
+    keep=0
+fi
+mkdir -p "$TRACE_SMOKE_OUT"
+cleanup() {
+    [ "$keep" = 0 ] && rm -rf "$TRACE_SMOKE_OUT"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "trace-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+command -v jq >/dev/null 2>&1 || fail "jq not installed"
+
+trace="$TRACE_SMOKE_OUT/trace.json"
+metrics="$TRACE_SMOKE_OUT/metrics.prom"
+report="$TRACE_SMOKE_OUT/report.txt"
+
+echo "trace-smoke: running a traced pipeline with injected faults"
+go run ./cmd/dedukt -nodes 2 -hist 0 -top 0 \
+    -fault-seed 1 -fault-delay 0.02 -fault-drop 0.02 \
+    -report -trace-out "$trace" -metrics-out "$metrics" \
+    > "$report" 2>&1 || { cat "$report" >&2; fail "dedukt traced run"; }
+
+echo "trace-smoke: validating $trace"
+jq -e . "$trace" >/dev/null || fail "trace is not valid JSON"
+jq -e '.traceEvents | type == "array"' "$trace" >/dev/null \
+    || fail "trace has no traceEvents array"
+# At least one complete span per phase, each with a round arg.
+for phase in parse stage_h2d exchange count; do
+    jq -e --arg p "$phase" \
+        '[.traceEvents[] | select(.ph == "X" and .name == $p)] | length > 0' \
+        "$trace" >/dev/null || fail "trace has no $phase spans"
+done
+jq -e '[.traceEvents[] | select(.ph == "X") | .args.round] | all(. != null)' \
+    "$trace" >/dev/null || fail "span missing round arg"
+# Every rank got a named trace thread, and fault instants were recorded.
+jq -e '[.traceEvents[] | select(.ph == "M" and .name == "thread_name")] | length == 12' \
+    "$trace" >/dev/null || fail "expected 12 rank threads (2 nodes x 6 ranks)"
+jq -e '[.traceEvents[] | select(.ph == "i")] | length > 0' \
+    "$trace" >/dev/null || fail "no fault/retry instants recorded"
+
+echo "trace-smoke: validating $metrics"
+grep -q '^# TYPE pipeline_items_exchanged_total counter' "$metrics" \
+    || fail "metrics missing pipeline_items_exchanged_total"
+grep -q '^# TYPE mpisim_collectives_total counter' "$metrics" \
+    || fail "metrics missing mpisim_collectives_total"
+grep -q '^fault_injected_total{kind="drop"}' "$metrics" \
+    || fail "metrics missing fault_injected_total"
+grep -q '^gpusim_kernel_launches_total{kernel=' "$metrics" \
+    || fail "metrics missing gpusim_kernel_launches_total"
+
+echo "trace-smoke: validating -report output"
+grep -q 'observability report:' "$report" || fail "-report printed no report"
+grep -q 'slowest rank overall' "$report" || fail "-report missing slowest-rank attribution"
+
+echo "trace-smoke: PASS"
