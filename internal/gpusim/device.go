@@ -181,6 +181,13 @@ func (d *Device) Launch(spec LaunchSpec, body func(tid int, ctx *Ctx)) (KernelSt
 				}
 			}()
 			lanes := make([]Ctx, ws)
+			// Per-worker fold scratch, reused across every warp this worker
+			// replays (foldWarp was the second-largest allocation site in the
+			// pipeline hot loop when these lived inside it).
+			fs := foldScratch{
+				sectors: make([]uint64, 0, ws*2),
+				atomics: make([]uint64, 0, ws),
+			}
 			for {
 				warp := int(next.Add(1)) - 1
 				if warp >= nWarps {
@@ -200,7 +207,7 @@ func (d *Device) Launch(spec LaunchSpec, body func(tid int, ctx *Ctx)) (KernelSt
 					lane.tid = tid
 					body(tid, lane)
 				}
-				d.foldWarp(&partials[slot], lanes[:hi-lo])
+				d.foldWarp(&partials[slot], lanes[:hi-lo], &fs)
 			}
 		}(w)
 	}
@@ -235,9 +242,15 @@ func (d *Device) ResetContention() {
 	}
 }
 
+// foldScratch holds one worker's reusable replay buffers for foldWarp.
+type foldScratch struct {
+	sectors []uint64
+	atomics []uint64
+}
+
 // foldWarp applies lockstep coalescing to one warp's recorded lanes and
-// accumulates into st.
-func (d *Device) foldWarp(st *KernelStats, lanes []Ctx) {
+// accumulates into st. fs provides reusable scratch owned by the caller.
+func (d *Device) foldWarp(st *KernelStats, lanes []Ctx, fs *foldScratch) {
 	// Divergence-adjusted compute: warps execute the union of their lanes'
 	// paths, so every lane pays for the longest lane.
 	var maxOps uint64
@@ -258,8 +271,7 @@ func (d *Device) foldWarp(st *KernelStats, lanes []Ctx) {
 	// same address are warp-aggregated into a single device atomic (the
 	// standard nvcc/libcu++ optimization), so both the atomic throughput
 	// term and the contention sketch see distinct addresses per step.
-	sectors := make([]uint64, 0, len(lanes)*2)
-	atomics := make([]uint64, 0, len(lanes))
+	sectors, atomics := fs.sectors, fs.atomics
 	for step := 0; step < maxAcc; step++ {
 		sectors = sectors[:0]
 		atomics = atomics[:0]
@@ -301,6 +313,8 @@ func (d *Device) foldWarp(st *KernelStats, lanes []Ctx) {
 		}
 		st.MemTransactions += uint64(distinct)
 	}
+	// Keep any growth (wide multi-sector accesses) for the next warp.
+	fs.sectors, fs.atomics = sectors, atomics
 }
 
 // sortU64 is an allocation-free insertion sort for the small per-step

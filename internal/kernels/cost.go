@@ -34,6 +34,9 @@ const (
 	OpsPackBase = 2
 	// OpsEmit: close out a supermer / write a k-mer record (cursor math).
 	OpsEmit = 4
+	// OpsScanStep: one element's share of a work-efficient Blelloch
+	// exclusive scan (up-sweep add + down-sweep swap, amortized).
+	OpsScanStep = 4
 )
 
 // DestSeed seeds the destination-rank hash; it must differ from the table

@@ -1,6 +1,9 @@
 package kernels
 
 import (
+	"fmt"
+	"sort"
+
 	"dedukt/internal/dna"
 	"dedukt/internal/gpusim"
 	"dedukt/internal/hash"
@@ -19,20 +22,44 @@ func probeAddr(base uint64, key uint64, i int, capSlots int) uint64 {
 	return base + (hash.Mix64Seeded(key, slotAddrSeed+uint64(i))%uint64(capSlots))*8
 }
 
+// partOffsets builds the exclusive prefix of part lengths: offsets[i] is the
+// global index of part i's first item, offsets[len] the total. The counting
+// kernels use it to map a flat thread id onto (part, index) without
+// flattening the received payloads into one copy.
+func partOffsets(offsets []int, lens func(i int) int, n int) ([]int, int) {
+	offsets = grow(offsets, n+1)
+	total := 0
+	for i := 0; i < n; i++ {
+		offsets[i] = total
+		total += lens(i)
+	}
+	offsets[n] = total
+	return offsets, total
+}
+
 // CountKmers is the GPU counting kernel of §III-B.3: one thread per
 // received k-mer; each thread probes the open-addressing table (linear
 // probing by default), claims a slot with atomicCAS when the k-mer is new,
 // and bumps the count with atomicAdd. Inserts beyond capacity surface as
 // ErrTableFull, matching a fixed-size device table.
-func CountKmers(dev *gpusim.Device, table *kcount.AtomicTable, recv []uint64) (st gpusim.KernelStats, err error) {
+//
+// parts holds one payload per source rank (as delivered by the exchange)
+// and is consumed in place — no flatten copy; a nil part is an empty one.
+func CountKmers(dev *gpusim.Device, table *kcount.AtomicTable, parts [][]uint64) (st gpusim.KernelStats, err error) {
 	keysAddr := dev.Alloc(int64(8 * table.Cap()))
 	countsAddr := dev.Alloc(int64(4 * table.Cap()))
-	inAddr := dev.Alloc(int64(8 * len(recv)))
+	offsets, total := partOffsets(nil, func(i int) int { return len(parts[i]) }, len(parts))
+	inAddr := make([]uint64, len(parts))
+	for i, p := range parts {
+		inAddr[i] = dev.Alloc(int64(8 * len(p)))
+	}
 
 	dev.ResetContention()
-	st, launchErr := dev.Launch(gpusim.LaunchSpec{Name: "count_kmers", Threads: len(recv)}, func(tid int, ctx *gpusim.Ctx) {
-		key := recv[tid]
-		ctx.Read(inAddr+uint64(tid*8), 8)
+	st, launchErr := dev.Launch(gpusim.LaunchSpec{Name: "count_kmers", Threads: total}, func(tid int, ctx *gpusim.Ctx) {
+		part := sort.SearchInts(offsets, tid+1) - 1
+		idx := tid - offsets[part]
+		key := parts[part][idx]
+		ctx.Read(inAddr[part]+uint64(idx*8), 8)
 		isNew, probes, insErr := table.Inc(key)
 		if insErr != nil {
 			panic(insErr) // recovered by Launch and surfaced as an error
@@ -62,27 +89,39 @@ func CountKmers(dev *gpusim.Device, table *kcount.AtomicTable, recv []uint64) (s
 // per-thread k-mer count varies with supermer length, so warps diverge —
 // the cost model charges the warp-max path, reproducing the ~27% counting
 // overhead the paper measures for supermer mode (§IV-B).
-func CountSupermers(dev *gpusim.Device, table *kcount.AtomicTable, wire SupermerWire, recv []byte) (st gpusim.KernelStats, err error) {
+//
+// parts holds one wire buffer per source rank and is consumed in place.
+func CountSupermers(dev *gpusim.Device, table *kcount.AtomicTable, wire SupermerWire, parts [][]byte) (st gpusim.KernelStats, err error) {
 	if err := wire.Validate(); err != nil {
 		return st, err
 	}
 	stride := wire.Stride()
 	// Received bytes are untrusted: validate every image up front so the
 	// per-thread decodes below cannot fail mid-kernel.
-	n, err := wire.VerifyImages(recv)
-	if err != nil {
-		return st, err
+	counts := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := wire.VerifyImages(p)
+		if err != nil {
+			return st, fmt.Errorf("part %d: %w", i, err)
+		}
+		counts[i] = n
 	}
+	offsets, total := partOffsets(nil, func(i int) int { return counts[i] }, len(parts))
 
 	keysAddr := dev.Alloc(int64(8 * table.Cap()))
 	countsAddr := dev.Alloc(int64(4 * table.Cap()))
-	inAddr := dev.Alloc(int64(len(recv)))
+	inAddr := make([]uint64, len(parts))
+	for i, p := range parts {
+		inAddr[i] = dev.Alloc(int64(len(p)))
+	}
 
 	k := wire.K
 	dev.ResetContention()
-	st, launchErr := dev.Launch(gpusim.LaunchSpec{Name: "count_supermers", Threads: n}, func(tid int, ctx *gpusim.Ctx) {
-		img := recv[tid*stride : (tid+1)*stride]
-		ctx.Read(inAddr+uint64(tid*stride), stride)
+	st, launchErr := dev.Launch(gpusim.LaunchSpec{Name: "count_supermers", Threads: total}, func(tid int, ctx *gpusim.Ctx) {
+		part := sort.SearchInts(offsets, tid+1) - 1
+		idx := tid - offsets[part]
+		img := parts[part][idx*stride : (idx+1)*stride]
+		ctx.Read(inAddr[part]+uint64(idx*stride), stride)
 		seq, nk, _ := wire.Decode(img) // images verified before launch
 		// Roll the first k-mer, then slide one base at a time — the "extra
 		// parsing phase ... to extract k-mers from the received supermers".

@@ -2,7 +2,6 @@ package kernels
 
 import (
 	"fmt"
-	"sync"
 
 	"dedukt/internal/dna"
 	"dedukt/internal/gpusim"
@@ -37,37 +36,86 @@ func (c ParseConfig) Validate() error {
 	return nil
 }
 
-// ParseKmers is the GPU parse & process kernel of §III-B.1 (Fig. 2): the
-// concatenated, separator-delimited base array is cut into one position per
-// thread; each thread builds the k-mer starting at its base (consecutive
-// threads read consecutive bases — coalesced), hashes it to a destination
-// rank, and pushes the packed word into that rank's outgoing buffer with an
-// atomic cursor bump.
+// grow returns s resized to n elements, reusing its backing array when it is
+// large enough (contents are unspecified — callers overwrite).
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// ParseScratch holds the reusable buffers of one rank's ParseKmers calls:
+// the staged keys/destinations, the per-warp histogram and cursors, and the
+// contiguous output arena the per-destination parts are views into. A zero
+// value is ready to use; reusing one across rounds removes all per-round
+// allocation from the parse path. Parts returned by ParseKmers alias the
+// scratch and are valid until the next call with the same scratch.
+type ParseScratch struct {
+	keys    []uint64
+	dests   []int32
+	counts  []int32
+	cursors []int32
+	destOff []int
+	out     []uint64
+	parts   [][]uint64
+}
+
+// ParseKmers is the GPU parse & process kernel of §III-B.1 (Fig. 2),
+// implemented as the real GPU buffer-packing pattern: pass 1 cuts the
+// concatenated base array into one position per thread, builds and hashes
+// each k-mer (coalesced reads — consecutive threads read consecutive bases)
+// and bumps a per-warp destination histogram in shared memory; an exclusive
+// prefix sum over (warp × destination) then assigns every warp a private
+// cursor range; pass 2 replays the staged keys with contention-free
+// scattered writes into one contiguous buffer partitioned by destination.
+// No global atomics and no locks — the histogram lives in per-warp shared
+// memory and the scatter slots are disjoint by construction.
 //
-// The returned out[d] holds the packed k-mers bound for rank d. Buffer
-// order within a destination is unspecified (as with any atomic-append GPU
-// buffer); the k-mer multiset is deterministic.
-func ParseKmers(dev *gpusim.Device, cfg ParseConfig, data []byte) (out [][]uint64, st gpusim.KernelStats, err error) {
+// The returned out[d] holds the packed k-mers bound for rank d, as views
+// into one contiguous arena in scr (deterministic order: warp-major, then
+// position). The returned stats aggregate all three launches; the pipeline
+// prices them as one fused launch.
+func ParseKmers(dev *gpusim.Device, cfg ParseConfig, data []byte, scr *ParseScratch) (out [][]uint64, st gpusim.KernelStats, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, st, err
+	}
+	if scr == nil {
+		scr = &ParseScratch{}
 	}
 	threads := len(data) - cfg.K + 1
 	if threads < 0 {
 		threads = 0
 	}
-	out = make([][]uint64, cfg.NumDest)
-	locks := make([]sync.Mutex, cfg.NumDest)
+	ws := dev.Config().WarpSize
+	nWarps := (threads + ws - 1) / ws
+	numDest := cfg.NumDest
 
-	dataAddr := dev.Alloc(int64(len(data)))
-	tailsAddr := dev.Alloc(int64(4 * cfg.NumDest))
-	bufAddr := make([]uint64, cfg.NumDest)
-	for d := range bufAddr {
-		bufAddr[d] = dev.Alloc(int64(8 * (threads + 1)))
+	scr.keys = grow(scr.keys, threads)
+	scr.dests = grow(scr.dests, threads)
+	scr.counts = grow(scr.counts, nWarps*numDest)
+	scr.cursors = grow(scr.cursors, nWarps*numDest)
+	scr.destOff = grow(scr.destOff, numDest+1)
+	for i := range scr.counts {
+		scr.counts[i] = 0
 	}
 
+	dataAddr := dev.Alloc(int64(len(data)))
+	keysAddr := dev.Alloc(int64(8 * threads))
+	destsAddr := dev.Alloc(int64(4 * threads))
+	countsAddr := dev.Alloc(int64(4 * nWarps * numDest))
+	bufAddr := dev.Alloc(int64(8 * threads))
+
 	enc, k := cfg.Enc, cfg.K
+	keys, dests, counts := scr.keys, scr.dests, scr.counts
 	dev.ResetContention()
+
+	// Pass 1: parse, hash, stage, histogram. The per-warp histogram bump is
+	// a shared-memory increment (warp lanes execute sequentially within one
+	// goroutine, so no synchronization is needed — the same privatization a
+	// real kernel gets from shared memory plus warp-synchronous execution).
 	st, err = dev.Launch(gpusim.LaunchSpec{Name: "parse_kmers", Threads: threads}, func(tid int, ctx *gpusim.Ctx) {
+		dests[tid] = -1 // scratch reuse leaves stale values
 		// One overlapped read of the thread's k bases; warp lanes share
 		// sectors, which is exactly the coalescing §III-B.1 engineers for.
 		ctx.Read(dataAddr+uint64(tid), k)
@@ -86,19 +134,71 @@ func ParseKmers(dev *gpusim.Device, cfg ParseConfig, data []byte) (out [][]uint6
 			ctx.Compute(k * OpsKmerRoll) // reverse-complement unrolled
 		}
 		ctx.Compute(OpsHash + OpsDestSelect)
-		dest := DestOf(uint64(w), cfg.NumDest)
+		dest := DestOf(uint64(w), numDest)
 
-		// Reserve a slot: atomicAdd on the destination's tail counter.
-		ctx.Atomic(tailsAddr+uint64(dest*4), 4)
-		locks[dest].Lock()
-		slot := len(out[dest])
-		out[dest] = append(out[dest], uint64(w))
-		locks[dest].Unlock()
-		// Scattered store of the packed word into the partitioned buffer.
-		ctx.Write(bufAddr[dest]+uint64(slot*8), 8)
-		ctx.Compute(OpsEmit)
+		keys[tid] = uint64(w)
+		dests[tid] = int32(dest)
+		counts[(tid/ws)*numDest+dest]++
+		ctx.Compute(OpsEmit) // shared-memory histogram bump
+		// Coalesced staging stores of key and destination.
+		ctx.Write(keysAddr+uint64(tid*8), 8)
+		ctx.Write(destsAddr+uint64(tid*4), 4)
 	})
-	return out, st, err
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Exclusive prefix sum over (warp × destination), destination-major, so
+	// each destination's range is contiguous in the output arena. The host
+	// loop computes the real offsets; the cost-model launch charges the
+	// device price of the equivalent Blelloch scan.
+	total := 0
+	for d := 0; d < numDest; d++ {
+		scr.destOff[d] = total
+		for w := 0; w < nWarps; w++ {
+			scr.cursors[w*numDest+d] = int32(total)
+			total += int(counts[w*numDest+d])
+		}
+	}
+	scr.destOff[numDest] = total
+	scanSt, err := dev.Launch(gpusim.LaunchSpec{Name: "scan_offsets", Threads: nWarps * numDest}, func(tid int, ctx *gpusim.Ctx) {
+		ctx.Read(countsAddr+uint64(tid*4), 4)
+		ctx.Compute(OpsScanStep)
+		ctx.Write(countsAddr+uint64(tid*4), 4)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	st.Add(scanSt)
+
+	// Pass 2: contention-free scatter through the private cursors.
+	scr.out = grow(scr.out, total)
+	outBuf, cursors := scr.out, scr.cursors
+	scatterSt, err := dev.Launch(gpusim.LaunchSpec{Name: "scatter_kmers", Threads: threads}, func(tid int, ctx *gpusim.Ctx) {
+		ctx.Read(keysAddr+uint64(tid*8), 8)
+		ctx.Read(destsAddr+uint64(tid*4), 4)
+		d := dests[tid]
+		if d < 0 {
+			return // no k-mer at this position
+		}
+		cur := (tid/ws)*numDest + int(d)
+		slot := cursors[cur]
+		cursors[cur] = slot + 1
+		outBuf[slot] = keys[tid]
+		ctx.Compute(OpsEmit) // cursor bump + slot math
+		ctx.Write(bufAddr+uint64(slot)*8, 8)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	st.Add(scatterSt)
+
+	scr.parts = grow(scr.parts, numDest)
+	for d := 0; d < numDest; d++ {
+		lo, hi := scr.destOff[d], scr.destOff[d+1]
+		scr.parts[d] = outBuf[lo:hi:hi]
+	}
+	return scr.parts, st, nil
 }
 
 // CountDests is a host-side helper mirroring the kernel's destination

@@ -2,7 +2,6 @@ package kernels
 
 import (
 	"fmt"
-	"sync"
 
 	"dedukt/internal/dna"
 	"dedukt/internal/gpusim"
@@ -44,19 +43,50 @@ func (c SupermerConfig) Validate() error {
 	return (SupermerWire{K: c.C.K, Window: c.C.Window}).Validate()
 }
 
-// BuildSupermers is the GPU supermer kernel of §IV-B (Fig. 5, Alg. 2): the
-// k-mer start positions of the concatenated base array are cut into chunks
-// of Window; one thread owns each chunk, sequentially rolls through its
-// k-mers, computes each k-mer's minimizer in registers, and extends the
-// current supermer while the minimizer repeats. Completed supermers are
-// hashed by minimizer to a destination rank and appended to its outgoing
-// buffer in wire format (packed bases + length byte).
+// superDesc describes one supermer found by the descriptor pass: nk k-mers
+// whose bases start at data[start], bound for rank dest.
+type superDesc struct {
+	start int32
+	nk    int32
+	dest  int32
+}
+
+// SupermerScratch holds the reusable buffers of one rank's BuildSupermers
+// calls: per-thread supermer descriptors, the per-warp histogram and
+// cursors, and the contiguous wire arena the per-destination parts are
+// views into. A zero value is ready to use. Parts returned by
+// BuildSupermers alias the scratch and are valid until the next call with
+// the same scratch.
+type SupermerScratch struct {
+	descs   []superDesc
+	nDescs  []int32
+	counts  []int32
+	cursors []int32
+	destOff []int
+	out     []byte
+	parts   [][]byte
+}
+
+// BuildSupermers is the GPU supermer kernel of §IV-B (Fig. 5, Alg. 2),
+// implemented with the same count/scan/scatter buffer scheme as ParseKmers:
+// pass 1 cuts the k-mer start positions into chunks of Window, one thread
+// per chunk; each thread sequentially rolls through its k-mers, computes
+// each k-mer's minimizer in registers, extends the current supermer while
+// the minimizer repeats, and records completed supermers as descriptors
+// while bumping a per-warp destination histogram. After an exclusive prefix
+// sum assigns cursor ranges, pass 2 packs each supermer's bases directly
+// into its wire-format slot (packed bases + length byte) in one contiguous
+// buffer partitioned by destination — no global atomics, no locks, no
+// intermediate sequence objects.
 //
 // The emitted supermers are exactly those of minimizer.BuildWindowed over
 // the same buffer — the property tests rely on this equivalence.
-func BuildSupermers(dev *gpusim.Device, cfg SupermerConfig, data []byte) (out [][]byte, st gpusim.KernelStats, err error) {
+func BuildSupermers(dev *gpusim.Device, cfg SupermerConfig, data []byte, scr *SupermerScratch) (out [][]byte, st gpusim.KernelStats, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, st, err
+	}
+	if scr == nil {
+		scr = &SupermerScratch{}
 	}
 	k, m, window, ord := cfg.C.K, cfg.C.M, cfg.C.Window, cfg.C.Ord
 	wire := SupermerWire{K: k, Window: window}
@@ -67,24 +97,38 @@ func BuildSupermers(dev *gpusim.Device, cfg SupermerConfig, data []byte) (out []
 		positions = 0
 	}
 	threads := (positions + window - 1) / window
+	ws := dev.Config().WarpSize
+	nWarps := (threads + ws - 1) / ws
+	numDest := cfg.NumDest
 
-	out = make([][]byte, cfg.NumDest)
-	locks := make([]sync.Mutex, cfg.NumDest)
+	// A thread owns Window k-mer positions, so it can emit at most Window
+	// supermers (each holds ≥ 1 k-mer).
+	scr.descs = grow(scr.descs, threads*window)
+	scr.nDescs = grow(scr.nDescs, threads)
+	scr.counts = grow(scr.counts, nWarps*numDest)
+	scr.cursors = grow(scr.cursors, nWarps*numDest)
+	scr.destOff = grow(scr.destOff, numDest+1)
+	for i := range scr.counts {
+		scr.counts[i] = 0
+	}
 
 	dataAddr := dev.Alloc(int64(len(data)))
-	tailsAddr := dev.Alloc(int64(4 * cfg.NumDest))
+	descsAddr := dev.Alloc(int64(12 * threads * window))
+	countsAddr := dev.Alloc(int64(4 * nWarps * numDest))
 	mapAddr := uint64(0)
 	if cfg.DestMap != nil {
 		mapAddr = dev.Alloc(int64(2 * len(cfg.DestMap)))
 	}
-	bufAddr := make([]uint64, cfg.NumDest)
-	for d := range bufAddr {
-		bufAddr[d] = dev.Alloc(int64(stride * (positions + 1)))
-	}
+	bufAddr := dev.Alloc(int64(stride * (positions + 1)))
 
 	enc := cfg.Enc
+	descs, nDescs, counts := scr.descs, scr.nDescs, scr.counts
 	dev.ResetContention()
+
+	// Pass 1: roll minimizers, emit descriptors, build the per-warp
+	// destination histogram in shared memory.
 	st, err = dev.Launch(gpusim.LaunchSpec{Name: "build_supermers", Threads: threads}, func(tid int, ctx *gpusim.Ctx) {
+		nDescs[tid] = 0
 		lo := tid * window // first k-mer start position owned
 		hi := lo + window  // one past the last owned position
 		if hi > positions {
@@ -118,17 +162,13 @@ func BuildSupermers(dev *gpusim.Device, cfg SupermerConfig, data []byte) (out []
 				ctx.Compute(OpsHash + OpsDestSelect + OpsEmit)
 				dest = DestOf(uint64(curMin), cfg.NumDest)
 			}
-			s := minimizer.Supermer{Min: curMin, NKmers: nk, Seq: dna.NewPackedSeq(nk + k - 1)}
-			for i := start0; i < start0+nk+k-1; i++ {
-				s.Seq.Append(enc.MustEncode(data[i]))
-				ctx.Compute(OpsPackBase)
-			}
-			ctx.Atomic(tailsAddr+uint64(dest*4), 4)
-			locks[dest].Lock()
-			slot := len(out[dest]) / stride
-			out[dest] = wire.Encode(out[dest], &s)
-			locks[dest].Unlock()
-			ctx.Write(bufAddr[dest]+uint64(slot*stride), stride)
+			i := nDescs[tid]
+			descs[tid*window+int(i)] = superDesc{start: int32(start0), nk: int32(nk), dest: int32(dest)}
+			nDescs[tid] = i + 1
+			counts[(tid/ws)*numDest+dest]++
+			ctx.Compute(OpsEmit) // shared-memory histogram bump
+			// Coalesced staging store of the descriptor.
+			ctx.Write(descsAddr+uint64((tid*window+int(i))*12), 12)
 		}
 		// Roll bases from the chunk start; k-mers whose start lies in
 		// [lo, hi) are owned by this thread.
@@ -166,5 +206,67 @@ func BuildSupermers(dev *gpusim.Device, cfg SupermerConfig, data []byte) (out []
 		}
 		flush()
 	})
-	return out, st, err
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Exclusive prefix sum over (warp × destination), destination-major.
+	total := 0
+	for d := 0; d < numDest; d++ {
+		scr.destOff[d] = total
+		for w := 0; w < nWarps; w++ {
+			scr.cursors[w*numDest+d] = int32(total)
+			total += int(counts[w*numDest+d])
+		}
+	}
+	scr.destOff[numDest] = total
+	scanSt, err := dev.Launch(gpusim.LaunchSpec{Name: "scan_offsets", Threads: nWarps * numDest}, func(tid int, ctx *gpusim.Ctx) {
+		ctx.Read(countsAddr+uint64(tid*4), 4)
+		ctx.Compute(OpsScanStep)
+		ctx.Write(countsAddr+uint64(tid*4), 4)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	st.Add(scanSt)
+
+	// Pass 2: pack each supermer's bases straight into its wire slot.
+	scr.out = grow(scr.out, total*stride)
+	outBuf, cursors := scr.out, scr.cursors
+	scatterSt, err := dev.Launch(gpusim.LaunchSpec{Name: "scatter_supermers", Threads: threads}, func(tid int, ctx *gpusim.Ctx) {
+		n := int(nDescs[tid])
+		for i := 0; i < n; i++ {
+			ctx.Read(descsAddr+uint64((tid*window+i)*12), 12)
+			d := descs[tid*window+i]
+			cur := (tid/ws)*numDest + int(d.dest)
+			slot := int(cursors[cur])
+			cursors[cur] = int32(slot + 1)
+			off := slot * stride
+			img := outBuf[off : off+stride]
+			for b := range img {
+				img[b] = 0
+			}
+			nBases := int(d.nk) + k - 1
+			ctx.Read(dataAddr+uint64(d.start), nBases)
+			for b := 0; b < nBases; b++ {
+				code := enc.MustEncode(data[int(d.start)+b])
+				img[b/4] |= byte(code&3) << (2 * uint(b%4))
+			}
+			ctx.Compute(OpsPackBase * nBases)
+			img[stride-1] = byte(d.nk)
+			ctx.Compute(OpsEmit)
+			ctx.Write(bufAddr+uint64(off), stride)
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	st.Add(scatterSt)
+
+	scr.parts = grow(scr.parts, numDest)
+	for d := 0; d < numDest; d++ {
+		lo, hi := scr.destOff[d]*stride, scr.destOff[d+1]*stride
+		scr.parts[d] = outBuf[lo:hi:hi]
+	}
+	return scr.parts, st, nil
 }

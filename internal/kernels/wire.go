@@ -150,12 +150,19 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // FrameBytes wraps a byte payload of the given item count in a checksummed
 // frame.
 func FrameBytes(payload []byte, items int) []byte {
-	frame := make([]byte, byteFrameHeader+len(payload))
-	copy(frame, frameMagic[:])
-	binary.LittleEndian.PutUint32(frame[4:], uint32(items))
-	binary.LittleEndian.PutUint32(frame[8:], crc32.Checksum(payload, crcTable))
-	copy(frame[byteFrameHeader:], payload)
-	return frame
+	return AppendFrameBytes(make([]byte, 0, byteFrameHeader+len(payload)), payload, items)
+}
+
+// AppendFrameBytes appends the checksummed frame of payload to dst and
+// returns the extended slice — the allocation-free form the exchange path
+// uses to pack every destination's frame into one pooled arena.
+func AppendFrameBytes(dst []byte, payload []byte, items int) []byte {
+	var hdr [byteFrameHeader]byte
+	copy(hdr[:], frameMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(items))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // UnframeBytes validates a byte frame and returns its payload (a view, not
@@ -193,10 +200,14 @@ func wordsCRC(words []uint64) uint32 {
 // FrameWords wraps a word payload (packed k-mers) in a one-word
 // checksummed header.
 func FrameWords(words []uint64) []uint64 {
-	frame := make([]uint64, 1+len(words))
-	frame[0] = uint64(wordsCRC(words))<<32 | uint64(uint32(len(words)))
-	copy(frame[1:], words)
-	return frame
+	return AppendFrameWords(make([]uint64, 0, 1+len(words)), words)
+}
+
+// AppendFrameWords appends the framed payload to dst and returns the
+// extended slice (see AppendFrameBytes).
+func AppendFrameWords(dst []uint64, words []uint64) []uint64 {
+	dst = append(dst, uint64(wordsCRC(words))<<32|uint64(uint32(len(words))))
+	return append(dst, words...)
 }
 
 // UnframeWords validates a word frame and returns its payload (a view, not

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -51,12 +52,37 @@ type Options struct {
 	// collective kind, deadline hits) in its registry and a deadline_hit
 	// instant event when a collective times out.
 	Obs *obs.Recorder
+	// WireTime, when non-nil, emulates fabric transfer time at wall level:
+	// each payload collective (Alltoallv and its nonblocking forms) returns
+	// its received payloads no earlier than WireTime(b) after the collective
+	// was initiated, where b is the bytes this rank ships to its peers
+	// (self-delivery stays free: b == 0 charges nothing). The clock starts
+	// at initiation — the blocking call or the nonblocking post — and the
+	// collective sleeps only whatever remains of WireTime(b) once the
+	// exchange itself is done, like an RDMA transfer that progresses while
+	// the CPU computes: compute done between an IAlltoallv post and its
+	// Wait genuinely overlaps the wire. A blocking caller pays the
+	// remainder on the rank's own goroutine, a nonblocking post on the
+	// background request. Ranks sleep concurrently, so a collective's wall
+	// cost is the slowest rank's wire time, not the sum. nil means an
+	// instantaneous wire (the default). The sleep happens after the barrier
+	// waits and therefore never trips Deadline.
+	WireTime func(sentBytes int) time.Duration
 }
 
-// Comm is one rank's handle on the communicator.
+// Comm is one rank's handle on the communicator. It is owned by the rank's
+// goroutine and is not safe for concurrent use.
 type Comm struct {
 	rank  int
 	world *world
+	// asyncTail is the completion channel of the most recently posted
+	// nonblocking request: each new request waits on it, so posted
+	// collectives execute strictly in posting order (the MPI nonblocking
+	// ordering rule).
+	asyncTail chan struct{}
+	// pending counts posted-but-unwaited nonblocking requests; blocking
+	// collectives refuse to start while it is nonzero (see syncReady).
+	pending int
 }
 
 // world holds the shared state of one Run.
@@ -64,6 +90,7 @@ type world struct {
 	size     int
 	deadline time.Duration
 	obs      *obs.Recorder
+	wireTime func(sentBytes int) time.Duration
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -116,7 +143,7 @@ func RunWithOptions(size int, opt Options, body func(c *Comm) error) (trace []Tr
 	if opt.Deadline < 0 {
 		return nil, fmt.Errorf("mpisim: negative deadline %v", opt.Deadline)
 	}
-	w := &world{size: size, deadline: opt.Deadline, obs: opt.Obs, slots: make([]any, size)}
+	w := &world{size: size, deadline: opt.Deadline, obs: opt.Obs, wireTime: opt.WireTime, slots: make([]any, size)}
 	w.cond = sync.NewCond(&w.mu)
 
 	errs := make([]error, size)
@@ -171,10 +198,26 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.world.size }
 
+// syncReady guards every blocking collective: starting one while the rank
+// has unwaited nonblocking requests outstanding would interleave two
+// collective streams, scrambling the same-order-on-every-rank matching the
+// simulator (like MPI) requires. Wait on all requests first.
+func (c *Comm) syncReady() error {
+	if c.pending > 0 {
+		return fmt.Errorf("mpisim: rank %d: blocking collective with %d nonblocking requests outstanding (Wait first)", c.rank, c.pending)
+	}
+	return nil
+}
+
 // Barrier blocks until every rank has entered it, or fails with an error
 // wrapping ErrPeerDead (a peer died) or ErrDeadline (the wait exceeded the
 // communicator deadline).
-func (c *Comm) Barrier() error { return c.world.barrier(c.rank) }
+func (c *Comm) Barrier() error {
+	if err := c.syncReady(); err != nil {
+		return err
+	}
+	return c.world.barrier(c.rank)
+}
 
 func (w *world) barrier(rank int) error {
 	w.mu.Lock()
@@ -263,7 +306,16 @@ func (c *Comm) Alltoall(send []int) ([]int, error) {
 	if err := c.checkLen(len(send)); err != nil {
 		return nil, err
 	}
-	all, err := exchange(c, append([]int(nil), send...))
+	if err := c.syncReady(); err != nil {
+		return nil, err
+	}
+	return c.alltoall(append([]int(nil), send...))
+}
+
+// alltoall is the unchecked implementation; it owns send (callers copy when
+// the caller may still mutate the slice).
+func (c *Comm) alltoall(send []int) ([]int, error) {
+	all, err := exchange(c, send)
 	if err != nil {
 		return nil, err
 	}
@@ -291,10 +343,48 @@ func (c *Comm) AlltoallvBytes(send [][]byte) ([][]byte, error) {
 	if err := c.checkLen(len(send)); err != nil {
 		return nil, err
 	}
+	if err := c.syncReady(); err != nil {
+		return nil, err
+	}
+	return c.alltoallvBytes(send, c.wireClock())
+}
+
+// wire pays whatever remains of the emulated wall-level wire time for a
+// payload this rank sends off-rank (self-delivery is a local copy and stays
+// free). The clock starts at `posted` — the moment the collective was
+// initiated — because the emulated fabric moves data without the CPU, like
+// RDMA: wall time the caller spent computing (or starved of the scheduler)
+// since initiation already counts toward the transfer.
+func (c *Comm) wire(sentBytes int, posted time.Time) {
+	if c.world.wireTime == nil || sentBytes == 0 {
+		return // nothing left the node: the fabric (and its latency floor) is not involved
+	}
+	if d := c.world.wireTime(sentBytes) - time.Since(posted); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// wireClock timestamps a payload collective's initiation; it is zero-cost
+// when no wire model is configured.
+func (c *Comm) wireClock() (t time.Time) {
+	if c.world.wireTime != nil {
+		t = time.Now()
+	}
+	return t
+}
+
+func (c *Comm) alltoallvBytes(send [][]byte, posted time.Time) ([][]byte, error) {
+	sent := 0
+	for i, p := range send {
+		if i != c.rank {
+			sent += len(p)
+		}
+	}
 	all, err := exchange(c, send)
 	if err != nil {
 		return nil, err
 	}
+	c.wire(sent, posted)
 	recv := make([][]byte, c.Size())
 	for i, row := range all {
 		recv[i] = row[c.rank]
@@ -308,10 +398,24 @@ func (c *Comm) AlltoallvUint64(send [][]uint64) ([][]uint64, error) {
 	if err := c.checkLen(len(send)); err != nil {
 		return nil, err
 	}
+	if err := c.syncReady(); err != nil {
+		return nil, err
+	}
+	return c.alltoallvUint64(send, c.wireClock())
+}
+
+func (c *Comm) alltoallvUint64(send [][]uint64, posted time.Time) ([][]uint64, error) {
+	sent := 0
+	for i, p := range send {
+		if i != c.rank {
+			sent += 8 * len(p)
+		}
+	}
 	all, err := exchange(c, send)
 	if err != nil {
 		return nil, err
 	}
+	c.wire(sent, posted)
 	recv := make([][]uint64, c.Size())
 	for i, row := range all {
 		recv[i] = row[c.rank]
@@ -350,6 +454,9 @@ func (c *Comm) recordMatrix(op string, all any) {
 
 // AllreduceSum returns the sum of v across ranks.
 func (c *Comm) AllreduceSum(v uint64) (uint64, error) {
+	if err := c.syncReady(); err != nil {
+		return 0, err
+	}
 	all, err := exchange(c, v)
 	if err != nil {
 		return 0, err
@@ -363,6 +470,9 @@ func (c *Comm) AllreduceSum(v uint64) (uint64, error) {
 
 // AllreduceMax returns the max of v across ranks.
 func (c *Comm) AllreduceMax(v uint64) (uint64, error) {
+	if err := c.syncReady(); err != nil {
+		return 0, err
+	}
 	all, err := exchange(c, v)
 	if err != nil {
 		return 0, err
@@ -379,6 +489,9 @@ func (c *Comm) AllreduceMax(v uint64) (uint64, error) {
 // GatherUint64 returns every rank's value, indexed by rank (available on
 // all ranks — an allgather; the paper's reporting needs no rooted gather).
 func (c *Comm) GatherUint64(v uint64) ([]uint64, error) {
+	if err := c.syncReady(); err != nil {
+		return nil, err
+	}
 	return exchange(c, v)
 }
 
@@ -387,4 +500,121 @@ func (c *Comm) checkLen(n int) error {
 		return fmt.Errorf("mpisim: send vector length %d != world size %d", n, c.Size())
 	}
 	return nil
+}
+
+// ---- Nonblocking collectives ------------------------------------------------
+//
+// IAlltoall / IAlltoallv* post a collective and return immediately with a
+// Request; the exchange runs on a background goroutine while the posting rank
+// keeps computing (the overlap the paper's communication-bound rounds leave on
+// the table). As in MPI:
+//
+//   - posted requests on one rank complete in posting order (each request's
+//     goroutine waits for the previous one), so the same-collective-order rule
+//     still holds across ranks as long as every rank posts in the same order;
+//   - vector payloads are referenced, not copied — the sender must not mutate
+//     them until Wait returns (IAlltoall copies its small count vector at post
+//     time, so that buffer may be reused immediately);
+//   - blocking collectives may not be issued while requests are outstanding
+//     (syncReady); Wait every request first.
+//
+// Poisoning composes: a background collective that fails with ErrPeerDead or
+// ErrDeadline delivers that error from Wait.
+
+type asyncResult[T any] struct {
+	v   T
+	err error
+}
+
+// Request is a posted nonblocking collective. Wait blocks until it completes
+// and returns its result; calling Wait again returns the same result. A
+// Request must be waited by the rank that posted it.
+type Request[T any] struct {
+	c    *Comm
+	ch   chan asyncResult[T]
+	done bool
+	v    T
+	err  error
+}
+
+// Wait blocks until the posted collective completes and returns its result.
+// Idempotent: later calls return the cached result.
+func (r *Request[T]) Wait() (T, error) {
+	if !r.done {
+		res := <-r.ch
+		r.done = true
+		r.v, r.err = res.v, res.err
+		r.c.pending--
+	}
+	return r.v, r.err
+}
+
+// post starts op on a background goroutine chained after the rank's previous
+// nonblocking request, preserving posting order. The result channel is
+// buffered so the goroutine never leaks even if Wait is never called (e.g.
+// the world was poisoned and the rank body bailed out).
+//
+// Posting yields to the scheduler before returning. On a real machine the
+// NIC picks up a posted isend immediately; with fewer cores than ranks the
+// Go scheduler would otherwise run each rank's post only at the start of
+// that rank's next CPU slice, staggering the ranks' wire clocks by up to a
+// full round of compute and charging that stagger to whichever collective
+// synchronizes next. The yield lets every runnable rank reach its post (and
+// every posted collective's goroutine start) before compute resumes.
+func post[T any](c *Comm, op func() (T, error)) *Request[T] {
+	r := &Request[T]{c: c, ch: make(chan asyncResult[T], 1)}
+	prev := c.asyncTail
+	done := make(chan struct{})
+	c.asyncTail = done
+	c.pending++
+	go func() {
+		defer close(done)
+		if prev != nil {
+			<-prev
+		}
+		v, err := op()
+		r.ch <- asyncResult[T]{v, err}
+	}()
+	runtime.Gosched()
+	return r
+}
+
+// postErr wraps an immediate validation failure in an already-completed
+// Request so callers have a single error path (through Wait).
+func postErr[T any](c *Comm, err error) *Request[T] {
+	r := &Request[T]{c: c, ch: make(chan asyncResult[T], 1)}
+	c.pending++
+	var zero T
+	r.ch <- asyncResult[T]{zero, err}
+	return r
+}
+
+// IAlltoall posts the count exchange. The send vector is copied at post time,
+// so the caller may reuse it immediately.
+func (c *Comm) IAlltoall(send []int) *Request[[]int] {
+	if err := c.checkLen(len(send)); err != nil {
+		return postErr[[]int](c, err)
+	}
+	owned := append([]int(nil), send...)
+	return post(c, func() ([]int, error) { return c.alltoall(owned) })
+}
+
+// IAlltoallvBytes posts the byte-payload exchange. Payloads are referenced:
+// the caller must not mutate send or its rows until Wait returns.
+func (c *Comm) IAlltoallvBytes(send [][]byte) *Request[[][]byte] {
+	if err := c.checkLen(len(send)); err != nil {
+		return postErr[[][]byte](c, err)
+	}
+	posted := c.wireClock()
+	return post(c, func() ([][]byte, error) { return c.alltoallvBytes(send, posted) })
+}
+
+// IAlltoallvUint64 posts the word-payload exchange. Payloads are referenced:
+// the caller must not mutate send or its rows until Wait returns.
+func (c *Comm) IAlltoallvUint64(send [][]uint64) *Request[[][]uint64] {
+	if err := c.checkLen(len(send)); err != nil {
+		return postErr[[][]uint64](c, err)
+	}
+	posted := c.wireClock()
+	return post(c, func() ([][]uint64, error) { return c.alltoallvUint64(send, posted) })
 }

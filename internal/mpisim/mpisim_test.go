@@ -520,3 +520,230 @@ func TestBigWorld(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---- Nonblocking collective tests ------------------------------------------
+
+func TestNonblockingAlltoallMatchesBlocking(t *testing.T) {
+	const p = 5
+	_, err := Run(p, func(c *Comm) error {
+		send := make([]int, p)
+		for j := range send {
+			send[j] = c.Rank()*100 + j
+		}
+		req := c.IAlltoall(send)
+		// The send vector is copied at post time: clobbering it here must
+		// not affect the exchange.
+		for j := range send {
+			send[j] = -1
+		}
+		recv, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		for i, v := range recv {
+			if want := i*100 + c.Rank(); v != want {
+				t.Errorf("rank %d recv[%d] = %d, want %d", c.Rank(), i, v, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingAlltoallvPayloads(t *testing.T) {
+	const p = 4
+	_, err := Run(p, func(c *Comm) error {
+		words := make([][]uint64, p)
+		bytes := make([][]byte, p)
+		for j := range words {
+			words[j] = []uint64{uint64(c.Rank()), uint64(j)}
+			bytes[j] = []byte{byte(c.Rank()), byte(j), 0xAA}
+		}
+		wr := c.IAlltoallvUint64(words)
+		br := c.IAlltoallvBytes(bytes)
+		gotW, err := wr.Wait()
+		if err != nil {
+			return err
+		}
+		gotB, err := br.Wait()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < p; i++ {
+			if gotW[i][0] != uint64(i) || gotW[i][1] != uint64(c.Rank()) {
+				t.Errorf("rank %d words from %d = %v", c.Rank(), i, gotW[i])
+			}
+			if gotB[i][0] != byte(i) || gotB[i][1] != byte(c.Rank()) || gotB[i][2] != 0xAA {
+				t.Errorf("rank %d bytes from %d = %v", c.Rank(), i, gotB[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonblockingOverlapsCompute posts an exchange, performs local work
+// before Wait, and checks the result is still delivered intact — the
+// overlap pattern the pipeline's double-buffered round loop uses.
+func TestNonblockingOverlapsCompute(t *testing.T) {
+	const p = 6
+	_, err := Run(p, func(c *Comm) error {
+		send := make([][]uint64, p)
+		for j := range send {
+			send[j] = []uint64{uint64(c.Rank()<<8 | j)}
+		}
+		req := c.IAlltoallvUint64(send)
+		// Simulated local compute while the exchange is in flight.
+		sum := uint64(0)
+		for i := 0; i < 1000; i++ {
+			sum += uint64(i)
+		}
+		if sum == 0 {
+			t.Error("unreachable")
+		}
+		recv, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		for i := range recv {
+			if recv[i][0] != uint64(i<<8|c.Rank()) {
+				t.Errorf("rank %d recv[%d] = %v", c.Rank(), i, recv[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingPostingOrderPreserved(t *testing.T) {
+	// Two exchanges posted back to back must match across ranks in posting
+	// order, even though both run on background goroutines.
+	const p = 4
+	_, err := Run(p, func(c *Comm) error {
+		first := make([]int, p)
+		second := make([]int, p)
+		for j := range first {
+			first[j] = 1
+			second[j] = 2
+		}
+		r1 := c.IAlltoall(first)
+		r2 := c.IAlltoall(second)
+		got2, err := r2.Wait() // waiting out of order is legal
+		if err != nil {
+			return err
+		}
+		got1, err := r1.Wait()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < p; i++ {
+			if got1[i] != 1 || got2[i] != 2 {
+				t.Errorf("rank %d got1[%d]=%d got2[%d]=%d", c.Rank(), i, got1[i], i, got2[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitIdempotent(t *testing.T) {
+	_, err := Run(3, func(c *Comm) error {
+		req := c.IAlltoall([]int{1, 2, 3})
+		a, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		b, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("second Wait returned different data: %v vs %v", a, b)
+			}
+		}
+		// After Wait, blocking collectives are legal again.
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockingWhilePendingErrors(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		req := c.IAlltoall([]int{0, 0})
+		if _, berr := c.AllreduceSum(1); berr == nil {
+			t.Error("AllreduceSum with pending request should error")
+		} else if !strings.Contains(berr.Error(), "outstanding") {
+			t.Errorf("unexpected error: %v", berr)
+		}
+		if berr := c.Barrier(); berr == nil {
+			t.Error("Barrier with pending request should error")
+		}
+		_, err := req.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingValidationError(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		req := c.IAlltoall([]int{1}) // wrong length
+		if _, werr := req.Wait(); werr == nil {
+			t.Error("bad send length should surface from Wait")
+		}
+		// The failed request must not wedge the pending counter.
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonblockingPeerDeathPoisons(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(3, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return boom // dies without posting
+		}
+		req := c.IAlltoallvUint64(make([][]uint64, 3))
+		_, werr := req.Wait()
+		if werr == nil {
+			t.Errorf("rank %d: Wait should fail after peer death", c.Rank())
+		} else if !errors.Is(werr, ErrPeerDead) {
+			t.Errorf("rank %d: want ErrPeerDead, got %v", c.Rank(), werr)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want the dead rank's error, got %v", err)
+	}
+}
+
+func TestNonblockingDeadline(t *testing.T) {
+	_, err := RunWithOptions(2, Options{Deadline: 30 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(200 * time.Millisecond) // stall past the deadline
+		}
+		req := c.IAlltoall([]int{1, 1})
+		_, werr := req.Wait()
+		if c.Rank() == 0 {
+			if werr == nil || !errors.Is(werr, ErrDeadline) {
+				t.Errorf("rank 0: want ErrDeadline, got %v", werr)
+			}
+		}
+		return nil
+	})
+	_ = err // world is poisoned; per-rank outcomes checked above
+}

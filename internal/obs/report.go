@@ -28,6 +28,10 @@ type RoundReport struct {
 	Retries, Faults uint64
 	// Degraded reports that the round exhausted its retry budget somewhere.
 	Degraded bool
+	// ModeledCompute is the slowest rank's modeled compute time this round
+	// (stage_h2d + parse + count); ModeledExchange the slowest rank's
+	// modeled exchange time. These feed the overlap estimate below.
+	ModeledCompute, ModeledExchange time.Duration
 }
 
 // Report is the human-readable digest of one recorded run.
@@ -43,6 +47,11 @@ type Report struct {
 	// SlowestRank spent the most wall time across the whole run.
 	SlowestRank int
 	SlowestWall time.Duration
+	// ModeledSerial is the modeled round-pipeline time when every round runs
+	// compute then exchange back to back; ModeledOverlapped applies the
+	// overlapped schedule, where round r's exchange hides behind round r+1's
+	// compute: compute(0) + Σ max(exchange(r), compute(r+1)) + exchange(last).
+	ModeledSerial, ModeledOverlapped time.Duration
 }
 
 // BuildReport folds the recorded spans and instants into a Report. A nil
@@ -79,12 +88,16 @@ func (r *Recorder) BuildReport() *Report {
 	type roundAcc struct {
 		items    []uint64 // per rank: counted items
 		rankWall []uint64 // per rank: wall ns over all phases
+		compute  []uint64 // per rank: modeled ns in stage_h2d+parse+count
+		exch     []uint64 // per rank: modeled ns in exchange
 	}
 	accs := make([]roundAcc, maxRound+1)
 	for i := range accs {
 		accs[i] = roundAcc{
 			items:    make([]uint64, rep.Ranks),
 			rankWall: make([]uint64, rep.Ranks),
+			compute:  make([]uint64, rep.Ranks),
+			exch:     make([]uint64, rep.Ranks),
 		}
 	}
 	runWall := make([]uint64, rep.Ranks)
@@ -98,8 +111,14 @@ func (r *Recorder) BuildReport() *Report {
 		a := &accs[s.Round]
 		a.rankWall[s.Rank] += uint64(s.Dur)
 		runWall[s.Rank] += uint64(s.Dur)
-		if s.Phase == PhaseCount {
+		switch s.Phase {
+		case PhaseCount:
 			a.items[s.Rank] += s.Items
+			a.compute[s.Rank] += uint64(s.Modeled)
+		case PhaseStageH2D, PhaseParse:
+			a.compute[s.Rank] += uint64(s.Modeled)
+		case PhaseExchange:
+			a.exch[s.Rank] += uint64(s.Modeled)
 		}
 	}
 	for _, i := range instants {
@@ -123,7 +142,30 @@ func (r *Recorder) BuildReport() *Report {
 		if rr.SlowestRank >= 0 {
 			rr.SlowestWall = time.Duration(a.rankWall[rr.SlowestRank])
 		}
+		for rk := range a.compute {
+			if d := time.Duration(a.compute[rk]); d > rr.ModeledCompute {
+				rr.ModeledCompute = d
+			}
+			if d := time.Duration(a.exch[rk]); d > rr.ModeledExchange {
+				rr.ModeledExchange = d
+			}
+		}
 		rep.Rounds[rd] = rr
+	}
+	for rd, rr := range rep.Rounds {
+		rep.ModeledSerial += rr.ModeledCompute + rr.ModeledExchange
+		if rd == 0 {
+			rep.ModeledOverlapped += rr.ModeledCompute
+		}
+		if rd+1 < len(rep.Rounds) {
+			hidden := rep.Rounds[rd+1].ModeledCompute
+			if rr.ModeledExchange > hidden {
+				hidden = rr.ModeledExchange
+			}
+			rep.ModeledOverlapped += hidden
+		} else {
+			rep.ModeledOverlapped += rr.ModeledExchange
+		}
 	}
 	for _, i := range instants {
 		if i.Round < 0 || i.Round > maxRound {
@@ -178,6 +220,13 @@ func (rep *Report) WriteText(w io.Writer) error {
 		pt.Row(p, rep.PhaseWall[p], rep.PhaseModeled[p])
 	}
 	fmt.Fprint(w, pt)
+
+	if rep.ModeledSerial > 0 {
+		saved := rep.ModeledSerial - rep.ModeledOverlapped
+		fmt.Fprintf(w, "\nmodeled round pipeline: serial %s, overlapped %s (%.1f%% hidden by overlap)\n",
+			stats.Seconds(rep.ModeledSerial), stats.Seconds(rep.ModeledOverlapped),
+			100*float64(saved)/float64(rep.ModeledSerial))
+	}
 
 	if len(rep.Events) > 0 {
 		fmt.Fprintf(w, "\nevents:\n")

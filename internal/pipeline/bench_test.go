@@ -3,6 +3,7 @@ package pipeline
 import (
 	"io"
 	"testing"
+	"time"
 
 	"dedukt/internal/fastq"
 	"dedukt/internal/genome"
@@ -58,5 +59,53 @@ func BenchmarkPipelineTraced(b *testing.B) {
 	b.StopTimer()
 	if err := rec.WriteTrace(io.Discard); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineKmer is the k-mer-mode counterpart of
+// BenchmarkPipelineSupermer: whole-word exchange, no supermer packing.
+func BenchmarkPipelineKmer(b *testing.B) {
+	reads := benchReads(b)
+	cfg := Default(smallGPULayout(1), KmerMode)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, reads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineOverlap compares the bulk-synchronous schedule against
+// the overlapped one on a multi-round run with an emulated wire (the
+// simulator's collectives are otherwise free in wall terms, which is
+// exactly the cost §V says dominates). Serial ranks sit in the blocking
+// Alltoallv for the wire time every round; overlapped ranks post it and
+// parse the next round while it drains.
+func BenchmarkPipelineOverlap(b *testing.B) {
+	reads := benchReads(b)
+	for _, mode := range []struct {
+		name    string
+		overlap bool
+	}{{"serial", false}, {"overlap", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Default(smallGPULayout(1), SupermerMode)
+			cfg.RoundBases = 3_000 // ~10 rounds at this input size
+			cfg.Overlap = mode.overlap
+			// Emulated alltoallv cost: a fixed software-latency floor per
+			// collective plus a bandwidth term.
+			cfg.WireTime = func(sent int) time.Duration {
+				return 5*time.Millisecond + time.Duration(sent)*10*time.Nanosecond
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg, reads)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds < 2 {
+					b.Fatal("want a multi-round run")
+				}
+			}
+		})
 	}
 }

@@ -69,6 +69,15 @@ type Config struct {
 	// GPUDirect, when true, models GPUDirect communication (§III-B.2):
 	// payloads move NIC↔GPU directly and the host staging legs are skipped.
 	GPUDirect bool
+	// Overlap, when true, runs each rank's round loop as a double-buffered
+	// pipeline: round r's exchange is posted with nonblocking collectives
+	// and round r+1's parse runs while it is in flight, hiding exchange
+	// time behind compute (and vice versa). Results are bit-identical to
+	// the serial schedule; the modeled steady-state round time becomes
+	// max(compute, exchange) instead of their sum (see
+	// Result.ModeledTotal). Off by default so the paper's bulk-synchronous
+	// baseline stays reproducible.
+	Overlap bool
 	// TableLoad is the counter table's maximum load factor (default 0.5).
 	TableLoad float64
 	// Probing selects the collision policy (default linear, §III-B.3).
@@ -125,6 +134,15 @@ type Config struct {
 	// mpisim.ErrDeadline (a live-but-stalled peer; dead peers unblock
 	// waiters immediately regardless). 0 disables the deadline.
 	ExchangeDeadline time.Duration
+	// WireTime, when non-nil, emulates fabric transfer time at wall level
+	// in the simulator: every payload Alltoallv sleeps WireTime(bytes this
+	// rank sent off-rank) before delivering. The simulator's collectives
+	// are otherwise instantaneous in wall terms, which hides exactly the
+	// communication cost the paper says dominates (§V); with a wire model
+	// the Overlap schedule's latency hiding becomes measurable in wall
+	// clock, not just in the modeled accounting. nil (the default) keeps
+	// the wire instantaneous.
+	WireTime func(sentBytes int) time.Duration
 	// Obs, when non-nil, records per-rank per-round phase spans, fault
 	// instants, and run metrics (see internal/obs). nil disables
 	// observability at zero cost to the hot paths.
@@ -288,6 +306,10 @@ type Result struct {
 	// Rounds is the number of parse-exchange-count rounds executed
 	// (1 unless Config.RoundBases forced multi-round operation).
 	Rounds int
+	// Overlap echoes Config.Overlap: whether the rank round loops ran the
+	// double-buffered overlapped schedule. ModeledTotal applies the
+	// overlap rule when set.
+	Overlap bool
 	// Tables holds each rank's counted partition when Config.KeepTables is
 	// set (nil otherwise). Partitions are disjoint; merge with
 	// kcount.Table.Merge for a global table.
@@ -301,6 +323,25 @@ type Result struct {
 	// injected kills/delays/drops/corruptions plus observed bad frames,
 	// retried rounds, and discarded items. All-zero on a healthy run.
 	Faults []fault.Counts
+}
+
+// ModeledTotal returns the end-to-end modeled time under the run's
+// schedule. Serial (bulk-synchronous) runs pay compute + exchange in full.
+// Overlapped runs hide the shorter of the two behind the longer in every
+// steady-state round: with R rounds, R-1 exchanges overlap the next round's
+// compute, so the total is R·max(compute, exchange) plus the un-overlapped
+// pipeline fill (the first round's compute or the last round's drain),
+// approximated here as one round of compute.
+func (r *Result) ModeledTotal() time.Duration {
+	compute := r.Modeled.Parse + r.Modeled.Count
+	if !r.Overlap || r.Rounds < 2 {
+		return compute + r.Modeled.Exchange
+	}
+	steady := r.Modeled.Exchange
+	if compute > steady {
+		steady = compute
+	}
+	return steady + compute/time.Duration(r.Rounds)
 }
 
 // TotalFaults folds the per-rank fault tallies into one.

@@ -11,6 +11,20 @@ import (
 	"dedukt/internal/obs"
 )
 
+// cpuRoundState is one parity's pooled round scratch for the CPU rank body:
+// the staged base buffer, the round's per-destination send vectors (rows
+// truncated and reused across rounds of the same parity) and its posted
+// exchange.
+type cpuRoundState struct {
+	buf       dna.SeqBuffer
+	sendWords [][]uint64
+	sendWire  [][]byte
+	pend      *pendingExchange
+	recvWords [][]uint64
+	recvWire  [][]byte
+	roundRecv uint64
+}
+
 // runCPURank executes the scalar baseline (Alg. 1) or the CPU-supermer
 // ablation for one rank, metering abstract work with the same constants the
 // GPU kernels use and converting it to Power9 time via the layout's
@@ -45,25 +59,26 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	rank := c.Rank()
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
 	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
+	var states [2]cpuRoundState
 
-	for r := 0; r < rounds; r++ {
+	// Parse & process into the parity slot's send vectors.
+	parse := func(r int) error {
 		if err := killOrStall(inj, c, r, rec); err != nil {
 			return err
 		}
-		buf := buildBuffer(chunkFor(chunks, r))
-		data := buf.Data()
+		st := &states[r%2]
+		st.buf.Reset()
+		for _, rd := range chunkFor(chunks, r) {
+			st.buf.AppendRead(rd.Seq)
+		}
+		data := st.buf.Data()
 
-		// Parse & process.
 		sp := rec.Begin(rank, r, obs.PhaseParse)
-		var (
-			sendWords [][]uint64
-			sendWire  [][]byte
-			meter     kernels.WorkMeter
-		)
+		var meter kernels.WorkMeter
 		if cfg.Mode == KmerMode {
-			sendWords, meter = cpuParseKmers(cfg, c.Size(), data)
+			st.sendWords, meter = cpuParseKmers(cfg, c.Size(), data, st.sendWords)
 		} else {
-			sendWire, meter, err = cpuBuildSupermers(cfg, destMap, c.Size(), data)
+			st.sendWire, meter, err = cpuBuildSupermers(cfg, destMap, c.Size(), data, st.sendWire)
 			if err != nil {
 				sp.End(0, 0)
 				return err
@@ -73,61 +88,75 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		out.parse += parseModeled
 		out.parseOps += meter.Ops
 
-		// Exchange (no staging legs on the CPU pipeline).
-		counts := make([]int, c.Size())
 		var roundSent uint64
 		if cfg.Mode == KmerMode {
-			for d, part := range sendWords {
-				counts[d] = len(part)
+			for _, part := range st.sendWords {
 				roundSent += uint64(len(part))
 				out.payloadSent += 8 * uint64(len(part))
 			}
 		} else {
-			for d, part := range sendWire {
-				counts[d] = len(part) / wire.Stride()
+			for _, part := range st.sendWire {
 				roundSent += uint64(len(part) / wire.Stride())
 				out.payloadSent += uint64(len(part))
 			}
 		}
 		out.itemsSent += roundSent
 		sp.End(parseModeled, roundSent)
+		return nil
+	}
 
-		sp = rec.Begin(rank, r, obs.PhaseExchange)
-		expect, err := ex.announce(counts)
-		if err != nil {
-			sp.End(0, 0)
-			return err
-		}
-
-		var recvWords []uint64
-		var recvWire []byte
-		var roundRecv uint64
+	// Post the round's exchange with nonblocking collectives.
+	post := func(r int) error {
+		st := &states[r%2]
 		if cfg.Mode == KmerMode {
-			recv, err := ex.exchangeWords(r, sendWords, expect)
+			st.pend = ex.postWords(r, st.sendWords)
+		} else {
+			st.pend = ex.postWire(r, wire, st.sendWire)
+		}
+		return nil
+	}
+
+	// Complete the exchange; the received parts stay in the parity slot for
+	// count (no staging legs on the CPU pipeline).
+	finish := func(r int) error {
+		st := &states[r%2]
+		pend := st.pend
+		st.pend = nil
+		st.roundRecv = 0
+		var err error
+		if cfg.Mode == KmerMode {
+			st.recvWords, err = ex.finishWords(pend)
 			if err != nil {
-				sp.End(0, 0)
 				return err
 			}
-			recvWords = flattenWords(recv)
-			roundRecv = uint64(len(recvWords))
+			for _, part := range st.recvWords {
+				st.roundRecv += uint64(len(part))
+			}
 		} else {
-			recv, err := ex.exchangeWire(r, wire, sendWire, expect)
+			st.recvWire, err = ex.finishWire(pend)
 			if err != nil {
-				sp.End(0, 0)
 				return err
 			}
-			recvWire = flattenBytes(recv)
-			roundRecv = uint64(len(recvWire) / wire.Stride())
+			for _, part := range st.recvWire {
+				st.roundRecv += uint64(len(part) / wire.Stride())
+			}
 		}
-		sp.End(0, roundRecv)
+		pend.sp.End(0, st.roundRecv)
+		return nil
+	}
 
-		// Count into the persistent per-rank table.
-		sp = rec.Begin(rank, r, obs.PhaseCount)
-		var cmeter kernels.WorkMeter
+	// Count the received parts into the persistent per-rank table in place.
+	count := func(r int) error {
+		st := &states[r%2]
+		sp := rec.Begin(rank, r, obs.PhaseCount)
+		var (
+			cmeter kernels.WorkMeter
+			err    error
+		)
 		if cfg.Mode == KmerMode {
-			cmeter = cpuCountKmers(cfg, table, bloom, recvWords)
+			cmeter = cpuCountKmers(cfg, table, bloom, st.recvWords)
 		} else {
-			cmeter, err = cpuCountSupermers(cfg, table, bloom, recvWire)
+			cmeter, err = cpuCountSupermers(cfg, table, bloom, st.recvWire)
 			if err != nil {
 				sp.End(0, 0)
 				return err
@@ -136,7 +165,12 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		countModeled := model.RankTimeLifted(cmeter.Ops, cmeter.Bytes, cmeter.Items, cfg.CPULoadLift)
 		out.count += countModeled
 		out.countOps += cmeter.Ops
-		sp.End(countModeled, roundRecv)
+		sp.End(countModeled, st.roundRecv)
+		return nil
+	}
+
+	if err := runRounds(rounds, cfg.Overlap, parse, post, finish, count); err != nil {
+		return err
 	}
 	out.counted = table.TotalCount()
 	out.distinct = uint64(table.Len())
@@ -150,9 +184,16 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 
 // cpuParseKmers is the scalar PARSEKMER of Alg. 1: a rolling sliding-window
 // parse, one hash per k-mer, append to the destination's outgoing vector.
-func cpuParseKmers(cfg Config, nProc int, data []byte) ([][]uint64, kernels.WorkMeter) {
+// prev's rows are truncated and reused when provided.
+func cpuParseKmers(cfg Config, nProc int, data []byte, prev [][]uint64) ([][]uint64, kernels.WorkMeter) {
 	var m kernels.WorkMeter
-	out := make([][]uint64, nProc)
+	out := prev
+	if len(out) != nProc {
+		out = make([][]uint64, nProc)
+	}
+	for d := range out {
+		out[d] = out[d][:0]
+	}
 	k, enc := cfg.K, cfg.Enc
 	var kw uint64
 	valid := 0
@@ -185,10 +226,17 @@ func cpuParseKmers(cfg Config, nProc int, data []byte) ([][]uint64, kernels.Work
 }
 
 // cpuBuildSupermers is the scalar BUILDSUPERMER of Alg. 2, windowed exactly
-// like the GPU kernel so both engines ship identical supermer sets.
-func cpuBuildSupermers(cfg Config, destMap []uint16, nProc int, data []byte) ([][]byte, kernels.WorkMeter, error) {
+// like the GPU kernel so both engines ship identical supermer sets. prev's
+// rows are truncated and reused when provided.
+func cpuBuildSupermers(cfg Config, destMap []uint16, nProc int, data []byte, prev [][]byte) ([][]byte, kernels.WorkMeter, error) {
 	var m kernels.WorkMeter
-	out := make([][]byte, nProc)
+	out := prev
+	if len(out) != nProc {
+		out = make([][]byte, nProc)
+	}
+	for d := range out {
+		out[d] = out[d][:0]
+	}
 	mc := cfg.minimizerConfig()
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
 	m.AddBytes(len(data))
@@ -224,11 +272,14 @@ func cpuBuildSupermers(cfg Config, destMap []uint16, nProc int, data []byte) ([]
 }
 
 // cpuCountKmers is the scalar COUNTKMER of Alg. 1 over an open-addressing
-// table (the same structure the GPU uses, without atomics).
-func cpuCountKmers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, recv []uint64) kernels.WorkMeter {
+// table (the same structure the GPU uses, without atomics), consuming the
+// received per-source parts in place.
+func cpuCountKmers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, parts [][]uint64) kernels.WorkMeter {
 	var m kernels.WorkMeter
-	for _, key := range recv {
-		countOne(table, bloom, key, &m)
+	for _, part := range parts {
+		for _, key := range part {
+			countOne(table, bloom, key, &m)
+		}
 	}
 	return m
 }
@@ -258,31 +309,34 @@ func countOne(table *kcount.Table, bloom *kcount.Bloom, key uint64, m *kernels.W
 }
 
 // cpuCountSupermers extracts k-mers from received supermers and counts them
-// (Alg. 2 COUNTKMER). The received bytes are exchanged data: a decode
-// failure surfaces as an error, never a panic.
-func cpuCountSupermers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, recv []byte) (kernels.WorkMeter, error) {
+// (Alg. 2 COUNTKMER), consuming the received per-source parts in place. The
+// received bytes are exchanged data: a decode failure surfaces as an error,
+// never a panic.
+func cpuCountSupermers(cfg Config, table *kcount.Table, bloom *kcount.Bloom, parts [][]byte) (kernels.WorkMeter, error) {
 	var m kernels.WorkMeter
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
 	stride := wire.Stride()
-	n, err := wire.Count(recv)
-	if err != nil {
-		return m, err
-	}
-	for i := 0; i < n; i++ {
-		seq, nk, err := wire.Decode(recv[i*stride:])
+	for _, recv := range parts {
+		n, err := wire.Count(recv)
 		if err != nil {
 			return m, err
 		}
-		m.AddBytes(stride)
-		var kw uint64
-		for j := 0; j < cfg.K-1; j++ {
-			kw = kw<<2 | uint64(seq.At(j))
-			m.AddOps(kernels.OpsKmerRoll)
-		}
-		for j := 0; j < nk; j++ {
-			kw = (kw<<2 | uint64(seq.At(j+cfg.K-1))) & kmerMask(cfg.K)
-			m.AddOps(kernels.OpsKmerRoll)
-			countOne(table, bloom, kw, &m)
+		for i := 0; i < n; i++ {
+			seq, nk, err := wire.Decode(recv[i*stride:])
+			if err != nil {
+				return m, err
+			}
+			m.AddBytes(stride)
+			var kw uint64
+			for j := 0; j < cfg.K-1; j++ {
+				kw = kw<<2 | uint64(seq.At(j))
+				m.AddOps(kernels.OpsKmerRoll)
+			}
+			for j := 0; j < nk; j++ {
+				kw = (kw<<2 | uint64(seq.At(j+cfg.K-1))) & kmerMask(cfg.K)
+				m.AddOps(kernels.OpsKmerRoll)
+				countOne(table, bloom, kw, &m)
+			}
 		}
 	}
 	return m, nil

@@ -22,6 +22,17 @@ import (
 // that exhausts its budget degrades: the verified payloads are counted,
 // the rest are discarded, and the rank's outcome is flagged incomplete.
 //
+// The exchange is split into a post half (postWords/postWire: announce the
+// counts and ship attempt 0 with nonblocking collectives) and a finish half
+// (finishWords/finishWire: wait, verify, retry, settle), so the round loop
+// can run the next round's parse between them (Config.Overlap). Per-round
+// state lives in two parity-indexed slots reused across rounds: the counts
+// vector, the frame arena attempt-0 payloads are packed into, and the
+// verification bookkeeping — the round loop guarantees a slot is dead on
+// every rank before its parity comes up again. Retry attempts frame fresh
+// allocations instead: receivers may retain verified views of earlier
+// attempts, so the arena must never be rewritten while a round is live.
+//
 // When a recorder is configured, injected drops/corruptions surface as
 // instant events, each retry attempt gets its own span nested inside the
 // exchange span, and a degraded round emits a degraded_round instant.
@@ -31,38 +42,189 @@ type exchanger struct {
 	retries int
 	out     *rankOutcome
 	rec     *obs.Recorder
+	slots   [2]exchangeSlot
 }
 
-// announce runs the count exchange (MPI_Alltoall of Alg. 1) and returns the
-// per-source expected item counts.
-func (e *exchanger) announce(counts []int) ([]int, error) {
-	return e.c.Alltoall(counts)
+// exchangeSlot is one parity's pooled round state.
+type exchangeSlot struct {
+	counts  []int
+	arenaW  []uint64
+	arenaB  []byte
+	framedW [][]uint64
+	framedB [][]byte
+	partsW  [][]uint64
+	partsB  [][]byte
+	ok      []bool
 }
 
-// exchangeWords ships k-mer mode word payloads; expect is the per-source
-// item announcement from announce. It returns the per-source verified
-// payloads (nil for a source whose payload was lost past the retry budget).
-func (e *exchanger) exchangeWords(round int, send [][]uint64, expect []int) ([][]uint64, error) {
+// pendingExchange is one posted round exchange awaiting its finish half.
+type pendingExchange struct {
+	round int
+	// sp is the round's exchange span: opened at post, ended by the caller
+	// after finish (or by finish itself on error).
+	sp        obs.SpanHandle
+	ann       *mpisim.Request[[]int]
+	wordsReq  *mpisim.Request[[][]uint64]
+	bytesReq  *mpisim.Request[[][]byte]
+	sendWords [][]uint64
+	sendWire  [][]byte
+	wire      kernels.SupermerWire
+	slot      *exchangeSlot
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// postWords posts the k-mer mode round exchange: the count announcement
+// (IAlltoall — the vector is copied at post time, so the pooled slot is
+// immediately reusable) followed by the attempt-0 framed payloads
+// (IAlltoallvUint64). The frames are packed into the slot's pooled arena,
+// presized so no append can reallocate mid-loop. send must stay unmutated
+// until finishWords returns (it is also the retry source).
+func (e *exchanger) postWords(round int, send [][]uint64) *pendingExchange {
 	rank := e.c.Rank()
-	parts := make([][]uint64, len(send))
-	ok := make([]bool, len(send))
-	for attempt := 0; ; attempt++ {
-		sp := e.beginAttempt(rank, round, attempt)
-		framed := make([][]uint64, len(send))
-		for d, part := range send {
-			if e.inj.Drop(rank, round, attempt, d) {
-				e.rec.Instant(rank, round, obs.EvDrop)
-				continue // destination receives nil: a dropped payload
-			}
-			var hit bool
-			framed[d], hit = e.inj.CorruptWords(rank, round, attempt, d, kernels.FrameWords(part))
-			if hit {
-				e.rec.Instant(rank, round, obs.EvCorrupt)
-			}
+	slot := &e.slots[round%2]
+	p := &pendingExchange{round: round, sendWords: send, slot: slot}
+	p.sp = e.rec.Begin(rank, round, obs.PhaseExchange)
+
+	slot.counts = growInts(slot.counts, len(send))
+	total := 0
+	for d, part := range send {
+		slot.counts[d] = len(part)
+		total += 1 + len(part)
+	}
+	p.ann = e.c.IAlltoall(slot.counts)
+
+	if cap(slot.arenaW) < total {
+		slot.arenaW = make([]uint64, 0, total)
+	}
+	arena := slot.arenaW[:0]
+	if cap(slot.framedW) < len(send) {
+		slot.framedW = make([][]uint64, len(send))
+	}
+	framed := slot.framedW[:len(send)]
+	for d, part := range send {
+		if e.inj.Drop(rank, round, 0, d) {
+			framed[d] = nil // destination receives nil: a dropped payload
+			e.rec.Instant(rank, round, obs.EvDrop)
+			continue
 		}
-		recv, err := e.c.AlltoallvUint64(framed)
+		off := len(arena)
+		arena = kernels.AppendFrameWords(arena, part)
+		f := arena[off:len(arena):len(arena)]
+		var hit bool
+		// CorruptWords copies on hit, so the arena itself stays clean.
+		framed[d], hit = e.inj.CorruptWords(rank, round, 0, d, f)
+		if hit {
+			e.rec.Instant(rank, round, obs.EvCorrupt)
+		}
+	}
+	slot.arenaW = arena[:0]
+	p.wordsReq = e.c.IAlltoallvUint64(framed)
+	return p
+}
+
+// postWire is postWords for supermer-mode wire payloads.
+func (e *exchanger) postWire(round int, wire kernels.SupermerWire, send [][]byte) *pendingExchange {
+	rank := e.c.Rank()
+	slot := &e.slots[round%2]
+	p := &pendingExchange{round: round, sendWire: send, wire: wire, slot: slot}
+	p.sp = e.rec.Begin(rank, round, obs.PhaseExchange)
+
+	stride := wire.Stride()
+	slot.counts = growInts(slot.counts, len(send))
+	total := 0
+	for d, part := range send {
+		slot.counts[d] = len(part) / stride
+		total += byteFrameOverhead + len(part)
+	}
+	p.ann = e.c.IAlltoall(slot.counts)
+
+	if cap(slot.arenaB) < total {
+		slot.arenaB = make([]byte, 0, total)
+	}
+	arena := slot.arenaB[:0]
+	if cap(slot.framedB) < len(send) {
+		slot.framedB = make([][]byte, len(send))
+	}
+	framed := slot.framedB[:len(send)]
+	for d, part := range send {
+		if e.inj.Drop(rank, round, 0, d) {
+			framed[d] = nil
+			e.rec.Instant(rank, round, obs.EvDrop)
+			continue
+		}
+		off := len(arena)
+		arena = kernels.AppendFrameBytes(arena, part, len(part)/stride)
+		f := arena[off:len(arena):len(arena)]
+		var hit bool
+		framed[d], hit = e.inj.CorruptBytes(rank, round, 0, d, f)
+		if hit {
+			e.rec.Instant(rank, round, obs.EvCorrupt)
+		}
+	}
+	slot.arenaB = arena[:0]
+	p.bytesReq = e.c.IAlltoallvBytes(framed)
+	return p
+}
+
+// byteFrameOverhead mirrors the kernels byte-frame header size for arena
+// presizing (the exact value only affects capacity, not correctness).
+const byteFrameOverhead = 16
+
+// finishWords completes a posted k-mer exchange: wait for the announcement
+// and attempt-0 payloads, verify every frame, retry bad rounds with
+// blocking collectives (fresh frames — receivers hold views into the
+// attempt-0 arena), and settle. It returns the per-source verified payloads
+// (nil for a source whose payload was lost past the retry budget). On error
+// the exchange span is closed; on success it stays open for the caller to
+// End with the staging time.
+func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, error) {
+	rank := e.c.Rank()
+	slot := p.slot
+	expect, err := p.ann.Wait()
+	if err != nil {
+		p.sp.End(0, 0)
+		return nil, err
+	}
+	n := len(p.sendWords)
+	if cap(slot.partsW) < n {
+		slot.partsW = make([][]uint64, n)
+	}
+	parts := slot.partsW[:n]
+	slot.ok = growBools(slot.ok, n)
+	ok := slot.ok
+	for i := range parts {
+		parts[i], ok[i] = nil, false
+	}
+	for attempt := 0; ; attempt++ {
+		sp := e.beginAttempt(rank, p.round, attempt)
+		var recv [][]uint64
+		if attempt == 0 {
+			recv, err = p.wordsReq.Wait()
+		} else {
+			framed := slot.framedW[:n]
+			for d, part := range p.sendWords {
+				if e.inj.Drop(rank, p.round, attempt, d) {
+					framed[d] = nil
+					e.rec.Instant(rank, p.round, obs.EvDrop)
+					continue
+				}
+				var hit bool
+				framed[d], hit = e.inj.CorruptWords(rank, p.round, attempt, d, kernels.FrameWords(part))
+				if hit {
+					e.rec.Instant(rank, p.round, obs.EvCorrupt)
+				}
+			}
+			recv, err = e.c.AlltoallvUint64(framed)
+		}
 		if err != nil {
 			sp.End(0, 0)
+			p.sp.End(0, 0)
 			return nil, err
 		}
 		var bad uint64
@@ -77,9 +239,10 @@ func (e *exchanger) exchangeWords(round int, send [][]uint64, expect []int) ([][
 			}
 			parts[i], ok[i] = payload, true
 		}
-		done, err := e.settle(round, attempt, bad)
+		done, err := e.settle(p.round, attempt, bad)
 		sp.End(0, bad)
 		if err != nil {
+			p.sp.End(0, 0)
 			return nil, err
 		}
 		if !done {
@@ -91,35 +254,58 @@ func (e *exchanger) exchangeWords(round int, send [][]uint64, expect []int) ([][
 				lost += uint64(expect[i])
 			}
 		}
-		e.degrade(round, lost, bad)
+		e.degrade(p.round, lost, bad)
 		return parts, nil
 	}
 }
 
-// exchangeWire ships supermer-mode wire payloads; expect is the per-source
-// supermer announcement. Beyond the frame checksum, each accepted payload's
-// images are structurally verified (length bytes in range) before release.
-func (e *exchanger) exchangeWire(round int, wire kernels.SupermerWire, send [][]byte, expect []int) ([][]byte, error) {
+// finishWire is finishWords for supermer-mode wire payloads: beyond the
+// frame checksum, each accepted payload's images are structurally verified
+// (length bytes in range) before release.
+func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, error) {
 	rank := e.c.Rank()
-	parts := make([][]byte, len(send))
-	ok := make([]bool, len(send))
+	slot := p.slot
+	wire := p.wire
+	expect, err := p.ann.Wait()
+	if err != nil {
+		p.sp.End(0, 0)
+		return nil, err
+	}
+	n := len(p.sendWire)
+	if cap(slot.partsB) < n {
+		slot.partsB = make([][]byte, n)
+	}
+	parts := slot.partsB[:n]
+	slot.ok = growBools(slot.ok, n)
+	ok := slot.ok
+	for i := range parts {
+		parts[i], ok[i] = nil, false
+	}
+	stride := wire.Stride()
 	for attempt := 0; ; attempt++ {
-		sp := e.beginAttempt(rank, round, attempt)
-		framed := make([][]byte, len(send))
-		for d, part := range send {
-			if e.inj.Drop(rank, round, attempt, d) {
-				e.rec.Instant(rank, round, obs.EvDrop)
-				continue
+		sp := e.beginAttempt(rank, p.round, attempt)
+		var recv [][]byte
+		if attempt == 0 {
+			recv, err = p.bytesReq.Wait()
+		} else {
+			framed := slot.framedB[:n]
+			for d, part := range p.sendWire {
+				if e.inj.Drop(rank, p.round, attempt, d) {
+					framed[d] = nil
+					e.rec.Instant(rank, p.round, obs.EvDrop)
+					continue
+				}
+				var hit bool
+				framed[d], hit = e.inj.CorruptBytes(rank, p.round, attempt, d, kernels.FrameBytes(part, len(part)/stride))
+				if hit {
+					e.rec.Instant(rank, p.round, obs.EvCorrupt)
+				}
 			}
-			var hit bool
-			framed[d], hit = e.inj.CorruptBytes(rank, round, attempt, d, kernels.FrameBytes(part, len(part)/wire.Stride()))
-			if hit {
-				e.rec.Instant(rank, round, obs.EvCorrupt)
-			}
+			recv, err = e.c.AlltoallvBytes(framed)
 		}
-		recv, err := e.c.AlltoallvBytes(framed)
 		if err != nil {
 			sp.End(0, 0)
+			p.sp.End(0, 0)
 			return nil, err
 		}
 		var bad uint64
@@ -138,9 +324,10 @@ func (e *exchanger) exchangeWire(round int, wire kernels.SupermerWire, send [][]
 			}
 			parts[i], ok[i] = payload, true
 		}
-		done, err := e.settle(round, attempt, bad)
+		done, err := e.settle(p.round, attempt, bad)
 		sp.End(0, bad)
 		if err != nil {
+			p.sp.End(0, 0)
 			return nil, err
 		}
 		if !done {
@@ -152,9 +339,16 @@ func (e *exchanger) exchangeWire(round int, wire kernels.SupermerWire, send [][]
 				lost += uint64(expect[i])
 			}
 		}
-		e.degrade(round, lost, bad)
+		e.degrade(p.round, lost, bad)
 		return parts, nil
 	}
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // beginAttempt opens a retry span for attempts past the first (the first

@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dedukt/internal/cluster"
+	"dedukt/internal/fastq"
+	"dedukt/internal/fault"
+)
+
+// runPair runs the same configuration serially and overlapped and returns
+// both results.
+func runPair(t *testing.T, cfg Config, reads []fastq.Record) (serial, overlapped *Result) {
+	t.Helper()
+	cfg.Overlap = false
+	s, err := Run(cfg, reads)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	cfg.Overlap = true
+	o, err := Run(cfg, reads)
+	if err != nil {
+		t.Fatalf("overlapped run: %v", err)
+	}
+	return s, o
+}
+
+// TestOverlapMatchesSerial checks that the overlapped schedule is a pure
+// latency optimization: for every engine and exchange mode, with and without
+// injected payload faults, the overlapped run produces exactly the results
+// of the bulk-synchronous baseline (and both match the serial oracle).
+func TestOverlapMatchesSerial(t *testing.T) {
+	reads := testReads(t, 20_000, 8)
+	layouts := map[string]cluster.Layout{
+		"gpu": smallGPULayout(1),
+		"cpu": func() cluster.Layout {
+			l := cluster.SummitCPU(1)
+			l.RanksPerNode = 6
+			l.Net.RanksPerNode = 6
+			return l
+		}(),
+	}
+	faults := map[string]fault.Config{
+		"clean": {},
+		"faulted": {
+			Seed: 11, Delay: 0.1, DelayFor: 200 * time.Microsecond,
+			Drop: 0.04, Corrupt: 0.04,
+		},
+	}
+	for engName, layout := range layouts {
+		for _, mode := range []Mode{KmerMode, SupermerMode} {
+			for fName, fc := range faults {
+				t.Run(engName+"/"+mode.String()+"/"+fName, func(t *testing.T) {
+					cfg := Default(layout, mode)
+					cfg.RoundBases = 6000 // force a multi-round run
+					cfg.Fault = fc
+					serial, overlapped := runPair(t, cfg, reads)
+					if serial.Rounds < 2 {
+						t.Fatalf("want a multi-round run, got %d rounds", serial.Rounds)
+					}
+					if overlapped.Rounds != serial.Rounds {
+						t.Fatalf("round counts differ: serial %d, overlapped %d", serial.Rounds, overlapped.Rounds)
+					}
+					if !overlapped.Overlap || serial.Overlap {
+						t.Fatal("Result.Overlap does not reflect the schedule")
+					}
+					if serial.Incomplete || overlapped.Incomplete {
+						t.Fatal("retry budget exhausted; pick a friendlier seed")
+					}
+					if overlapped.TotalKmers != serial.TotalKmers {
+						t.Fatalf("TotalKmers: serial %d, overlapped %d", serial.TotalKmers, overlapped.TotalKmers)
+					}
+					if overlapped.DistinctKmers != serial.DistinctKmers {
+						t.Fatalf("DistinctKmers: serial %d, overlapped %d", serial.DistinctKmers, overlapped.DistinctKmers)
+					}
+					if !reflect.DeepEqual(overlapped.Histogram.Counts, serial.Histogram.Counts) {
+						t.Fatal("histograms differ between schedules")
+					}
+					if !reflect.DeepEqual(overlapped.TopKmers, serial.TopKmers) {
+						t.Fatal("top-k differs between schedules")
+					}
+					checkAgainstOracle(t, cfg, reads, overlapped)
+				})
+			}
+		}
+	}
+}
+
+// TestModeledTotalOverlapRule pins the steady-state accounting: an
+// overlapped multi-round run is bounded by max(compute, exchange) plus one
+// round of pipeline fill, while serial runs add the phases.
+func TestModeledTotalOverlapRule(t *testing.T) {
+	res := &Result{Rounds: 4}
+	res.Modeled.Parse = 30 * time.Millisecond
+	res.Modeled.Count = 10 * time.Millisecond
+	res.Modeled.Exchange = 100 * time.Millisecond
+
+	if got, want := res.ModeledTotal(), 140*time.Millisecond; got != want {
+		t.Fatalf("serial ModeledTotal = %v, want %v", got, want)
+	}
+	res.Overlap = true
+	// Exchange-bound: exchange dominates, one round of compute fills the pipe.
+	if got, want := res.ModeledTotal(), 110*time.Millisecond; got != want {
+		t.Fatalf("overlapped exchange-bound ModeledTotal = %v, want %v", got, want)
+	}
+	// Compute-bound: exchange fully hidden.
+	res.Modeled.Exchange = 20 * time.Millisecond
+	if got, want := res.ModeledTotal(), 50*time.Millisecond; got != want {
+		t.Fatalf("overlapped compute-bound ModeledTotal = %v, want %v", got, want)
+	}
+	// Single round: nothing to overlap with.
+	res.Rounds = 1
+	if got, want := res.ModeledTotal(), 60*time.Millisecond; got != want {
+		t.Fatalf("single-round ModeledTotal = %v, want %v", got, want)
+	}
+}
+
+// TestRoundLoopAllocs pins the hot round loop's marginal allocation cost:
+// doubling the round count over the same input may only add a small
+// per-round overhead (pooled scratch, parity buffers), not per-item
+// allocations. Regressions that reintroduce per-round flattening or
+// per-part framing garbage trip this.
+func TestRoundLoopAllocs(t *testing.T) {
+	reads := testReads(t, 20_000, 8)
+	run := func(roundBases int) (rounds int) {
+		cfg := Default(smallGPULayout(1), SupermerMode)
+		cfg.RoundBases = roundBases
+		res, err := Run(cfg, reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rounds
+	}
+	measure := func(roundBases int) (float64, int) {
+		var rounds int
+		allocs := testing.AllocsPerRun(3, func() {
+			rounds = run(roundBases)
+		})
+		return allocs, rounds
+	}
+	aFew, rFew := measure(12_000)
+	aMany, rMany := measure(3_000)
+	if rMany <= rFew || rFew < 2 {
+		t.Fatalf("want rMany > rFew >= 2, got %d and %d rounds", rMany, rFew)
+	}
+	perRound := (aMany - aFew) / float64(rMany-rFew)
+	t.Logf("rounds %d -> %d, allocs %.0f -> %.0f, marginal %.1f allocs/round", rFew, rMany, aFew, aMany, perRound)
+	// Measured ~3600 allocs/round for the pooled loop across the 6-rank
+	// world (dominated by fixed simulator launch machinery, not items).
+	// Before pooling, per-round cost scaled with the items parsed that
+	// round — tens of thousands at this input size.
+	const budget = 6000
+	if perRound > budget {
+		t.Fatalf("marginal cost %.1f allocs/round exceeds budget %d", perRound, budget)
+	}
+}

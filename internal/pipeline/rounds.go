@@ -46,6 +46,67 @@ func chunkFor(chunks [][]fastq.Record, r int) []fastq.Record {
 	return nil
 }
 
+// runRounds drives one rank's round loop through four stages: parse(r)
+// builds round r's send buffers, post(r) posts its exchange with
+// nonblocking collectives, finish(r) completes the exchange (verification,
+// retries, the settle collective), and count(r) inserts the received items
+// into the rank's table.
+//
+// Serial schedule: parse, post, finish, count per round — post's requests
+// are waited immediately, reproducing the bulk-synchronous baseline.
+//
+// Overlapped schedule: round r's exchange is in flight while the rank runs
+// parse(r+1), and round r+1's exchange is posted before count(r), so the
+// wire hides behind both the next parse and the current count. The order
+// per iteration is parse(r+1); finish(r); post(r+1); count(r), which keeps
+// at most one round's requests outstanding — finish's blocking retry/settle
+// collectives stay legal (mpisim forbids blocking calls with posted
+// requests pending), and double-buffered (parity-indexed) scratch is safe:
+// post(r+1) reuses parity (r+1)%2 only after finish(r)'s settle collective
+// completed on every rank, which implies every peer finished round r-1 —
+// the last user of that parity's buffers. count(r) reads round r's received
+// parts (parity r%2) while round r+1 flies on the other parity.
+func runRounds(rounds int, overlap bool, parse, post, finish, count func(r int) error) error {
+	if rounds == 0 {
+		return nil
+	}
+	if !overlap {
+		for r := 0; r < rounds; r++ {
+			for _, f := range []func(int) error{parse, post, finish, count} {
+				if err := f(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := parse(0); err != nil {
+		return err
+	}
+	if err := post(0); err != nil {
+		return err
+	}
+	for r := 0; r < rounds; r++ {
+		if r+1 < rounds {
+			if err := parse(r + 1); err != nil {
+				return err
+			}
+		}
+		if err := finish(r); err != nil {
+			return err
+		}
+		if r+1 < rounds {
+			if err := post(r + 1); err != nil {
+				return err
+			}
+		}
+		if err := count(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ensureCapacity grows a fixed-capacity atomic table ahead of a round that
 // may push it past its load ceiling: the old table is snapshotted and
 // rehashed into one sized for the new total. This models the device-side

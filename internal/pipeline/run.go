@@ -64,7 +64,7 @@ func Run(cfg Config, reads []fastq.Record) (*Result, error) {
 	outcomes := make([]rankOutcome, p)
 
 	start := time.Now()
-	trace, err := mpisim.RunWithOptions(p, mpisim.Options{Deadline: cfg.ExchangeDeadline, Obs: cfg.Obs}, func(c *mpisim.Comm) error {
+	trace, err := mpisim.RunWithOptions(p, mpisim.Options{Deadline: cfg.ExchangeDeadline, Obs: cfg.Obs, WireTime: cfg.WireTime}, func(c *mpisim.Comm) error {
 		if cfg.Layout.GPU != nil {
 			return runGPURank(cfg, destMap, inj, c, parts[c.Rank()], &outcomes[c.Rank()])
 		}
@@ -108,14 +108,22 @@ func registerRunMetrics(reg *obs.Registry, res *Result) {
 	}
 }
 
-// buildBuffer stages a rank's reads into the concatenated,
-// separator-delimited base array of §III-B.1.
-func buildBuffer(reads []fastq.Record) *dna.SeqBuffer {
-	var b dna.SeqBuffer
-	for _, r := range reads {
-		b.AppendRead(r.Seq)
-	}
-	return &b
+// gpuRoundState is one parity's pooled round scratch for the GPU rank body:
+// the staged base buffer, the kernel packing scratch, the round's send
+// buffers (views into the kernel scratch) and its posted exchange. Two of
+// these double-buffer the overlapped schedule; the serial schedule just
+// alternates between them.
+type gpuRoundState struct {
+	buf       dna.SeqBuffer
+	parse     kernels.ParseScratch
+	sup       kernels.SupermerScratch
+	sendWords [][]uint64
+	sendWire  [][]byte
+	bytesOut  uint64
+	pend      *pendingExchange
+	recvWords [][]uint64
+	recvWire  [][]byte
+	roundRecv uint64
 }
 
 func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) error {
@@ -135,128 +143,149 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	table := kcount.NewAtomicTable(1, cfg.tableLoad(), cfg.Probing)
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
 	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
+	var states [2]gpuRoundState
 
-	for r := 0; r < rounds; r++ {
+	// Stage + parse: build the round's concatenated base buffer, model its
+	// host→device transfer, and run the parse (or supermer) kernel into the
+	// parity slot's packing scratch.
+	parse := func(r int) error {
 		if err := killOrStall(inj, c, r, rec); err != nil {
 			return err
 		}
-
-		// Stage: build the round's concatenated base buffer and model its
-		// host→device transfer.
+		st := &states[r%2]
 		sp := rec.Begin(rank, r, obs.PhaseStageH2D)
-		buf := buildBuffer(chunkFor(chunks, r))
-		data := buf.Data()
+		st.buf.Reset()
+		for _, rd := range chunkFor(chunks, r) {
+			st.buf.AppendRead(rd.Seq)
+		}
+		data := st.buf.Data()
 		h2dIn := dev.Config().TransferTime(int64(len(data)))
+		// The input staging leg is charged to the stage phase (once — the
+		// span below records the same duration), with or without GPUDirect:
+		// the bases must reach the device either way; GPUDirect only skips
+		// the exchange's host legs.
+		out.stage += h2dIn
 		sp.End(h2dIn, uint64(len(data)))
 
-		// Parse & process: run the parse (or supermer) kernel.
 		sp = rec.Begin(rank, r, obs.PhaseParse)
 		var (
-			sendWords [][]uint64 // kmer mode payload
-			sendWire  [][]byte   // supermer mode payload
-			parseSt   gpusim.KernelStats
-			err       error
+			parseSt gpusim.KernelStats
+			err     error
 		)
 		if cfg.Mode == KmerMode {
-			sendWords, parseSt, err = kernels.ParseKmers(dev, kernels.ParseConfig{
+			st.sendWords, parseSt, err = kernels.ParseKmers(dev, kernels.ParseConfig{
 				Enc: cfg.Enc, K: cfg.K, NumDest: c.Size(), Canonical: cfg.Canonical,
-			}, data)
+			}, data, &st.parse)
 		} else {
-			sendWire, parseSt, err = kernels.BuildSupermers(dev, kernels.SupermerConfig{
+			st.sendWire, parseSt, err = kernels.BuildSupermers(dev, kernels.SupermerConfig{
 				Enc: cfg.Enc, C: cfg.minimizerConfig(), NumDest: c.Size(), DestMap: destMap,
-			}, data)
+			}, data, &st.sup)
 		}
 		if err != nil {
 			sp.End(0, 0)
 			return err
 		}
-		out.parse += h2dIn + dev.Config().KernelTime(&parseSt)
+		kt := dev.Config().KernelTime(&parseSt)
+		out.parse += kt
 		out.parseOps += parseSt.ComputeOps
 		out.parseSt.Add(parseSt)
 
-		// Per-destination counts for the announcement (and the parse span's
-		// item tally).
-		counts := make([]int, c.Size())
 		var bytesOut, roundSent uint64
 		if cfg.Mode == KmerMode {
-			for d, part := range sendWords {
-				counts[d] = len(part)
+			for _, part := range st.sendWords {
 				roundSent += uint64(len(part))
 				bytesOut += 8 * uint64(len(part))
 			}
 		} else {
-			for d, part := range sendWire {
-				counts[d] = len(part) / wire.Stride()
+			for _, part := range st.sendWire {
 				roundSent += uint64(len(part) / wire.Stride())
 				bytesOut += uint64(len(part))
 			}
 		}
+		st.bytesOut = bytesOut
 		out.itemsSent += roundSent
 		out.payloadSent += bytesOut
-		sp.End(dev.Config().KernelTime(&parseSt), roundSent)
+		sp.End(kt, roundSent)
+		return nil
+	}
 
-		// Exchange: counts via Alltoall, checksummed payload frames via
-		// Alltoallv with round-level retry, and host staging (D2H out,
-		// H2D in) unless GPUDirect.
-		sp = rec.Begin(rank, r, obs.PhaseExchange)
-		expect, err := ex.announce(counts)
-		if err != nil {
-			sp.End(0, 0)
-			return err
-		}
-
-		var recvWords []uint64
-		var recvWire []byte
-		var bytesIn, roundRecv uint64
+	// Post: announce counts and ship the round's framed payloads with
+	// nonblocking collectives (errors surface at finish time).
+	post := func(r int) error {
+		st := &states[r%2]
 		if cfg.Mode == KmerMode {
-			recv, err := ex.exchangeWords(r, sendWords, expect)
-			if err != nil {
-				sp.End(0, 0)
-				return err
-			}
-			for _, part := range recv {
-				bytesIn += 8 * uint64(len(part))
-			}
-			recvWords = flattenWords(recv)
-			roundRecv = uint64(len(recvWords))
+			st.pend = ex.postWords(r, st.sendWords)
 		} else {
-			recv, err := ex.exchangeWire(r, wire, sendWire, expect)
+			st.pend = ex.postWire(r, wire, st.sendWire)
+		}
+		return nil
+	}
+
+	// Finish: complete the exchange (verify, retry, settle) and model the
+	// host staging legs unless GPUDirect. The received parts stay in the
+	// parity slot for count.
+	finish := func(r int) error {
+		st := &states[r%2]
+		pend := st.pend
+		st.pend = nil
+		var (
+			bytesIn  uint64
+			incoming int
+			err      error
+		)
+		if cfg.Mode == KmerMode {
+			st.recvWords, err = ex.finishWords(pend)
 			if err != nil {
-				sp.End(0, 0)
 				return err
 			}
-			for _, part := range recv {
-				bytesIn += uint64(len(part))
+			for _, part := range st.recvWords {
+				bytesIn += 8 * uint64(len(part))
+				incoming += len(part)
 			}
-			recvWire = flattenBytes(recv)
-			roundRecv = uint64(len(recvWire) / wire.Stride())
+		} else {
+			st.recvWire, err = ex.finishWire(pend)
+			if err != nil {
+				return err
+			}
+			for _, part := range st.recvWire {
+				bytesIn += uint64(len(part))
+				incoming += len(part) / wire.Stride()
+			}
 		}
+		st.roundRecv = uint64(incoming)
 		var stage time.Duration
 		if !cfg.GPUDirect {
-			stage = dev.Config().TransferTime(int64(bytesOut)) + dev.Config().TransferTime(int64(bytesIn))
+			stage = dev.Config().TransferTime(int64(st.bytesOut)) + dev.Config().TransferTime(int64(bytesIn))
 			out.stage += stage
 		}
-		sp.End(stage, roundRecv)
+		pend.sp.End(stage, st.roundRecv)
+		return nil
+	}
 
-		// Count: insert the round's received items into this rank's table
-		// partition, growing it between rounds when needed.
-		sp = rec.Begin(rank, r, obs.PhaseCount)
-		var countSt gpusim.KernelStats
+	// Count: insert the round's received parts into this rank's table
+	// partition in place, growing it between rounds when needed.
+	count := func(r int) error {
+		st := &states[r%2]
+		incoming := int(st.roundRecv)
+		sp := rec.Begin(rank, r, obs.PhaseCount)
+		var (
+			countSt gpusim.KernelStats
+			err     error
+		)
 		if cfg.Mode == KmerMode {
-			table, err = ensureCapacity(table, len(recvWords), cfg.tableLoad(), cfg.Probing)
+			table, err = ensureCapacity(table, incoming, cfg.tableLoad(), cfg.Probing)
 			if err != nil {
 				sp.End(0, 0)
 				return err
 			}
-			countSt, err = kernels.CountKmers(dev, table, recvWords)
+			countSt, err = kernels.CountKmers(dev, table, st.recvWords)
 		} else {
-			n := len(recvWire) / wire.Stride()
-			table, err = ensureCapacity(table, n*cfg.Window, cfg.tableLoad(), cfg.Probing)
+			table, err = ensureCapacity(table, incoming*cfg.Window, cfg.tableLoad(), cfg.Probing)
 			if err != nil {
 				sp.End(0, 0)
 				return err
 			}
-			countSt, err = kernels.CountSupermers(dev, table, wire, recvWire)
+			countSt, err = kernels.CountSupermers(dev, table, wire, st.recvWire)
 		}
 		if err != nil {
 			sp.End(0, 0)
@@ -265,7 +294,12 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		out.count += dev.Config().KernelTime(&countSt)
 		out.countOps += countSt.ComputeOps
 		out.countSt.Add(countSt)
-		sp.End(dev.Config().KernelTime(&countSt), roundRecv)
+		sp.End(dev.Config().KernelTime(&countSt), st.roundRecv)
+		return nil
+	}
+
+	if err := runRounds(rounds, cfg.Overlap, parse, post, finish, count); err != nil {
+		return err
 	}
 
 	snap := table.Snapshot()
@@ -282,30 +316,6 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 // topKPerRank bounds the per-rank contribution to the global top-k merge.
 const topKPerRank = 64
 
-func flattenWords(recv [][]uint64) []uint64 {
-	n := 0
-	for _, p := range recv {
-		n += len(p)
-	}
-	out := make([]uint64, 0, n)
-	for _, p := range recv {
-		out = append(out, p...)
-	}
-	return out
-}
-
-func flattenBytes(recv [][]byte) []byte {
-	n := 0
-	for _, p := range recv {
-		n += len(p)
-	}
-	out := make([]byte, 0, n)
-	for _, p := range recv {
-		out = append(out, p...)
-	}
-	return out
-}
-
 // aggregate folds per-rank outcomes and the communication trace into the
 // global Result. Phase times follow the bulk-synchronous rule: a phase ends
 // when its slowest rank finishes.
@@ -316,6 +326,7 @@ func aggregate(cfg Config, trace []mpisim.TraceEntry, outcomes []rankOutcome, wa
 		Nodes:        cfg.Layout.Nodes,
 		Mode:         cfg.Mode,
 		GPU:          cfg.Layout.GPU != nil,
+		Overlap:      cfg.Overlap,
 		Wall:         wall,
 		Histogram:    kcount.Histogram{Counts: make(map[uint32]uint64)},
 		PerRankKmers: make([]uint64, len(outcomes)),

@@ -66,4 +66,51 @@ echo "trace-smoke: validating -report output"
 grep -q 'observability report:' "$report" || fail "-report printed no report"
 grep -q 'slowest rank overall' "$report" || fail "-report missing slowest-rank attribution"
 
+# --- overlapped schedule: a faulted multi-round run with -overlap must
+# produce a valid trace whose retry spans nest inside their round's
+# exchange span, report the modeled overlap split, and count exactly what
+# the serial schedule counts.
+otrace="$TRACE_SMOKE_OUT/overlap_trace.json"
+oreport="$TRACE_SMOKE_OUT/overlap_report.txt"
+ojson="$TRACE_SMOKE_OUT/overlap.json"
+sjson="$TRACE_SMOKE_OUT/serial.json"
+faults="-fault-seed 3 -fault-drop 0.05 -fault-corrupt 0.02"
+
+echo "trace-smoke: running a faulted overlapped pipeline"
+# shellcheck disable=SC2086
+go run ./cmd/dedukt -nodes 2 -hist 0 -top 0 -round-bases 8000 -overlap \
+    $faults -report -trace-out "$otrace" \
+    > "$oreport" 2>&1 || { cat "$oreport" >&2; fail "dedukt overlapped run"; }
+# shellcheck disable=SC2086
+go run ./cmd/dedukt -nodes 2 -hist 0 -top 0 -round-bases 8000 -overlap \
+    $faults -json > "$ojson" 2>/dev/null || fail "dedukt overlapped json run"
+# shellcheck disable=SC2086
+go run ./cmd/dedukt -nodes 2 -hist 0 -top 0 -round-bases 8000 \
+    $faults -json > "$sjson" 2>/dev/null || fail "dedukt serial run"
+
+echo "trace-smoke: validating $otrace"
+jq -e . "$otrace" >/dev/null || fail "overlap trace is not valid JSON"
+jq -e '[.traceEvents[] | select(.ph == "X" and .name == "retry")] | length > 0' \
+    "$otrace" >/dev/null || fail "overlap trace has no retry spans"
+# Every retry span nests inside an exchange span of the same rank & round.
+jq -e '
+    [.traceEvents[] | select(.ph == "X")] as $spans
+    | [$spans[] | select(.name == "retry")]
+    | all(. as $r
+        | any($spans[];
+            .name == "exchange" and .tid == $r.tid
+            and .args.round == $r.args.round
+            and .ts <= $r.ts and .ts + .dur >= $r.ts + $r.dur))' \
+    "$otrace" >/dev/null || fail "retry span not nested in its exchange span"
+
+echo "trace-smoke: validating overlapped report and counts"
+grep -q 'modeled round pipeline: serial' "$oreport" \
+    || fail "overlap report missing modeled round pipeline split"
+jq -e '.overlap == true and .rounds >= 2 and .overlap_total_sec > 0' \
+    "$ojson" >/dev/null || fail "overlap JSON report missing overlap fields"
+ocount=$(jq '[.total_kmers, .distinct_kmers]' "$ojson")
+scount=$(jq '[.total_kmers, .distinct_kmers]' "$sjson")
+[ "$ocount" = "$scount" ] \
+    || fail "overlap counts $ocount differ from serial counts $scount"
+
 echo "trace-smoke: PASS"
