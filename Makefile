@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke trace-smoke experiments examples lint ci clean
+.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke trace-smoke stream-smoke experiments examples lint ci clean
 
 all: build test
 
 # The full gate CI runs: build, formatting/vet lint, race-enabled tests,
-# every fuzz target over its seed corpus, and the serving- and tracing-layer
-# smoke tests.
-ci: build lint race fuzz-seeds serve-smoke trace-smoke
+# every fuzz target over its seed corpus, and the serving-, tracing- and
+# streaming-layer smoke tests.
+ci: build lint race fuzz-seeds serve-smoke trace-smoke stream-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ race:
 # Short live-fuzz pass over every fuzz target (seeds always run under `test`).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReader -fuzztime 30s ./internal/fastq/
+	$(GO) test -run xxx -fuzz FuzzStream -fuzztime 30s ./internal/fastq/
 	$(GO) test -run xxx -fuzz FuzzSupermerInvariants -fuzztime 30s ./internal/minimizer/
 	$(GO) test -run xxx -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/kernels/
 	$(GO) test -run xxx -fuzz FuzzWireCorruptInput -fuzztime 30s ./internal/kernels/
@@ -58,6 +59,12 @@ serve-smoke:
 # (default: a temp dir) so CI can upload them.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# End-to-end smoke test of streaming ingestion: gzip fixtures (one only
+# detectable by magic bytes), a streamed multi-round run under a small
+# memory budget, and jq equality of the streamed vs in-memory spectrum.
+stream-smoke:
+	sh scripts/stream_smoke.sh
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -8,7 +8,14 @@
 //	dedukt -in reads.fastq -k 17 -mode supermer -m 7 -nodes 16
 //	dedukt -dataset "E. coli 30X" -scale 0.5 -mode kmer -engine cpu
 //	dedukt -in reads.fasta.gz -k 21 -canonical -top 10
+//	dedukt -in a.fastq.gz,b.fastq.gz -stream -mem-budget 64M
 //	dedukt -fault-seed 1 -fault-drop 0.05
+//
+// -in accepts a comma-separated file list; gzip inputs are detected by
+// their magic bytes, so any mix of plain and compressed files works
+// regardless of suffix. With -stream the input is never materialized:
+// ranks pull bounded chunks on demand and the live working set stays
+// under -mem-budget however large the dataset is.
 //
 // Without -in or -dataset, a small synthetic dataset is used, so
 // fault-injection demos run standalone.
@@ -21,6 +28,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"dedukt/internal/cluster"
 	"dedukt/internal/dna"
@@ -39,7 +48,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dedukt: ")
 	var (
-		inPath    = flag.String("in", "", "input FASTQ/FASTA path (.gz supported); mutually exclusive with -dataset")
+		inPath    = flag.String("in", "", "comma-separated input FASTQ/FASTA paths (gzip detected by magic bytes); mutually exclusive with -dataset")
 		dataset   = flag.String("dataset", "", `synthetic Table I dataset, e.g. "E. coli 30X"`)
 		scale     = flag.Float64("scale", 1.0, "synthetic dataset scale factor")
 		k         = flag.Int("k", 17, "k-mer length (1..32)")
@@ -58,6 +67,8 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 		trimQ     = flag.Int("trimq", 0, "quality-trim read ends below this phred score before counting (0 = off)")
 		roundB    = flag.Int("round-bases", 0, "cap the bases a rank processes per round, forcing multi-round operation (0 = one round)")
+		stream    = flag.Bool("stream", false, "stream -in files through the pipeline without preloading them (bounded memory; requires -in)")
+		memBudget = flag.String("mem-budget", "", "streaming working-set budget, e.g. 64M or 2G (default 256M; implies multi-round ingestion)")
 		gpuStats  = flag.Bool("gpustats", false, "print GPU kernel efficiency metrics (GPU engine only)")
 		outKCD    = flag.String("okcd", "", "write the counted k-mers to this KCD database (see cmd/kmertools)")
 		serve     = flag.String("serve", "", "after counting, serve the spectrum over HTTP on this address (see cmd/kserve; blocks until SIGINT)")
@@ -77,14 +88,27 @@ func main() {
 	)
 	flag.Parse()
 
-	reads, err := loadReads(*inPath, *dataset, *scale)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *trimQ > 0 {
-		before := len(reads)
-		reads = fastq.TrimAll(reads, *trimQ, *k)
-		log.Printf("quality trim q<%d: kept %d of %d reads", *trimQ, len(reads), before)
+	var reads []fastq.Record
+	if *stream {
+		// Streaming pulls records on demand inside the pipeline; nothing
+		// is preloaded here (that is the point).
+		if *inPath == "" {
+			log.Fatal("-stream requires -in (synthetic datasets are generated in memory already)")
+		}
+		if *dataset != "" {
+			log.Fatal("-stream and -dataset are mutually exclusive")
+		}
+	} else {
+		var err error
+		reads, err = loadReads(*inPath, *dataset, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *trimQ > 0 {
+			before := len(reads)
+			reads = fastq.TrimAll(reads, *trimQ, *k)
+			log.Printf("quality trim q<%d: kept %d of %d reads", *trimQ, len(reads), before)
+		}
 	}
 
 	enc := &dna.Random
@@ -145,7 +169,26 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	res, err := pipeline.Run(cfg, reads)
+	var res *pipeline.Result
+	if *stream {
+		budget, perr := parseSize(*memBudget)
+		if perr != nil {
+			log.Fatalf("-mem-budget: %v", perr)
+		}
+		cfg.MemBudgetBytes = budget
+		in, serr := fastq.OpenStream(splitPaths(*inPath)...)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		var src fastq.Source = in
+		if *trimQ > 0 {
+			src = fastq.NewTrimSource(in, *trimQ, *k)
+		}
+		res, err = pipeline.RunStream(cfg, src)
+		in.Close()
+	} else {
+		res, err = pipeline.Run(cfg, reads)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -297,6 +340,10 @@ type jsonReport struct {
 	Total      uint64            `json:"total_kmers"`
 	Distinct   uint64            `json:"distinct_kmers"`
 	Imbalance  float64           `json:"load_imbalance"`
+	Streamed   bool              `json:"streamed,omitempty"`
+	MemBudget  int64             `json:"mem_budget_bytes,omitempty"`
+	InputReads uint64            `json:"input_reads,omitempty"`
+	InputBases uint64            `json:"input_bases,omitempty"`
 	Histogram  map[uint32]uint64 `json:"histogram"`
 	Top        []jsonKmer        `json:"top_kmers,omitempty"`
 	Incomplete bool              `json:"incomplete,omitempty"`
@@ -336,6 +383,11 @@ func reportJSON(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top int)
 		rep.Overlap = true
 		rep.OverlapSec = res.ModeledTotal().Seconds()
 	}
+	if res.Streamed {
+		rep.Streamed = true
+		rep.MemBudget = res.MemBudget
+	}
+	rep.InputReads, rep.InputBases = res.InputReads, res.InputBases
 	if tf := res.TotalFaults(); tf.Total()+tf.BadFrames+tf.Retries+tf.Discarded > 0 || res.Incomplete {
 		rep.Incomplete = res.Incomplete
 		rep.Faults = &jsonFaults{
@@ -359,14 +411,14 @@ func loadReads(inPath, dataset string, scale float64) ([]fastq.Record, error) {
 	case inPath != "" && dataset != "":
 		return nil, fmt.Errorf("-in and -dataset are mutually exclusive")
 	case inPath != "":
-		r, closer, err := fastq.Open(inPath)
+		s, err := fastq.OpenStream(splitPaths(inPath)...)
 		if err != nil {
 			return nil, err
 		}
-		defer closer.Close()
+		defer s.Close()
 		var out []fastq.Record
 		for {
-			rec, err := r.Read()
+			rec, err := s.Next()
 			if err == io.EOF {
 				return out, nil
 			}
@@ -393,6 +445,41 @@ func loadReads(inPath, dataset string, scale float64) ([]fastq.Record, error) {
 	}
 }
 
+// splitPaths splits the comma-separated -in value into individual file
+// paths, dropping empty segments so trailing commas are harmless.
+func splitPaths(in string) []string {
+	var paths []string
+	for _, p := range strings.Split(in, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			paths = append(paths, p)
+		}
+	}
+	return paths
+}
+
+// parseSize parses a byte size like "64M", "2G", "512k" or a plain byte
+// count. An empty string means "use the default" and parses to 0.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (use a byte count or a K/M/G suffix)", s)
+	}
+	return n * mult, nil
+}
+
 func report(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top, histMax int) {
 	fmt.Fprintf(w, "dedukt run: %s, k=%d", res.Name, cfg.K)
 	if cfg.Mode == pipeline.SupermerMode {
@@ -414,6 +501,10 @@ func report(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top, histMax
 		stats.Count(res.ItemsExchanged), res.Mode, stats.Bytes(res.PayloadBytes), stats.Bytes(res.Volume.FabricBytes))
 	fmt.Fprintf(w, "counted:   %s k-mer instances, %s distinct, load imbalance %.2f\n",
 		stats.Count(res.TotalKmers), stats.Count(res.DistinctKmers), res.LoadImbalance())
+	if res.Streamed {
+		fmt.Fprintf(w, "streamed:  %s reads (%s bases) in %d bounded rounds under a %s working-set budget\n",
+			stats.Count(res.InputReads), stats.Count(res.InputBases), res.Rounds, stats.Bytes(uint64(res.MemBudget)))
+	}
 
 	if tf := res.TotalFaults(); tf.Total()+tf.BadFrames+tf.Retries+tf.Discarded > 0 || res.Incomplete {
 		fmt.Fprintf(w, "faults:    injected %d (%d killed, %d delayed, %d dropped, %d corrupted); observed %d bad frames, %d retries\n",

@@ -7,13 +7,20 @@
 //	genreads -genome-len 100000 -coverage 30 -o reads.fastq
 //	genreads -dataset "C. elegans 40X" -scale 0.5 -o celegans.fastq
 //	genreads -genome-len 50000 -coverage 10 -model short -err 0.01
+//	genreads -coverage 10 -o reads.fastq.gz
+//
+// A .gz output suffix enables gzip compression automatically; -gzip
+// forces it for any output name (or stdout).
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 
 	"dedukt/internal/fastq"
 	"dedukt/internal/genome"
@@ -35,6 +42,7 @@ func main() {
 		errRate    = flag.Float64("err", 0.002, "per-base substitution error rate")
 		ambigRate  = flag.Float64("ambig", 0, "per-base N rate")
 		seed       = flag.Int64("seed", 1, "random seed")
+		gz         = flag.Bool("gzip", false, "gzip-compress the output (implied by a .gz output suffix)")
 	)
 	flag.Parse()
 
@@ -55,7 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -63,6 +71,11 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	var zw *gzip.Writer
+	if *gz || strings.HasSuffix(*out, ".gz") {
+		zw = gzip.NewWriter(w)
+		w = zw
 	}
 	fw := fastq.NewWriter(w)
 	bases := 0
@@ -74,6 +87,13 @@ func main() {
 	}
 	if err := fw.Flush(); err != nil {
 		log.Fatal(err)
+	}
+	if zw != nil {
+		// Flush order matters: the fastq writer above, then the gzip
+		// member must be finalized before the file closes.
+		if err := zw.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "genreads: wrote %d reads, %d bases\n", len(reads), bases)
 }

@@ -55,6 +55,8 @@ type (
 	Dataset = genome.Dataset
 	// Kmer is a 2-bit-packed k-mer word.
 	Kmer = dna.Kmer
+	// Source yields reads one at a time for CountStream; see OpenStream.
+	Source = fastq.Source
 )
 
 // Exchange modes.
@@ -86,6 +88,24 @@ func DefaultOptions(nodes int) Options {
 // oracle); timing is Summit-projected by the calibrated cost models.
 func Count(reads []Read, opts Options) (*Result, error) {
 	return pipeline.Run(opts, reads)
+}
+
+// CountStream runs the counting pipeline over a read source without
+// materializing the input: ranks pull bounded chunks on demand and the
+// live working set stays under Options.MemBudgetBytes regardless of
+// input size. The counted spectrum is bit-identical to Count over the
+// same reads. Features that need the whole input up front
+// (BalancedPartition, FilterSingletons) are rejected.
+func CountStream(src Source, opts Options) (*Result, error) {
+	return pipeline.RunStream(opts, src)
+}
+
+// OpenStream opens FASTQ/FASTA files as one concatenated read source for
+// CountStream. Gzip compression is detected per file by magic bytes, so
+// mixed plain and compressed inputs work regardless of suffix. Close the
+// stream when done.
+func OpenStream(paths ...string) (*fastq.Stream, error) {
+	return fastq.OpenStream(paths...)
 }
 
 // ReadFile loads every read of a FASTQ or FASTA file (".gz" supported).

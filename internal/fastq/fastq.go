@@ -173,12 +173,20 @@ func (r *Reader) readFasta() (Record, error) {
 	r.rec.Seq = r.rec.Seq[:0]
 	for {
 		b, err := r.br.Peek(1)
-		if err != nil || b[0] == '>' {
-			break // EOF or next record
+		if err == io.EOF || (err == nil && b[0] == '>') {
+			break // end of input or next record
+		}
+		if err != nil {
+			// A real read failure (e.g. a truncated gzip member) must not
+			// silently shorten the record.
+			return Record{}, fmt.Errorf("fastq: line %d: truncated record: %w", r.line, unexpected(err))
 		}
 		line, err := r.readLine()
 		if err != nil {
-			break
+			if err == io.EOF {
+				break
+			}
+			return Record{}, fmt.Errorf("fastq: line %d: %w", r.line, err)
 		}
 		if !printable(line, false) {
 			return Record{}, fmt.Errorf("fastq: line %d: non-printable byte in sequence", r.line)

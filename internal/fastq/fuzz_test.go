@@ -2,6 +2,9 @@ package fastq
 
 import (
 	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -52,6 +55,92 @@ func FuzzReader(f *testing.F) {
 		for i := range recs {
 			if back[i].ID != recs[i].ID || !bytes.Equal(back[i].Seq, recs[i].Seq) {
 				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}
+
+// gzBytes compresses data into a single gzip member.
+func gzBytes(tb testing.TB, data []byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		tb.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzStream feeds two arbitrary inputs (optionally gzip-compressed by
+// the harness) to the multi-input Stream. Invariants: it never panics;
+// every failure is a structured *InputError naming the failing input;
+// and it never silently drops reads — when both inputs parse cleanly on
+// their own, the stream must deliver exactly their concatenation.
+// Truncated gzip members (seeded below, and any the fuzzer mutates into
+// existence — raw bytes starting 0x1f 0x8b take the gzip path) must
+// error, not shorten the read set.
+func FuzzStream(f *testing.F) {
+	trunc := gzBytes(f, []byte(sampleFastq))
+	f.Add([]byte(sampleFastq), []byte(sampleFasta), false, false) // mixed formats across inputs
+	f.Add([]byte(sampleFasta), []byte(sampleFastq), true, true)   // both gzipped
+	f.Add(trunc[:len(trunc)/2], []byte{}, false, false)           // truncated gzip member
+	f.Add([]byte("@r\nACGT\n+\nII"), []byte(">x\nAC"), false, false)
+	f.Add([]byte("@r\r\nACGT\r\n+\r\nIIII\r\n"), []byte(">c\r\nACGT\r\n"), false, true) // CRLF
+	f.Add([]byte{}, []byte(">r\nACGT\n"), true, false)                                  // empty first input
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00}, []byte("@r\nA\n+\nI\n"), false, false)        // bare gzip magic
+	f.Fuzz(func(t *testing.T, a, b []byte, gzA, gzB bool) {
+		inA, inB := a, b
+		if gzA {
+			inA = gzBytes(t, a)
+		}
+		if gzB {
+			inB = gzBytes(t, b)
+		}
+		s := NewStream(Input{Name: "a", R: bytes.NewReader(inA)}, Input{Name: "b", R: bytes.NewReader(inB)})
+		var got []Record
+		var streamErr error
+		for {
+			rec, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var ie *InputError
+				if !errors.As(err, &ie) {
+					t.Fatalf("unstructured stream error %T: %v", err, err)
+				}
+				if ie.Input != "a" && ie.Input != "b" {
+					t.Fatalf("error names unknown input %q", ie.Input)
+				}
+				// Errors are sticky: the stream must not resume past one.
+				if _, again := s.Next(); !errors.Is(again, err) {
+					t.Fatalf("error not sticky: %v then %v", err, again)
+				}
+				streamErr = err
+				break
+			}
+			got = append(got, rec.Clone())
+		}
+		// No silent drops: inputs that parse cleanly in isolation must
+		// stream as their exact concatenation, with no error.
+		wantA, errA := ReadAll(bytes.NewReader(a))
+		wantB, errB := ReadAll(bytes.NewReader(b))
+		if errA != nil || errB != nil {
+			return // at least one input is malformed; the error above (if any) covered it
+		}
+		if streamErr != nil {
+			t.Fatalf("inputs parse cleanly alone but stream failed: %v", streamErr)
+		}
+		want := append(wantA, wantB...)
+		if len(got) != len(want) {
+			t.Fatalf("stream delivered %d records, concatenation has %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || !bytes.Equal(got[i].Seq, want[i].Seq) {
+				t.Fatalf("record %d differs from concatenation", i)
 			}
 		}
 	})

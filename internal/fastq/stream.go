@@ -1,0 +1,247 @@
+package fastq
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Source streams records one at a time: the out-of-core counterpart of a
+// preloaded []Record. Next returns io.EOF after the last record and a
+// non-nil error on malformed input; like Reader.Read, the returned
+// record's slices are only valid until the next call — callers that
+// retain a record must Clone it. Implementations need not be safe for
+// concurrent use; the pipeline serializes pulls behind one producer lock.
+type Source interface {
+	Next() (Record, error)
+}
+
+// SliceSource adapts an in-memory read set to the Source interface.
+type SliceSource struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceSource streams recs in order.
+func NewSliceSource(recs []Record) *SliceSource { return &SliceSource{recs: recs} }
+
+// Next returns the next record or io.EOF.
+func (s *SliceSource) Next() (Record, error) {
+	if s.i >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	rec := s.recs[s.i]
+	s.i++
+	return rec, nil
+}
+
+// Input is one named reader feeding a Stream; Name labels errors.
+type Input struct {
+	Name string
+	R    io.Reader
+}
+
+// InputError attributes a stream failure to one input of a multi-input
+// Stream. Unwrap exposes the underlying cause (parse errors keep their
+// line numbers; truncated gzip members surface io.ErrUnexpectedEOF).
+type InputError struct {
+	// Input is the failing input's name (the file path for OpenStream).
+	Input string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *InputError) Error() string { return fmt.Sprintf("fastq: input %s: %v", e.Input, e.Err) }
+
+// Unwrap returns the underlying error.
+func (e *InputError) Unwrap() error { return e.Err }
+
+// Stream concatenates the records of a sequence of FASTQ/FASTA inputs,
+// decompressing gzip inputs detected by their magic bytes (0x1f 0x8b) —
+// the detection is per input, so plain and compressed files mix freely
+// and a ".gz" suffix is not required. Concatenated gzip members within
+// one input decompress as one stream (gzip multistream), and a
+// truncated member is an error, never a silently shortened read set.
+// Every non-EOF error is an *InputError naming the offending input, and
+// errors are sticky: once Next fails, it keeps returning the same error.
+type Stream struct {
+	inputs []Input
+	paths  []string // lazily opened when non-nil; nil for NewStream
+	cur    int      // next input index
+	name   string   // current input name, for error attribution
+	r      *Reader
+	file   io.Closer // open file backing the current input (paths mode)
+	reads  uint64
+	bases  uint64
+	err    error // sticky terminal error (never io.EOF)
+}
+
+// NewStream streams the given inputs in order. Empty inputs are skipped.
+func NewStream(inputs ...Input) *Stream { return &Stream{inputs: inputs} }
+
+// OpenStream opens the given files as one concatenated stream. Every
+// path is stat'ed up front so a missing file fails fast, but files are
+// opened lazily, one at a time, and closed as they drain — a
+// thousand-file dataset holds one descriptor. Close releases the
+// currently open file when the stream is abandoned early.
+func OpenStream(paths ...string) (*Stream, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("fastq: no input paths")
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			return nil, err
+		}
+	}
+	return &Stream{paths: paths}, nil
+}
+
+// Next returns the next record across all inputs, or io.EOF after the
+// last input drains.
+func (s *Stream) Next() (Record, error) {
+	if s.err != nil {
+		return Record{}, s.err
+	}
+	for {
+		if s.r == nil {
+			if err := s.advance(); err != nil {
+				if err != io.EOF {
+					s.err = err
+				}
+				return Record{}, err
+			}
+		}
+		rec, err := s.r.Read()
+		if err == nil {
+			s.reads++
+			s.bases += uint64(len(rec.Seq))
+			return rec, nil
+		}
+		if err == io.EOF {
+			s.r = nil
+			s.closeCurrent()
+			continue // next input
+		}
+		s.err = &InputError{Input: s.name, Err: err}
+		return Record{}, s.err
+	}
+}
+
+// Reads and Bases report the records and bases delivered so far.
+func (s *Stream) Reads() uint64 { return s.reads }
+func (s *Stream) Bases() uint64 { return s.bases }
+
+// Close releases the currently open file, if any. Safe to call at any
+// point; Next after Close reopens nothing (drained inputs stay drained,
+// the current input restarts is not supported — Close is for abandoning
+// a stream early or after io.EOF).
+func (s *Stream) Close() error {
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	return err
+}
+
+func (s *Stream) closeCurrent() {
+	if s.file != nil {
+		s.file.Close()
+		s.file = nil
+	}
+}
+
+// advance opens the next non-empty input, returning io.EOF when none
+// remain.
+func (s *Stream) advance() error {
+	for {
+		var raw io.Reader
+		if s.paths != nil {
+			if s.cur >= len(s.paths) {
+				return io.EOF
+			}
+			s.name = s.paths[s.cur]
+			f, err := os.Open(s.name)
+			if err != nil {
+				s.cur++
+				return &InputError{Input: s.name, Err: err}
+			}
+			s.file = f
+			raw = f
+		} else {
+			if s.cur >= len(s.inputs) {
+				return io.EOF
+			}
+			s.name = s.inputs[s.cur].Name
+			raw = s.inputs[s.cur].R
+		}
+		s.cur++
+		r, empty, err := sniffGzip(raw)
+		if err != nil {
+			s.closeCurrent()
+			return &InputError{Input: s.name, Err: err}
+		}
+		if empty {
+			s.closeCurrent()
+			continue
+		}
+		s.r = NewReader(r)
+		return nil
+	}
+}
+
+// sniffGzip peeks the input's first two bytes and wraps it in a gzip
+// decompressor when they are the gzip magic. empty reports an input with
+// no bytes at all (skipped by the stream, like an empty file).
+func sniffGzip(raw io.Reader) (r io.Reader, empty bool, err error) {
+	br := bufio.NewReaderSize(raw, 1<<15)
+	magic, err := br.Peek(2)
+	if err == io.EOF {
+		// Zero or one byte: no gzip member fits. Empty inputs are
+		// skipped; a lone byte goes to the parser, which reports it.
+		if len(magic) == 0 {
+			return nil, true, nil
+		}
+		return br, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, false, err
+		}
+		return gz, false, nil
+	}
+	return br, false, nil
+}
+
+// trimSource wraps a Source with per-record quality trimming.
+type trimSource struct {
+	src    Source
+	minQ   int
+	minLen int
+}
+
+// NewTrimSource returns a Source that quality-trims every record of src
+// (see TrimQuality) and drops records whose trimmed sequence is shorter
+// than minLen — the streaming equivalent of TrimAll.
+func NewTrimSource(src Source, minQ, minLen int) Source {
+	return &trimSource{src: src, minQ: minQ, minLen: minLen}
+}
+
+func (t *trimSource) Next() (Record, error) {
+	for {
+		rec, err := t.src.Next()
+		if err != nil {
+			return rec, err
+		}
+		trimmed := TrimQuality(rec, t.minQ)
+		if len(trimmed.Seq) >= t.minLen {
+			return trimmed, nil
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package fastq
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// drainStream pulls a stream dry, cloning records.
+func drainStream(t *testing.T, s Source) ([]Record, error) {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec.Clone())
+	}
+}
+
+func gzCompress(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestOpenStreamMultiFileGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "a.fastq")
+	suffixed := filepath.Join(dir, "b.fastq.gz")
+	// Gzip content behind a non-.gz name: detection must go by magic
+	// bytes, not the suffix.
+	unsuffixed := filepath.Join(dir, "c.fastq")
+	if err := os.WriteFile(plain, []byte("@r1\nACGT\n+\nIIII\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(suffixed, gzCompress(t, []byte(">r2\nGGCC\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(unsuffixed, gzCompress(t, []byte("@r3\nTTTT\n+\nIIII\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStream(plain, suffixed, unsuffixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	recs, err := drainStream(t, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].ID != "r1" || recs[1].ID != "r2" || recs[2].ID != "r3" {
+		t.Fatalf("concatenation wrong: %+v", recs)
+	}
+	if string(recs[1].Seq) != "GGCC" {
+		t.Fatalf("gzip record decoded wrong: %q", recs[1].Seq)
+	}
+	if s.Reads() != 3 || s.Bases() != 12 {
+		t.Fatalf("tallies %d/%d, want 3/12", s.Reads(), s.Bases())
+	}
+}
+
+func TestOpenStreamMissingFile(t *testing.T) {
+	if _, err := OpenStream(filepath.Join(t.TempDir(), "nope.fastq")); err == nil {
+		t.Fatal("missing file must fail fast at OpenStream")
+	}
+	if _, err := OpenStream(); err == nil {
+		t.Fatal("no paths must be rejected")
+	}
+}
+
+func TestStreamSkipsEmptyInputs(t *testing.T) {
+	s := NewStream(
+		Input{Name: "empty1", R: bytes.NewReader(nil)},
+		Input{Name: "data", R: bytes.NewReader([]byte(">r\nACGT\n"))},
+		Input{Name: "empty2", R: bytes.NewReader(nil)},
+	)
+	recs, err := drainStream(t, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "r" {
+		t.Fatalf("got %+v", recs)
+	}
+}
+
+func TestStreamConcatenatedGzipMembers(t *testing.T) {
+	// Two gzip members back to back in one input — the standard output
+	// of `cat a.gz b.gz` — must decompress as one stream.
+	raw := append(gzCompress(t, []byte("@r1\nAC\n+\nII\n")), gzCompress(t, []byte("@r2\nGT\n+\nII\n"))...)
+	s := NewStream(Input{Name: "multi", R: bytes.NewReader(raw)})
+	recs, err := drainStream(t, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != "r1" || recs[1].ID != "r2" {
+		t.Fatalf("multistream gzip wrong: %+v", recs)
+	}
+}
+
+func TestStreamTruncatedGzip(t *testing.T) {
+	// FASTQ and FASTA content, truncated mid-member: both must surface a
+	// structured error naming the input — never a silently shortened
+	// read set (the FASTA case regresses if readFasta swallows read
+	// errors again).
+	for _, content := range []string{
+		"@r1\nACGT\n+\nIIII\n@r2\nGGGG\n+\nIIII\n",
+		">r1\nACGT\n>r2\nGGGG\n",
+	} {
+		full := gzCompress(t, []byte(content))
+		s := NewStream(Input{Name: "trunc", R: bytes.NewReader(full[:len(full)-6])})
+		_, err := drainStream(t, s)
+		var ie *InputError
+		if !errors.As(err, &ie) || ie.Input != "trunc" {
+			t.Fatalf("want InputError for truncated gzip of %q, got %v", content[:3], err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("want io.ErrUnexpectedEOF cause, got %v", err)
+		}
+	}
+}
+
+func TestStreamMidRecordEOF(t *testing.T) {
+	s := NewStream(Input{Name: "cut", R: bytes.NewReader([]byte("@r\nACGT\n+\n"))})
+	_, err := drainStream(t, s)
+	var ie *InputError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want structured error, got %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want truncated-record cause, got %v", err)
+	}
+	// Sticky: the stream does not resume past a failure.
+	if _, again := s.Next(); !errors.Is(again, err) {
+		t.Fatalf("error not sticky: %v", again)
+	}
+}
+
+func TestStreamCRLF(t *testing.T) {
+	s := NewStream(Input{Name: "crlf", R: bytes.NewReader([]byte("@r\r\nACGT\r\n+\r\nIIII\r\n"))})
+	recs, err := drainStream(t, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Seq) != "ACGT" {
+		t.Fatalf("CRLF input parsed wrong: %+v", recs)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := []Record{{ID: "a", Seq: []byte("AC")}, {ID: "b", Seq: []byte("GT")}}
+	got, err := drainStream(t, NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTrimSource(t *testing.T) {
+	reads := []Record{
+		{ID: "keep", Seq: []byte("ACGTACGT"), Qual: []byte("IIIIIII$")},
+		{ID: "drop", Seq: []byte("ACGT"), Qual: []byte("$$$$")},
+	}
+	want := TrimAll(append([]Record(nil), reads...), 20, 5)
+	got, err := drainStream(t, NewTrimSource(NewSliceSource(reads), 20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trim stream kept %d records, TrimAll kept %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || !bytes.Equal(got[i].Seq, want[i].Seq) {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -75,6 +75,28 @@ func BenchmarkPipelineKmer(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineStream measures the streaming ingestion path: the
+// shared bounded producer feeding multi-round pulls, against the same
+// dataset BenchmarkPipelineSupermer preloads. The delta against that
+// baseline is the out-of-core overhead (producer locking, per-chunk
+// copies, open-ended round agreement).
+func BenchmarkPipelineStream(b *testing.B) {
+	reads := benchReads(b)
+	cfg := Default(smallGPULayout(1), SupermerMode)
+	cfg.MemBudgetBytes = int64(cfg.Layout.Ranks() * streamBytesPerBase * 3_000) // ~10 rounds
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunStream(cfg, fastq.NewSliceSource(reads))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds < 2 {
+			b.Fatal("want a multi-round streamed run")
+		}
+		b.ReportMetric(float64(res.Rounds), "rounds")
+	}
+}
+
 // BenchmarkPipelineOverlap compares the bulk-synchronous schedule against
 // the overlapped one on a multi-round run with an emulated wire (the
 // simulator's collectives are otherwise free in wall terms, which is

@@ -94,8 +94,20 @@ type Config struct {
 	CPULoadLift float64
 	// RoundBases caps the bases a rank processes per round; larger inputs
 	// run in multiple parse-exchange-count rounds (§III-A's
-	// memory-bounded multi-round execution). 0 = single round.
+	// memory-bounded multi-round execution). 0 = single round (in-memory
+	// Run) or the MemBudgetBytes-derived cap (RunStream).
 	RoundBases int
+	// MemBudgetBytes bounds the live working-set of a streaming run
+	// (RunStream): the per-rank round chunk is sized so that every rank's
+	// round-loop buffers — the staged base chunk, the packed send
+	// vectors, the framed wire arenas, and the received payloads —
+	// together stay under the budget (see streamBytesPerBase for the
+	// itemization). The counter tables are excluded: they hold the
+	// output spectrum, which no out-of-core counting scheme can bound
+	// without spilling. 0 defaults to DefaultMemBudget; when RoundBases
+	// is also set, the tighter of the two caps applies. Ignored by the
+	// in-memory Run.
+	MemBudgetBytes int64
 	// FilterSingletons enables the Bloom-filter singleton pre-filter of
 	// the diBELLA/HipMer lineage (BFCounter-style): a k-mer's first
 	// sighting is absorbed by a per-rank Bloom filter and only k-mers seen
@@ -178,6 +190,9 @@ func (c Config) Validate() error {
 	if c.RoundBases < 0 {
 		return fmt.Errorf("pipeline: negative RoundBases %d", c.RoundBases)
 	}
+	if c.MemBudgetBytes < 0 {
+		return fmt.Errorf("pipeline: negative MemBudgetBytes %d", c.MemBudgetBytes)
+	}
 	if c.FilterSingletons && c.Layout.GPU != nil {
 		return fmt.Errorf("pipeline: the singleton Bloom filter is a CPU-baseline feature (GPU layout given)")
 	}
@@ -227,6 +242,44 @@ func (c Config) tableLoad() float64 {
 		return 0.5
 	}
 	return c.TableLoad
+}
+
+// DefaultMemBudget is the streaming working-set budget when
+// Config.MemBudgetBytes is zero: 256 MiB across all simulated ranks.
+const DefaultMemBudget = 256 << 20
+
+// streamBytesPerBase is the modeled live bytes one input base pins across
+// a streaming rank's round-loop buffers, used to translate a memory
+// budget into a per-rank round chunk. Itemized per base: the staged
+// chunk records and SeqBuffer copy (~3B), the packed send words or wire
+// bytes plus the checksummed frame arena, double-buffered for the
+// overlapped schedule (~4×8B upper bound: k-mer mode emits up to one
+// 8-byte word per base), and the received payload views (~2×8B). The
+// constant deliberately rounds up — streaming wants to be safely under
+// budget, not precisely at it.
+const streamBytesPerBase = 48
+
+// memBudget returns the effective streaming budget.
+func (c Config) memBudget() int64 {
+	if c.MemBudgetBytes == 0 {
+		return DefaultMemBudget
+	}
+	return c.MemBudgetBytes
+}
+
+// streamRoundBases derives the per-rank round chunk cap from the memory
+// budget: the budget is shared by all ranks' live round buffers, each of
+// which pins streamBytesPerBase per chunk base. An explicitly tighter
+// RoundBases still wins.
+func (c Config) streamRoundBases() int {
+	per := int(c.memBudget() / int64(c.Layout.Ranks()*streamBytesPerBase))
+	if per < 1 {
+		per = 1
+	}
+	if c.RoundBases > 0 && c.RoundBases < per {
+		per = c.RoundBases
+	}
+	return per
 }
 
 // Default returns the paper's operating point on the given layout: k=17,
@@ -304,8 +357,18 @@ type Result struct {
 	// metrics §III-B's kernel design targets.
 	GPUParse, GPUCount gpusim.KernelStats
 	// Rounds is the number of parse-exchange-count rounds executed
-	// (1 unless Config.RoundBases forced multi-round operation).
+	// (1 unless Config.RoundBases or a streaming memory budget forced
+	// multi-round operation).
 	Rounds int
+	// Streamed reports that the run ingested its input out-of-core via
+	// RunStream; MemBudget echoes the effective memory budget it ran
+	// under (0 for in-memory runs).
+	Streamed  bool
+	MemBudget int64
+	// InputReads and InputBases count the ingested records and bases —
+	// for streamed runs the only place the input size is known, since
+	// the dataset is never materialized.
+	InputReads, InputBases uint64
 	// Overlap echoes Config.Overlap: whether the rank round loops ran the
 	// double-buffered overlapped schedule. ModeledTotal applies the
 	// overlap rule when set.

@@ -2,7 +2,6 @@ package pipeline
 
 import (
 	"dedukt/internal/dna"
-	"dedukt/internal/fastq"
 	"dedukt/internal/fault"
 	"dedukt/internal/kcount"
 	"dedukt/internal/kernels"
@@ -29,14 +28,8 @@ type cpuRoundState struct {
 // ablation for one rank, metering abstract work with the same constants the
 // GPU kernels use and converting it to Power9 time via the layout's
 // CPUModel.
-func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) error {
+func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, bloomBases int, out *rankOutcome) error {
 	model := *cfg.Layout.CPU
-	chunks := chunkReads(reads, cfg.RoundBases)
-	rounds, err := globalRounds(c, len(chunks))
-	if err != nil {
-		return err
-	}
-	out.rounds = rounds
 	table := kcount.NewTable(1, cfg.Probing)
 	var bloom *kcount.Bloom
 	if cfg.FilterSingletons {
@@ -45,12 +38,11 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 			fp = 0.01
 		}
 		// Size for this rank's expected distinct arrivals: its share of
-		// the partition's k-mers is bounded by its share of the input.
-		expected := 0
-		for _, r := range reads {
-			expected += len(r.Seq)
-		}
-		bloom, err = kcount.NewBloom(expected+1, fp)
+		// the partition's k-mers is bounded by its share of the input
+		// (bloomBases — known up front only on the in-memory path, which
+		// is why RunStream rejects the filter).
+		var err error
+		bloom, err = kcount.NewBloom(bloomBases+1, fp)
 		if err != nil {
 			return err
 		}
@@ -61,14 +53,21 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
 	var states [2]cpuRoundState
 
-	// Parse & process into the parity slot's send vectors.
-	parse := func(r int) error {
-		if err := killOrStall(inj, c, r, rec); err != nil {
-			return err
-		}
+	// Round-start faults fire once per executed round, before its parse.
+	start := func(r int) error {
+		return killOrStall(inj, c, r, rec)
+	}
+
+	// Parse & process the round's chunk into the parity slot's send
+	// vectors.
+	parse := func(r int) (bool, error) {
 		st := &states[r%2]
+		recs, more, err := src.nextChunk()
+		if err != nil {
+			return false, err
+		}
 		st.buf.Reset()
-		for _, rd := range chunkFor(chunks, r) {
+		for _, rd := range recs {
 			st.buf.AppendRead(rd.Seq)
 		}
 		data := st.buf.Data()
@@ -81,7 +80,7 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 			st.sendWire, meter, err = cpuBuildSupermers(cfg, destMap, c.Size(), data, st.sendWire)
 			if err != nil {
 				sp.End(0, 0)
-				return err
+				return false, err
 			}
 		}
 		parseModeled := model.RankTimeLifted(meter.Ops, meter.Bytes, meter.Items, cfg.CPULoadLift)
@@ -102,47 +101,51 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		}
 		out.itemsSent += roundSent
 		sp.End(parseModeled, roundSent)
-		return nil
+		return more, nil
 	}
 
-	// Post the round's exchange with nonblocking collectives.
-	post := func(r int) error {
+	// Post the round's exchange with nonblocking collectives, carrying the
+	// end-of-stream more flag on the announcement.
+	post := func(r int, more bool) error {
 		st := &states[r%2]
 		if cfg.Mode == KmerMode {
-			st.pend = ex.postWords(r, st.sendWords)
+			st.pend = ex.postWords(r, st.sendWords, more)
 		} else {
-			st.pend = ex.postWire(r, wire, st.sendWire)
+			st.pend = ex.postWire(r, wire, st.sendWire, more)
 		}
 		return nil
 	}
 
 	// Complete the exchange; the received parts stay in the parity slot for
 	// count (no staging legs on the CPU pipeline).
-	finish := func(r int) error {
+	finish := func(r int) (bool, error) {
 		st := &states[r%2]
 		pend := st.pend
 		st.pend = nil
 		st.roundRecv = 0
-		var err error
+		var (
+			anyMore bool
+			err     error
+		)
 		if cfg.Mode == KmerMode {
-			st.recvWords, err = ex.finishWords(pend)
+			st.recvWords, anyMore, err = ex.finishWords(pend)
 			if err != nil {
-				return err
+				return false, err
 			}
 			for _, part := range st.recvWords {
 				st.roundRecv += uint64(len(part))
 			}
 		} else {
-			st.recvWire, err = ex.finishWire(pend)
+			st.recvWire, anyMore, err = ex.finishWire(pend)
 			if err != nil {
-				return err
+				return false, err
 			}
 			for _, part := range st.recvWire {
 				st.roundRecv += uint64(len(part) / wire.Stride())
 			}
 		}
 		pend.sp.End(0, st.roundRecv)
-		return nil
+		return anyMore, nil
 	}
 
 	// Count the received parts into the persistent per-rank table in place.
@@ -169,9 +172,11 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		return nil
 	}
 
-	if err := runRounds(rounds, cfg.Overlap, parse, post, finish, count); err != nil {
+	rounds, err := runRounds(cfg.Overlap, roundHooks{start: start, parse: parse, post: post, finish: finish, count: count})
+	if err != nil {
 		return err
 	}
+	out.rounds = rounds
 	out.counted = table.TotalCount()
 	out.distinct = uint64(table.Len())
 	out.hist = table.Histogram()

@@ -79,13 +79,37 @@ func growInts(s []int, n int) []int {
 	return s[:n]
 }
 
+// moreFlag is the end-of-stream agreement bit piggybacked on the count
+// announcement: a rank whose input continues past this round sets it on
+// every outgoing count, and finish* folds the incoming flags into
+// anyMore before stripping them. Because every rank derives anyMore from
+// the same announcement, termination of the open-ended round loop is
+// collective with zero extra collectives — and the announcement travels
+// outside the fault injector's reach, so the agreement survives dropped
+// and corrupted payload frames. Bit 30 leaves per-destination counts up
+// to ~10⁹ items representable, far beyond any RoundBases-bounded round.
+const moreFlag = 1 << 30
+
+// stripMore extracts the more-bits from a received announcement in
+// place, returning whether any sender's input continues.
+func stripMore(expect []int) (anyMore bool) {
+	for i, v := range expect {
+		if v&moreFlag != 0 {
+			anyMore = true
+			expect[i] = v &^ moreFlag
+		}
+	}
+	return anyMore
+}
+
 // postWords posts the k-mer mode round exchange: the count announcement
 // (IAlltoall — the vector is copied at post time, so the pooled slot is
 // immediately reusable) followed by the attempt-0 framed payloads
 // (IAlltoallvUint64). The frames are packed into the slot's pooled arena,
 // presized so no append can reallocate mid-loop. send must stay unmutated
-// until finishWords returns (it is also the retry source).
-func (e *exchanger) postWords(round int, send [][]uint64) *pendingExchange {
+// until finishWords returns (it is also the retry source). more announces
+// that this rank's input continues past this round (see moreFlag).
+func (e *exchanger) postWords(round int, send [][]uint64, more bool) *pendingExchange {
 	rank := e.c.Rank()
 	slot := &e.slots[round%2]
 	p := &pendingExchange{round: round, sendWords: send, slot: slot}
@@ -95,6 +119,9 @@ func (e *exchanger) postWords(round int, send [][]uint64) *pendingExchange {
 	total := 0
 	for d, part := range send {
 		slot.counts[d] = len(part)
+		if more {
+			slot.counts[d] |= moreFlag
+		}
 		total += 1 + len(part)
 	}
 	p.ann = e.c.IAlltoall(slot.counts)
@@ -129,7 +156,7 @@ func (e *exchanger) postWords(round int, send [][]uint64) *pendingExchange {
 }
 
 // postWire is postWords for supermer-mode wire payloads.
-func (e *exchanger) postWire(round int, wire kernels.SupermerWire, send [][]byte) *pendingExchange {
+func (e *exchanger) postWire(round int, wire kernels.SupermerWire, send [][]byte, more bool) *pendingExchange {
 	rank := e.c.Rank()
 	slot := &e.slots[round%2]
 	p := &pendingExchange{round: round, sendWire: send, wire: wire, slot: slot}
@@ -140,6 +167,9 @@ func (e *exchanger) postWire(round int, wire kernels.SupermerWire, send [][]byte
 	total := 0
 	for d, part := range send {
 		slot.counts[d] = len(part) / stride
+		if more {
+			slot.counts[d] |= moreFlag
+		}
 		total += byteFrameOverhead + len(part)
 	}
 	p.ann = e.c.IAlltoall(slot.counts)
@@ -180,17 +210,19 @@ const byteFrameOverhead = 16
 // and attempt-0 payloads, verify every frame, retry bad rounds with
 // blocking collectives (fresh frames — receivers hold views into the
 // attempt-0 arena), and settle. It returns the per-source verified payloads
-// (nil for a source whose payload was lost past the retry budget). On error
-// the exchange span is closed; on success it stays open for the caller to
-// End with the staging time.
-func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, error) {
+// (nil for a source whose payload was lost past the retry budget) plus the
+// announcement's end-of-stream agreement: anyMore is true while any rank's
+// input continues (see moreFlag). On error the exchange span is closed; on
+// success it stays open for the caller to End with the staging time.
+func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, bool, error) {
 	rank := e.c.Rank()
 	slot := p.slot
 	expect, err := p.ann.Wait()
 	if err != nil {
 		p.sp.End(0, 0)
-		return nil, err
+		return nil, false, err
 	}
+	anyMore := stripMore(expect)
 	n := len(p.sendWords)
 	if cap(slot.partsW) < n {
 		slot.partsW = make([][]uint64, n)
@@ -225,7 +257,7 @@ func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, error) {
 		if err != nil {
 			sp.End(0, 0)
 			p.sp.End(0, 0)
-			return nil, err
+			return nil, false, err
 		}
 		var bad uint64
 		for i, f := range recv {
@@ -243,7 +275,7 @@ func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, error) {
 		sp.End(0, bad)
 		if err != nil {
 			p.sp.End(0, 0)
-			return nil, err
+			return nil, false, err
 		}
 		if !done {
 			continue
@@ -255,22 +287,23 @@ func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, error) {
 			}
 		}
 		e.degrade(p.round, lost, bad)
-		return parts, nil
+		return parts, anyMore, nil
 	}
 }
 
 // finishWire is finishWords for supermer-mode wire payloads: beyond the
 // frame checksum, each accepted payload's images are structurally verified
 // (length bytes in range) before release.
-func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, error) {
+func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, bool, error) {
 	rank := e.c.Rank()
 	slot := p.slot
 	wire := p.wire
 	expect, err := p.ann.Wait()
 	if err != nil {
 		p.sp.End(0, 0)
-		return nil, err
+		return nil, false, err
 	}
+	anyMore := stripMore(expect)
 	n := len(p.sendWire)
 	if cap(slot.partsB) < n {
 		slot.partsB = make([][]byte, n)
@@ -306,7 +339,7 @@ func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, error) {
 		if err != nil {
 			sp.End(0, 0)
 			p.sp.End(0, 0)
-			return nil, err
+			return nil, false, err
 		}
 		var bad uint64
 		for i, f := range recv {
@@ -328,7 +361,7 @@ func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, error) {
 		sp.End(0, bad)
 		if err != nil {
 			p.sp.End(0, 0)
-			return nil, err
+			return nil, false, err
 		}
 		if !done {
 			continue
@@ -340,7 +373,7 @@ func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, error) {
 			}
 		}
 		e.degrade(p.round, lost, bad)
-		return parts, nil
+		return parts, anyMore, nil
 	}
 }
 

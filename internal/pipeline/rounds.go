@@ -3,108 +3,177 @@ package pipeline
 import (
 	"dedukt/internal/fastq"
 	"dedukt/internal/kcount"
-	"dedukt/internal/mpisim"
 )
 
-// chunkReads splits a rank's reads into contiguous chunks of at most
-// maxBases each (at least one read per chunk), implementing the paper's
-// multi-round processing: "Depending on the total size of the input,
-// relative to software limits (approximating available memory), the
-// computation and communication may proceed in multiple rounds" (§III-A).
-// maxBases ≤ 0 yields a single chunk.
-func chunkReads(reads []fastq.Record, maxBases int) [][]fastq.Record {
-	if maxBases <= 0 || len(reads) == 0 {
-		return [][]fastq.Record{reads}
+// chunkSource feeds one rank's round loop: nextChunk returns the next
+// round's read set plus a more flag reporting whether this rank's input
+// may continue past it. A drained source keeps returning (nil, false,
+// nil) — a rank whose input ends early pulls empty chunks and keeps
+// participating in the world's collectives until every rank drains (the
+// end-of-stream agreement rides on the exchange announcement, see
+// exchanger.post*). The returned records are only valid until the next
+// call; the round loop copies the bases it needs into its own buffers
+// before pulling again.
+type chunkSource interface {
+	nextChunk() (recs []fastq.Record, more bool, err error)
+}
+
+// sliceChunker is the in-memory producer: it cuts a preloaded partition
+// into contiguous chunks of at most maxBases each (at least one read per
+// chunk), implementing the paper's multi-round processing: "Depending on
+// the total size of the input, relative to software limits
+// (approximating available memory), the computation and communication
+// may proceed in multiple rounds" (§III-A). maxBases ≤ 0 yields a single
+// chunk; a final partial chunk below maxBases is still delivered.
+type sliceChunker struct {
+	reads    []fastq.Record
+	maxBases int
+	i        int
+}
+
+func (s *sliceChunker) nextChunk() ([]fastq.Record, bool, error) {
+	if s.i >= len(s.reads) {
+		return nil, false, nil
 	}
-	var chunks [][]fastq.Record
-	start, bases := 0, 0
-	for i, r := range reads {
-		if bases > 0 && bases+len(r.Seq) > maxBases {
-			chunks = append(chunks, reads[start:i])
-			start, bases = i, 0
+	start, bases := s.i, 0
+	for s.i < len(s.reads) {
+		n := len(s.reads[s.i].Seq)
+		if s.maxBases > 0 && bases > 0 && bases+n > s.maxBases {
+			break
 		}
-		bases += len(r.Seq)
+		bases += n
+		s.i++
 	}
-	chunks = append(chunks, reads[start:])
-	return chunks
+	return s.reads[start:s.i], s.i < len(s.reads), nil
 }
 
-// globalRounds agrees on a common round count: collectives are matched
-// across ranks, so every rank participates in the maximum number of rounds
-// (with empty sends once its own data is exhausted).
-func globalRounds(c *mpisim.Comm, localChunks int) (int, error) {
-	n, err := c.AllreduceMax(uint64(localChunks))
-	return int(n), err
+// roundHooks is one rank's round-loop stage set. start(r) applies
+// round-start faults; parse(r) pulls round r's chunk and builds its send
+// buffers, reporting whether this rank's own input continues past it;
+// post(r, more) posts round r's exchange with nonblocking collectives,
+// piggybacking the more flag on the count announcement; finish(r)
+// completes the exchange (verification, retries, the settle collective)
+// and returns the world's agreement on whether any rank still has input;
+// count(r) inserts the received items into the rank's table.
+type roundHooks struct {
+	start  func(r int) error
+	parse  func(r int) (more bool, err error)
+	post   func(r int, more bool) error
+	finish func(r int) (anyMore bool, err error)
+	count  func(r int) error
 }
 
-// chunkFor returns the r-th chunk, or an empty read set when this rank has
-// fewer chunks than the global round count.
-func chunkFor(chunks [][]fastq.Record, r int) []fastq.Record {
-	if r < len(chunks) {
-		return chunks[r]
-	}
-	return nil
-}
-
-// runRounds drives one rank's round loop through four stages: parse(r)
-// builds round r's send buffers, post(r) posts its exchange with
-// nonblocking collectives, finish(r) completes the exchange (verification,
-// retries, the settle collective), and count(r) inserts the received items
-// into the rank's table.
+// runRounds drives one rank's open-ended round loop until the world
+// agrees no rank has input left, returning the number of rounds
+// executed. The round count is not known up front — a streaming source
+// reveals its end only by draining — so termination is collective: every
+// outgoing announcement carries the sender's "my input continues" flag,
+// finish(r) folds the incoming flags into anyMore, and every rank
+// observes the same announcements, so all ranks exit after the same
+// round. Every rank runs every round (with empty sends once its own data
+// is exhausted): collectives stay matched across ranks with no extra
+// agreement traffic.
 //
-// Serial schedule: parse, post, finish, count per round — post's requests
-// are waited immediately, reproducing the bulk-synchronous baseline.
+// Serial schedule: start, parse, post, finish, count per round — post's
+// requests are waited immediately, reproducing the bulk-synchronous
+// baseline.
 //
-// Overlapped schedule: round r's exchange is in flight while the rank runs
-// parse(r+1), and round r+1's exchange is posted before count(r), so the
-// wire hides behind both the next parse and the current count. The order
-// per iteration is parse(r+1); finish(r); post(r+1); count(r), which keeps
-// at most one round's requests outstanding — finish's blocking retry/settle
-// collectives stay legal (mpisim forbids blocking calls with posted
-// requests pending), and double-buffered (parity-indexed) scratch is safe:
-// post(r+1) reuses parity (r+1)%2 only after finish(r)'s settle collective
-// completed on every rank, which implies every peer finished round r-1 —
-// the last user of that parity's buffers. count(r) reads round r's received
-// parts (parity r%2) while round r+1 flies on the other parity.
-func runRounds(rounds int, overlap bool, parse, post, finish, count func(r int) error) error {
-	if rounds == 0 {
-		return nil
-	}
+// Overlapped schedule: round r's exchange is in flight while the rank
+// runs parse(r+1), and round r+1's exchange is posted before count(r),
+// so the wire hides behind both the next parse and the current count.
+// Whether round r+1 exists is only known at finish(r) — but a rank whose
+// own input continues (more from parse(r)) knows r+1 must happen and
+// parses it early; a drained rank parses its (empty) next chunk after
+// finish(r) confirms the world goes on. Either way each executed round
+// sees exactly one start/parse/post/finish/count, so the per-round
+// observability spans and fault schedule match the serial schedule. The
+// order per iteration is parse(r+1); finish(r); post(r+1); count(r),
+// which keeps at most one round's requests outstanding — finish's
+// blocking retry/settle collectives stay legal (mpisim forbids blocking
+// calls with posted requests pending), and double-buffered
+// (parity-indexed) scratch is safe: post(r+1) reuses parity (r+1)%2 only
+// after finish(r)'s settle collective completed on every rank, which
+// implies every peer finished round r-1 — the last user of that parity's
+// buffers. count(r) reads round r's received parts (parity r%2) while
+// round r+1 flies on the other parity.
+func runRounds(overlap bool, h roundHooks) (rounds int, err error) {
 	if !overlap {
-		for r := 0; r < rounds; r++ {
-			for _, f := range []func(int) error{parse, post, finish, count} {
-				if err := f(r); err != nil {
-					return err
+		for r := 0; ; r++ {
+			if err := h.start(r); err != nil {
+				return r, err
+			}
+			more, err := h.parse(r)
+			if err != nil {
+				return r, err
+			}
+			if err := h.post(r, more); err != nil {
+				return r, err
+			}
+			anyMore, err := h.finish(r)
+			if err != nil {
+				return r, err
+			}
+			if err := h.count(r); err != nil {
+				return r, err
+			}
+			if !anyMore {
+				return r + 1, nil
+			}
+		}
+	}
+	if err := h.start(0); err != nil {
+		return 0, err
+	}
+	selfMore, err := h.parse(0)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.post(0, selfMore); err != nil {
+		return 0, err
+	}
+	for r := 0; ; r++ {
+		var nextMore bool
+		parsedNext := false
+		if selfMore {
+			// This rank's own input continues, so round r+1 is certain:
+			// parse it while round r's exchange is in flight.
+			if err := h.start(r + 1); err != nil {
+				return r, err
+			}
+			if nextMore, err = h.parse(r + 1); err != nil {
+				return r, err
+			}
+			parsedNext = true
+		}
+		anyMore, err := h.finish(r)
+		if err != nil {
+			return r, err
+		}
+		if anyMore {
+			if !parsedNext {
+				// A peer still has input; this rank participates in round
+				// r+1 with an empty chunk (the pull is cheap — its source
+				// is dry). Nothing overlapped the exchange this round, but
+				// a drained rank has no parse work to hide anyway.
+				if err := h.start(r + 1); err != nil {
+					return r, err
+				}
+				if nextMore, err = h.parse(r + 1); err != nil {
+					return r, err
 				}
 			}
-		}
-		return nil
-	}
-	if err := parse(0); err != nil {
-		return err
-	}
-	if err := post(0); err != nil {
-		return err
-	}
-	for r := 0; r < rounds; r++ {
-		if r+1 < rounds {
-			if err := parse(r + 1); err != nil {
-				return err
+			if err := h.post(r+1, nextMore); err != nil {
+				return r, err
 			}
 		}
-		if err := finish(r); err != nil {
-			return err
+		if err := h.count(r); err != nil {
+			return r, err
 		}
-		if r+1 < rounds {
-			if err := post(r + 1); err != nil {
-				return err
-			}
+		if !anyMore {
+			return r + 1, nil
 		}
-		if err := count(r); err != nil {
-			return err
-		}
+		selfMore = nextMore
 	}
-	return nil
 }
 
 // ensureCapacity grows a fixed-capacity atomic table ahead of a round that

@@ -8,34 +8,99 @@ import (
 	"dedukt/internal/kcount"
 )
 
-func TestChunkReads(t *testing.T) {
-	mk := func(lens ...int) []fastq.Record {
-		var out []fastq.Record
-		for _, l := range lens {
-			out = append(out, fastq.Record{Seq: make([]byte, l)})
+func mkReads(lens ...int) []fastq.Record {
+	var out []fastq.Record
+	for _, l := range lens {
+		out = append(out, fastq.Record{Seq: make([]byte, l)})
+	}
+	return out
+}
+
+// drainChunker pulls a chunk source dry, returning the chunk sizes (in
+// records) and the more-flag sequence.
+func drainChunker(t *testing.T, src chunkSource) (sizes []int, mores []bool) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		recs, more, err := src.nextChunk()
+		if err != nil {
+			t.Fatal(err)
 		}
-		return out
+		sizes = append(sizes, len(recs))
+		mores = append(mores, more)
+		if !more {
+			return sizes, mores
+		}
 	}
-	// No cap: single chunk.
-	if got := chunkReads(mk(10, 20), 0); len(got) != 1 || len(got[0]) != 2 {
-		t.Fatalf("uncapped chunking wrong: %d chunks", len(got))
+	t.Fatal("chunk source never drained")
+	return nil, nil
+}
+
+func TestSliceChunker(t *testing.T) {
+	// No cap: single chunk holding everything.
+	sizes, mores := drainChunker(t, &sliceChunker{reads: mkReads(10, 20)})
+	if len(sizes) != 1 || sizes[0] != 2 || mores[0] {
+		t.Fatalf("uncapped chunking wrong: sizes=%v mores=%v", sizes, mores)
 	}
-	// Cap 25: [10,10] [20] [30].
-	chunks := chunkReads(mk(10, 10, 20, 30), 25)
-	if len(chunks) != 3 {
-		t.Fatalf("%d chunks, want 3", len(chunks))
+	// Cap 25: [10,10] [20] [30] — the final partial chunk (30 > what's
+	// left of nothing) still arrives, with more=false only on the last.
+	sizes, mores = drainChunker(t, &sliceChunker{reads: mkReads(10, 10, 20, 30), maxBases: 25})
+	if len(sizes) != 3 || sizes[0] != 2 || sizes[1] != 1 || sizes[2] != 1 {
+		t.Fatalf("chunk sizes: %v, want [2 1 1]", sizes)
 	}
-	if len(chunks[0]) != 2 || len(chunks[1]) != 1 || len(chunks[2]) != 1 {
-		t.Fatalf("chunk sizes: %d %d %d", len(chunks[0]), len(chunks[1]), len(chunks[2]))
+	if !mores[0] || !mores[1] || mores[2] {
+		t.Fatalf("more flags: %v, want [true true false]", mores)
 	}
 	// A read larger than the cap still forms its own chunk.
-	chunks = chunkReads(mk(100), 10)
-	if len(chunks) != 1 || len(chunks[0]) != 1 {
-		t.Fatal("oversized read should be its own chunk")
+	sizes, _ = drainChunker(t, &sliceChunker{reads: mkReads(100), maxBases: 10})
+	if len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("oversized read should be its own chunk, got %v", sizes)
 	}
-	// Empty input.
-	if got := chunkReads(nil, 10); len(got) != 1 || len(got[0]) != 0 {
-		t.Fatal("empty input should give one empty chunk")
+	// Empty input: one empty pull with more=false, then steady-state
+	// empties — a drained rank keeps pulling while peers finish.
+	empty := &sliceChunker{maxBases: 10}
+	sizes, mores = drainChunker(t, empty)
+	if len(sizes) != 1 || sizes[0] != 0 || mores[0] {
+		t.Fatalf("empty input: sizes=%v mores=%v", sizes, mores)
+	}
+	if recs, more, err := empty.nextChunk(); err != nil || more || len(recs) != 0 {
+		t.Fatal("drained chunker must keep returning empty chunks")
+	}
+}
+
+// TestUnevenTailDrain pins the last-chunk boundary fix: ranks with wildly
+// uneven inputs — including a rank with no reads at all — must keep
+// participating in the collectives until the longest rank drains, a
+// final partial chunk below the cap must still be counted, and the
+// result must match the oracle. Exercised on both schedules, since the
+// overlapped loop takes a different path for drained ranks.
+func TestUnevenTailDrain(t *testing.T) {
+	reads := testReads(t, 9_000, 4)
+	cfg := Default(smallGPULayout(1), KmerMode)
+	cfg.RoundBases = 2_500
+	p := cfg.Layout.Ranks()
+	for _, overlap := range []bool{false, true} {
+		cfg.Overlap = overlap
+		// Skewed hand-built split: rank 0 gets nearly everything, rank 1
+		// a single read, the rest nothing.
+		sources := make([]chunkSource, p)
+		sources[0] = &sliceChunker{reads: reads[:len(reads)-1], maxBases: cfg.RoundBases}
+		sources[1] = &sliceChunker{reads: reads[len(reads)-1:], maxBases: cfg.RoundBases}
+		for r := 2; r < p; r++ {
+			sources[r] = &sliceChunker{maxBases: cfg.RoundBases}
+		}
+		res, err := runWorld(cfg, nil, sources, nil)
+		if err != nil {
+			t.Fatalf("overlap=%v: %v", overlap, err)
+		}
+		// Every rank ran as many rounds as the heaviest one's chunks.
+		want, _ := drainChunker(t, &sliceChunker{reads: reads[:len(reads)-1], maxBases: cfg.RoundBases})
+		if res.Rounds != len(want) {
+			t.Fatalf("overlap=%v: rounds=%d, want %d", overlap, res.Rounds, len(want))
+		}
+		if res.Rounds < 3 {
+			t.Fatalf("overlap=%v: want a multi-round run, got %d", overlap, res.Rounds)
+		}
+		checkAgainstOracle(t, cfg, reads, res)
 	}
 }
 

@@ -45,30 +45,70 @@ type rankOutcome struct {
 // degrades the run to a partial result with Result.Incomplete set and the
 // per-rank damage in Result.Faults.
 func Run(cfg Config, reads []fastq.Record) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := validateRun(cfg); err != nil {
 		return nil, err
-	}
-	if cfg.Canonical && cfg.Mode == SupermerMode {
-		return nil, fmt.Errorf("pipeline: canonical counting is supported in kmer mode only")
 	}
 	var destMap []uint16
 	if cfg.BalancedPartition {
 		destMap = buildBalancedMap(cfg, reads)
 	}
 	p := cfg.Layout.Ranks()
+	parts := fastq.Partition(reads, p)
+	sources := make([]chunkSource, p)
+	bloomBases := make([]int, p)
+	var totalBases uint64
+	for r, part := range parts {
+		for _, rd := range part {
+			bloomBases[r] += len(rd.Seq)
+		}
+		totalBases += uint64(bloomBases[r])
+		sources[r] = &sliceChunker{reads: part, maxBases: cfg.RoundBases}
+	}
+	res, err := runWorld(cfg, destMap, sources, bloomBases)
+	if err != nil {
+		return nil, err
+	}
+	res.InputReads = uint64(len(reads))
+	res.InputBases = totalBases
+	return res, nil
+}
+
+// validateRun is the config validation shared by Run and RunStream.
+func validateRun(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Canonical && cfg.Mode == SupermerMode {
+		return fmt.Errorf("pipeline: canonical counting is supported in kmer mode only")
+	}
+	return nil
+}
+
+// runWorld is the engine shared by Run and RunStream: it spins up the
+// simulated world with one chunk producer per rank and aggregates the
+// rank outcomes. sources feeds each rank's round loop (a preloaded
+// partition for Run, handles on a shared bounded producer for
+// RunStream); bloomBases, when non-nil, gives each rank's expected input
+// bases for singleton-filter sizing (unknown when streaming, which is
+// why RunStream rejects FilterSingletons).
+func runWorld(cfg Config, destMap []uint16, sources []chunkSource, bloomBases []int) (*Result, error) {
+	p := cfg.Layout.Ranks()
 	inj, err := fault.New(cfg.Fault, p)
 	if err != nil {
 		return nil, err
 	}
-	parts := fastq.Partition(reads, p)
 	outcomes := make([]rankOutcome, p)
 
 	start := time.Now()
 	trace, err := mpisim.RunWithOptions(p, mpisim.Options{Deadline: cfg.ExchangeDeadline, Obs: cfg.Obs, WireTime: cfg.WireTime}, func(c *mpisim.Comm) error {
 		if cfg.Layout.GPU != nil {
-			return runGPURank(cfg, destMap, inj, c, parts[c.Rank()], &outcomes[c.Rank()])
+			return runGPURank(cfg, destMap, inj, c, sources[c.Rank()], &outcomes[c.Rank()])
 		}
-		return runCPURank(cfg, destMap, inj, c, parts[c.Rank()], &outcomes[c.Rank()])
+		bases := 0
+		if bloomBases != nil {
+			bases = bloomBases[c.Rank()]
+		}
+		return runCPURank(cfg, destMap, inj, c, sources[c.Rank()], bases, &outcomes[c.Rank()])
 	})
 	wall := time.Since(start)
 	if err != nil {
@@ -126,18 +166,11 @@ type gpuRoundState struct {
 	roundRecv uint64
 }
 
-func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, reads []fastq.Record, out *rankOutcome) error {
+func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, out *rankOutcome) error {
 	dev := gpusim.MustDevice(*cfg.Layout.GPU)
 	if cfg.Obs != nil {
 		dev.Observe(cfg.Obs.Registry())
 	}
-	chunks := chunkReads(reads, cfg.RoundBases)
-	rounds, err := globalRounds(c, len(chunks))
-	if err != nil {
-		return err
-	}
-	out.rounds = rounds
-
 	rec := cfg.Obs
 	rank := c.Rank()
 	table := kcount.NewAtomicTable(1, cfg.tableLoad(), cfg.Probing)
@@ -145,17 +178,23 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
 	var states [2]gpuRoundState
 
-	// Stage + parse: build the round's concatenated base buffer, model its
-	// host→device transfer, and run the parse (or supermer) kernel into the
-	// parity slot's packing scratch.
-	parse := func(r int) error {
-		if err := killOrStall(inj, c, r, rec); err != nil {
-			return err
-		}
+	// Round-start faults fire once per executed round, before its parse.
+	start := func(r int) error {
+		return killOrStall(inj, c, r, rec)
+	}
+
+	// Stage + parse: pull the round's chunk, build its concatenated base
+	// buffer, model its host→device transfer, and run the parse (or
+	// supermer) kernel into the parity slot's packing scratch.
+	parse := func(r int) (bool, error) {
 		st := &states[r%2]
+		recs, more, err := src.nextChunk()
+		if err != nil {
+			return false, err
+		}
 		sp := rec.Begin(rank, r, obs.PhaseStageH2D)
 		st.buf.Reset()
-		for _, rd := range chunkFor(chunks, r) {
+		for _, rd := range recs {
 			st.buf.AppendRead(rd.Seq)
 		}
 		data := st.buf.Data()
@@ -168,10 +207,7 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		sp.End(h2dIn, uint64(len(data)))
 
 		sp = rec.Begin(rank, r, obs.PhaseParse)
-		var (
-			parseSt gpusim.KernelStats
-			err     error
-		)
+		var parseSt gpusim.KernelStats
 		if cfg.Mode == KmerMode {
 			st.sendWords, parseSt, err = kernels.ParseKmers(dev, kernels.ParseConfig{
 				Enc: cfg.Enc, K: cfg.K, NumDest: c.Size(), Canonical: cfg.Canonical,
@@ -183,7 +219,7 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		}
 		if err != nil {
 			sp.End(0, 0)
-			return err
+			return false, err
 		}
 		kt := dev.Config().KernelTime(&parseSt)
 		out.parse += kt
@@ -206,17 +242,18 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		out.itemsSent += roundSent
 		out.payloadSent += bytesOut
 		sp.End(kt, roundSent)
-		return nil
+		return more, nil
 	}
 
-	// Post: announce counts and ship the round's framed payloads with
-	// nonblocking collectives (errors surface at finish time).
-	post := func(r int) error {
+	// Post: announce counts (carrying the end-of-stream more flag) and
+	// ship the round's framed payloads with nonblocking collectives
+	// (errors surface at finish time).
+	post := func(r int, more bool) error {
 		st := &states[r%2]
 		if cfg.Mode == KmerMode {
-			st.pend = ex.postWords(r, st.sendWords)
+			st.pend = ex.postWords(r, st.sendWords, more)
 		} else {
-			st.pend = ex.postWire(r, wire, st.sendWire)
+			st.pend = ex.postWire(r, wire, st.sendWire, more)
 		}
 		return nil
 	}
@@ -224,28 +261,29 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	// Finish: complete the exchange (verify, retry, settle) and model the
 	// host staging legs unless GPUDirect. The received parts stay in the
 	// parity slot for count.
-	finish := func(r int) error {
+	finish := func(r int) (bool, error) {
 		st := &states[r%2]
 		pend := st.pend
 		st.pend = nil
 		var (
 			bytesIn  uint64
 			incoming int
+			anyMore  bool
 			err      error
 		)
 		if cfg.Mode == KmerMode {
-			st.recvWords, err = ex.finishWords(pend)
+			st.recvWords, anyMore, err = ex.finishWords(pend)
 			if err != nil {
-				return err
+				return false, err
 			}
 			for _, part := range st.recvWords {
 				bytesIn += 8 * uint64(len(part))
 				incoming += len(part)
 			}
 		} else {
-			st.recvWire, err = ex.finishWire(pend)
+			st.recvWire, anyMore, err = ex.finishWire(pend)
 			if err != nil {
-				return err
+				return false, err
 			}
 			for _, part := range st.recvWire {
 				bytesIn += uint64(len(part))
@@ -259,7 +297,7 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 			out.stage += stage
 		}
 		pend.sp.End(stage, st.roundRecv)
-		return nil
+		return anyMore, nil
 	}
 
 	// Count: insert the round's received parts into this rank's table
@@ -298,9 +336,11 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		return nil
 	}
 
-	if err := runRounds(rounds, cfg.Overlap, parse, post, finish, count); err != nil {
+	rounds, err := runRounds(cfg.Overlap, roundHooks{start: start, parse: parse, post: post, finish: finish, count: count})
+	if err != nil {
 		return err
 	}
+	out.rounds = rounds
 
 	snap := table.Snapshot()
 	out.counted = snap.TotalCount()

@@ -1,0 +1,157 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dedukt/internal/fastq"
+)
+
+// RunStream executes the configured pipeline over a streaming source,
+// never materializing the dataset: each rank pulls bounded read chunks
+// on demand from a shared producer, so the live working set stays under
+// Config.MemBudgetBytes (counter tables excluded — they hold the output
+// spectrum) regardless of input size. The spectrum is bit-identical to
+// Run over the same records: k-mers are routed to their owning rank by
+// key hash, so which rank parses a read never changes what is counted.
+// The number of rounds is open-ended — ranks agree collectively, via a
+// flag on each round's count announcement, when every rank has drained
+// (see runRounds).
+//
+// Two Config features are rejected because they need the whole input up
+// front: BalancedPartition (its minimizer-load profiling pass) and
+// FilterSingletons (per-rank Bloom sizing). Preload the reads and use
+// Run for those.
+func RunStream(cfg Config, src fastq.Source) (*Result, error) {
+	if err := validateRun(cfg); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("pipeline: nil stream source")
+	}
+	if cfg.BalancedPartition {
+		return nil, fmt.Errorf("pipeline: BalancedPartition profiles the whole input before counting and cannot stream; preload the reads and use Run")
+	}
+	if cfg.FilterSingletons {
+		return nil, fmt.Errorf("pipeline: FilterSingletons sizes its Bloom filter from the input size, unknown when streaming; preload the reads and use Run")
+	}
+	p := cfg.Layout.Ranks()
+	prod := &chunkProducer{src: src, maxBases: cfg.streamRoundBases()}
+	sources := make([]chunkSource, p)
+	for r := range sources {
+		sources[r] = &streamHandle{prod: prod}
+	}
+	res, err := runWorld(cfg, nil, sources, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Streamed = true
+	res.MemBudget = cfg.memBudget()
+	res.InputReads = prod.reads
+	res.InputBases = prod.bases
+	return res, nil
+}
+
+// chunkProducer cuts a shared Source into bounded chunks, handed to rank
+// round loops in pull order. The cut points are deterministic — records
+// are taken greedily until the next one would push the chunk past
+// maxBases (a chunk always holds at least one record, so an oversized
+// read still travels; the record that overflowed is retained as pending
+// for the next chunk, never dropped) — but which rank receives which
+// chunk depends on goroutine scheduling. That is safe because counting
+// is partition-invariant: a k-mer's owning rank is a function of its key
+// alone. A source error is sticky and surfaces on every subsequent pull,
+// failing all ranks rather than silently truncating the input.
+type chunkProducer struct {
+	mu       sync.Mutex
+	src      fastq.Source
+	maxBases int
+	pending  *fastq.Record // overflow record from the previous chunk
+	done     bool
+	err      error
+	reads    uint64 // records delivered (retained past drain for Result)
+	bases    uint64
+}
+
+// fill appends the next chunk's records into buf, reporting whether the
+// source continues past it. more is exact, not a guess: the producer
+// stops filling only when a record is actually in hand that did not fit
+// (it becomes pending, proving a next chunk exists) or when the source
+// reports EOF.
+func (p *chunkProducer) fill(buf *chunkBuf) (more bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return false, p.err
+	}
+	if p.done && p.pending == nil {
+		return false, nil
+	}
+	bases := 0
+	if p.pending != nil {
+		bases += len(p.pending.Seq)
+		buf.append(*p.pending)
+		p.pending = nil
+	}
+	for !p.done {
+		rec, err := p.src.Next()
+		if err != nil {
+			if err == io.EOF {
+				p.done = true
+				break
+			}
+			p.err = err
+			return false, err
+		}
+		p.reads++
+		p.bases += uint64(len(rec.Seq))
+		if p.maxBases > 0 && bases > 0 && bases+len(rec.Seq) > p.maxBases {
+			// Does not fit: retain it (deep-copied — the source reuses
+			// its buffers) as the next chunk's first record.
+			clone := rec.Clone()
+			p.pending = &clone
+			return true, nil
+		}
+		bases += len(rec.Seq)
+		buf.append(rec)
+	}
+	return p.pending != nil, nil
+}
+
+// streamHandle adapts one rank's view of the shared producer to the
+// chunkSource interface, owning a reusable chunk buffer so steady-state
+// pulls allocate nothing.
+type streamHandle struct {
+	prod *chunkProducer
+	buf  chunkBuf
+}
+
+func (h *streamHandle) nextChunk() ([]fastq.Record, bool, error) {
+	h.buf.reset()
+	more, err := h.prod.fill(&h.buf)
+	if err != nil {
+		return nil, false, err
+	}
+	return h.buf.recs, more, nil
+}
+
+// chunkBuf accumulates one chunk's records with the sequence bytes in a
+// single reusable arena. Only the bases survive the copy: the round loop
+// concatenates sequences and never looks at IDs or qualities, so
+// dropping them keeps the live per-base footprint minimal.
+type chunkBuf struct {
+	recs  []fastq.Record
+	arena []byte
+}
+
+func (b *chunkBuf) reset() {
+	b.recs = b.recs[:0]
+	b.arena = b.arena[:0]
+}
+
+func (b *chunkBuf) append(rec fastq.Record) {
+	off := len(b.arena)
+	b.arena = append(b.arena, rec.Seq...)
+	b.recs = append(b.recs, fastq.Record{Seq: b.arena[off:len(b.arena):len(b.arena)]})
+}
