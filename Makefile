@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke trace-smoke stream-smoke experiments examples lint ci clean
+.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke trace-smoke stream-smoke recover-smoke experiments examples lint ci clean
 
 all: build test
 
 # The full gate CI runs: build, formatting/vet lint, race-enabled tests,
-# every fuzz target over its seed corpus, and the serving-, tracing- and
-# streaming-layer smoke tests.
-ci: build lint race fuzz-seeds serve-smoke trace-smoke stream-smoke
+# every fuzz target over its seed corpus, and the serving-, tracing-,
+# streaming- and recovery-layer smoke tests.
+ci: build lint race fuzz-seeds serve-smoke trace-smoke stream-smoke recover-smoke
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,14 @@ trace-smoke:
 # memory budget, and jq equality of the streamed vs in-memory spectrum.
 stream-smoke:
 	sh scripts/stream_smoke.sh
+
+# End-to-end smoke test of checkpoint/restart and shrink recovery: a
+# seeded rank kill resumed with -resume and the same kill absorbed
+# in-place by the survivors, both asserted bit-identical (via jq) to the
+# unfaulted spectrum. Artifacts (recovery trace) land in
+# RECOVER_SMOKE_OUT so CI can upload them.
+recover-smoke:
+	sh scripts/recover_smoke.sh
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -9,6 +9,8 @@
 //	dedukt -dataset "E. coli 30X" -scale 0.5 -mode kmer -engine cpu
 //	dedukt -in reads.fasta.gz -k 21 -canonical -top 10
 //	dedukt -in a.fastq.gz,b.fastq.gz -stream -mem-budget 64M
+//	dedukt -in big.fastq -stream -ckpt-dir ckpt -ckpt-rounds 4
+//	dedukt -in big.fastq -resume ckpt
 //	dedukt -fault-seed 1 -fault-drop 0.05
 //
 // -in accepts a comma-separated file list; gzip inputs are detected by
@@ -41,6 +43,7 @@ import (
 	"dedukt/internal/minimizer"
 	"dedukt/internal/obs"
 	"dedukt/internal/pipeline"
+	recov "dedukt/internal/recover"
 	"dedukt/internal/stats"
 )
 
@@ -69,6 +72,10 @@ func main() {
 		roundB    = flag.Int("round-bases", 0, "cap the bases a rank processes per round, forcing multi-round operation (0 = one round)")
 		stream    = flag.Bool("stream", false, "stream -in files through the pipeline without preloading them (bounded memory; requires -in)")
 		memBudget = flag.String("mem-budget", "", "streaming working-set budget, e.g. 64M or 2G (default 256M; implies multi-round ingestion)")
+		ckptDir   = flag.String("ckpt-dir", "", "checkpoint the run into this directory every -ckpt-rounds rounds (requires -stream); enables -resume and shrink recovery")
+		ckptEvery = flag.Int("ckpt-rounds", 4, "rounds between checkpoints when -ckpt-dir is set")
+		noShrink  = flag.Bool("no-shrink", false, "disable in-place shrink recovery after a rank death (the run fails instead; resume it with -resume)")
+		resume    = flag.String("resume", "", "resume an interrupted run from this checkpoint directory (requires the same -in/-k/... configuration)")
 		gpuStats  = flag.Bool("gpustats", false, "print GPU kernel efficiency metrics (GPU engine only)")
 		outKCD    = flag.String("okcd", "", "write the counted k-mers to this KCD database (see cmd/kmertools)")
 		serve     = flag.String("serve", "", "after counting, serve the spectrum over HTTP on this address (see cmd/kserve; blocks until SIGINT)")
@@ -85,8 +92,18 @@ func main() {
 		faultCorrupt  = flag.Float64("fault-corrupt", 0, "per-payload probability one bit flips in flight")
 		maxRetries    = flag.Int("max-retries", 0, "exchange retry budget per round (0 = default of 2, -1 = none)")
 		deadline      = flag.Duration("deadline", 0, "per-collective deadline before peers give up on a stalled rank (0 = none)")
+
+		faultKillRank  = flag.Int("fault-kill-rank", -1, "deterministically kill this rank at -fault-kill-round (both must be set; exercises checkpoint/resume and shrink recovery)")
+		faultKillRound = flag.Int("fault-kill-round", -1, "round at which -fault-kill-rank dies")
 	)
 	flag.Parse()
+
+	if *resume != "" {
+		// -resume continues a checkpointed streaming run; it implies the
+		// stream path and reuses its flags.
+		*stream = true
+		*ckptDir = *resume
+	}
 
 	var reads []fastq.Record
 	if *stream {
@@ -132,6 +149,45 @@ func main() {
 		log.Fatalf("unknown engine %q", *engine)
 	}
 
+	if (*faultKillRank >= 0) != (*faultKillRound >= 0) {
+		log.Fatal("-fault-kill-rank and -fault-kill-round must be set together")
+	}
+	if *ckptDir != "" && !*stream {
+		log.Fatal("-ckpt-dir requires -stream (checkpointing rides the streaming cursor protocol)")
+	}
+	var ckpt pipeline.CkptConfig
+	if *ckptDir != "" {
+		paths := splitPaths(*inPath)
+		inputs, ierr := statInputs(paths)
+		if ierr != nil {
+			log.Fatal(ierr)
+		}
+		ckpt = pipeline.CkptConfig{
+			Dir:      *ckptDir,
+			Every:    *ckptEvery,
+			NoShrink: *noShrink,
+			Inputs:   inputs,
+			// Reopen rebuilds the exact source stack of the original run
+			// (files → optional quality trim) fast-forwarded to a
+			// checkpoint cursor. Cursors address the raw stream, so the
+			// trim wrapper goes on after seeking.
+			Reopen: func(cur fastq.Cursor) (fastq.Source, error) {
+				s, err := fastq.OpenStream(paths...)
+				if err != nil {
+					return nil, err
+				}
+				if err := s.SeekCursor(cur); err != nil {
+					s.Close()
+					return nil, err
+				}
+				if *trimQ > 0 {
+					return fastq.NewTrimSource(s, *trimQ, *k), nil
+				}
+				return s, nil
+			},
+		}
+	}
+
 	cfg := pipeline.Config{
 		Layout:     layout,
 		Enc:        enc,
@@ -151,9 +207,15 @@ func main() {
 			Drop:     *faultDrop,
 			Corrupt:  *faultCorrupt,
 		},
+		Ckpt:             ckpt,
 		RoundBases:       *roundB,
 		MaxRetries:       *maxRetries,
 		ExchangeDeadline: *deadline,
+	}
+	if *faultKillRank >= 0 {
+		cfg.Fault.FatalKill = true
+		cfg.Fault.FatalRank = *faultKillRank
+		cfg.Fault.FatalRound = *faultKillRound
 	}
 	var rec *obs.Recorder
 	if *runReport || *traceOut != "" || *metricsOut != "" || *serve != "" {
@@ -170,7 +232,17 @@ func main() {
 	}
 
 	var res *pipeline.Result
-	if *stream {
+	switch {
+	case *resume != "":
+		budget, perr := parseSize(*memBudget)
+		if perr != nil {
+			log.Fatalf("-mem-budget: %v", perr)
+		}
+		cfg.MemBudgetBytes = budget
+		// The checkpoint's Reopen hook supplies the fast-forwarded
+		// source; nothing to open here.
+		res, err = pipeline.ResumeStream(cfg)
+	case *stream:
 		budget, perr := parseSize(*memBudget)
 		if perr != nil {
 			log.Fatalf("-mem-budget: %v", perr)
@@ -186,7 +258,7 @@ func main() {
 		}
 		res, err = pipeline.RunStream(cfg, src)
 		in.Close()
-	} else {
+	default:
 		res, err = pipeline.Run(cfg, reads)
 	}
 	if err != nil {
@@ -197,11 +269,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// An incomplete spectrum (retry budget exhausted, no checkpoint to
+	// recover from) is a degraded result: report it, but exit nonzero so
+	// scripts never mistake a lower bound for the real counts.
+	exitCode := 0
+	if res.Incomplete {
+		exitCode = 3
+	}
 	if *asJSON {
 		if err := reportJSON(os.Stdout, cfg, res, *top); err != nil {
 			log.Fatal(err)
 		}
-		return
+		os.Exit(exitCode)
 	}
 	report(os.Stdout, cfg, res, *top, *histMax)
 	if *gpuStats && res.GPU {
@@ -214,16 +293,28 @@ func main() {
 		}
 	}
 	if *outKCD != "" {
-		if err := writeKCD(*outKCD, cfg, res); err != nil {
+		path := *outKCD
+		if res.Incomplete {
+			// Never let a degraded spectrum masquerade as a database a
+			// downstream tool would trust.
+			path += ".partial"
+			log.Printf("run incomplete: writing %s instead of %s", path, *outKCD)
+		}
+		if err := writeKCD(path, cfg, res); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("wrote %s", *outKCD)
+		log.Printf("wrote %s", path)
 	}
 	if *serve != "" {
+		if res.Incomplete {
+			log.Print("run incomplete: refusing to serve a partial spectrum")
+			os.Exit(exitCode)
+		}
 		if err := serveResult(*serve, cfg, res, rec); err != nil {
 			log.Fatal(err)
 		}
 	}
+	os.Exit(exitCode)
 }
 
 // writeObsArtifacts saves the recorded trace and metrics exposition to the
@@ -346,8 +437,15 @@ type jsonReport struct {
 	InputBases uint64            `json:"input_bases,omitempty"`
 	Histogram  map[uint32]uint64 `json:"histogram"`
 	Top        []jsonKmer        `json:"top_kmers,omitempty"`
-	Incomplete bool              `json:"incomplete,omitempty"`
-	Faults     *jsonFaults       `json:"faults,omitempty"`
+
+	// Incomplete is always present: automation checks it to decide whether
+	// the spectrum is exact or a degraded lower bound.
+	Incomplete  bool        `json:"incomplete"`
+	Resumed     bool        `json:"resumed,omitempty"`
+	Recovered   bool        `json:"recovered,omitempty"`
+	DeadRanks   []int       `json:"dead_ranks,omitempty"`
+	Checkpoints int         `json:"checkpoints,omitempty"`
+	Faults      *jsonFaults `json:"faults,omitempty"`
 }
 
 // jsonFaults is the run-wide fault and recovery tally (omitted when zero).
@@ -388,8 +486,12 @@ func reportJSON(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top int)
 		rep.MemBudget = res.MemBudget
 	}
 	rep.InputReads, rep.InputBases = res.InputReads, res.InputBases
+	rep.Incomplete = res.Incomplete
+	rep.Resumed = res.Resumed
+	rep.Recovered = res.Recovered
+	rep.DeadRanks = res.DeadRanks
+	rep.Checkpoints = res.Checkpoints
 	if tf := res.TotalFaults(); tf.Total()+tf.BadFrames+tf.Retries+tf.Discarded > 0 || res.Incomplete {
-		rep.Incomplete = res.Incomplete
 		rep.Faults = &jsonFaults{
 			Killed: tf.Killed, Delayed: tf.Delayed, Dropped: tf.Dropped, Corrupted: tf.Corrupted,
 			BadFrames: tf.BadFrames, Retries: tf.Retries, Discarded: tf.Discarded,
@@ -445,6 +547,25 @@ func loadReads(inPath, dataset string, scale float64) ([]fastq.Record, error) {
 	}
 }
 
+// statInputs records the checkpoint fingerprint of the input file list:
+// each path with its current size. A resume under a renamed, grown, or
+// truncated input fails the manifest fingerprint check instead of
+// silently counting the wrong data.
+func statInputs(paths []string) ([]recov.InputFile, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("checkpointing requires -in input files")
+	}
+	inputs := make([]recov.InputFile, len(paths))
+	for i, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = recov.InputFile{Path: p, Size: fi.Size()}
+	}
+	return inputs, nil
+}
+
 // splitPaths splits the comma-separated -in value into individual file
 // paths, dropping empty segments so trailing commas are harmless.
 func splitPaths(in string) []string {
@@ -481,6 +602,9 @@ func parseSize(s string) (int64, error) {
 }
 
 func report(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top, histMax int) {
+	if res.Incomplete {
+		fmt.Fprintf(w, "*** INCOMPLETE RUN: counts below are a lower bound, not the spectrum ***\n\n")
+	}
 	fmt.Fprintf(w, "dedukt run: %s, k=%d", res.Name, cfg.K)
 	if cfg.Mode == pipeline.SupermerMode {
 		fmt.Fprintf(w, ", m=%d, window=%d, ordering=%s", cfg.M, cfg.Window, cfg.Ord.Name())
@@ -504,6 +628,15 @@ func report(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top, histMax
 	if res.Streamed {
 		fmt.Fprintf(w, "streamed:  %s reads (%s bases) in %d bounded rounds under a %s working-set budget\n",
 			stats.Count(res.InputReads), stats.Count(res.InputBases), res.Rounds, stats.Bytes(uint64(res.MemBudget)))
+	}
+	if res.Checkpoints > 0 {
+		fmt.Fprintf(w, "checkpoint: %d rounds persisted\n", res.Checkpoints)
+	}
+	if res.Resumed {
+		fmt.Fprintf(w, "resumed:   continued from a checkpoint; counts are exact\n")
+	}
+	if res.Recovered {
+		fmt.Fprintf(w, "shrunk:    rank(s) %v died; survivors replayed and absorbed their shares — counts are exact\n", res.DeadRanks)
 	}
 
 	if tf := res.TotalFaults(); tf.Total()+tf.BadFrames+tf.Retries+tf.Discarded > 0 || res.Incomplete {

@@ -33,6 +33,7 @@ import (
 	"dedukt/internal/kcount"
 	"dedukt/internal/minimizer"
 	"dedukt/internal/pipeline"
+	recov "dedukt/internal/recover"
 	"dedukt/internal/spectrum"
 )
 
@@ -57,6 +58,15 @@ type (
 	Kmer = dna.Kmer
 	// Source yields reads one at a time for CountStream; see OpenStream.
 	Source = fastq.Source
+	// CkptConfig (Options.Ckpt) enables round-granularity checkpointing
+	// and rank-death recovery for CountStream; see Resume.
+	CkptConfig = pipeline.CkptConfig
+	// Cursor is a replayable position in a read stream; CkptConfig.Reopen
+	// receives one to fast-forward the input on resume or replay.
+	Cursor = fastq.Cursor
+	// InputFile fingerprints one input path (path and size) so a
+	// checkpoint refuses to resume over changed inputs.
+	InputFile = recov.InputFile
 )
 
 // Exchange modes.
@@ -98,6 +108,16 @@ func Count(reads []Read, opts Options) (*Result, error) {
 // (BalancedPartition, FilterSingletons) are rejected.
 func CountStream(src Source, opts Options) (*Result, error) {
 	return pipeline.RunStream(opts, src)
+}
+
+// Resume continues an interrupted CountStream run from the checkpoint
+// directory in opts.Ckpt.Dir. The options must match the checkpointed
+// run (k, mode, engine, ranks, inputs — validated against the manifest's
+// fingerprint); opts.Ckpt.Reopen supplies the fast-forwarded source. The
+// completed spectrum is bit-identical to an unfaulted run over the same
+// reads.
+func Resume(opts Options) (*Result, error) {
+	return pipeline.ResumeStream(opts)
 }
 
 // OpenStream opens FASTQ/FASTA files as one concatenated read source for

@@ -18,6 +18,26 @@ type Source interface {
 	Next() (Record, error)
 }
 
+// Cursor marks a resumable position in a record stream: the next
+// undelivered record is record number Record (0-based) of input number
+// Input. The zero Cursor is the start of the stream. Cursors address
+// records, not byte offsets — gzip inputs have no random access, so a
+// resume re-parses and discards the records before the cursor (see
+// Stream.SeekCursor).
+type Cursor struct {
+	Input  int
+	Record uint64
+}
+
+// CursorSource is a Source that can report a checkpoint cursor for its
+// undelivered remainder. Cursor must be captured between Next calls; it
+// then identifies exactly the records not yet returned. Stream and
+// SliceSource implement it; the pipeline's checkpointing requires it.
+type CursorSource interface {
+	Source
+	Cursor() Cursor
+}
+
 // SliceSource adapts an in-memory read set to the Source interface.
 type SliceSource struct {
 	recs []Record
@@ -35,6 +55,20 @@ func (s *SliceSource) Next() (Record, error) {
 	rec := s.recs[s.i]
 	s.i++
 	return rec, nil
+}
+
+// Cursor reports the position of the next undelivered record (a
+// SliceSource is a single input, so Cursor.Input is always 0).
+func (s *SliceSource) Cursor() Cursor { return Cursor{Record: uint64(s.i)} }
+
+// SeekCursor positions the source at a cursor previously captured by
+// Cursor.
+func (s *SliceSource) SeekCursor(c Cursor) error {
+	if c.Input != 0 || c.Record > uint64(len(s.recs)) {
+		return fmt.Errorf("fastq: cursor input %d record %d outside a %d-record slice source", c.Input, c.Record, len(s.recs))
+	}
+	s.i = int(c.Record)
+	return nil
 }
 
 // Input is one named reader feeding a Stream; Name labels errors.
@@ -67,15 +101,17 @@ func (e *InputError) Unwrap() error { return e.Err }
 // Every non-EOF error is an *InputError naming the offending input, and
 // errors are sticky: once Next fails, it keeps returning the same error.
 type Stream struct {
-	inputs []Input
-	paths  []string // lazily opened when non-nil; nil for NewStream
-	cur    int      // next input index
-	name   string   // current input name, for error attribution
-	r      *Reader
-	file   io.Closer // open file backing the current input (paths mode)
-	reads  uint64
-	bases  uint64
-	err    error // sticky terminal error (never io.EOF)
+	inputs   []Input
+	paths    []string // lazily opened when non-nil; nil for NewStream
+	cur      int      // next input index
+	curInput int      // index of the currently open input
+	curRecs  uint64   // records delivered from the currently open input
+	name     string   // current input name, for error attribution
+	r        *Reader
+	file     io.Closer // open file backing the current input (paths mode)
+	reads    uint64
+	bases    uint64
+	err      error // sticky terminal error (never io.EOF)
 }
 
 // NewStream streams the given inputs in order. Empty inputs are skipped.
@@ -116,6 +152,7 @@ func (s *Stream) Next() (Record, error) {
 		rec, err := s.r.Read()
 		if err == nil {
 			s.reads++
+			s.curRecs++
 			s.bases += uint64(len(rec.Seq))
 			return rec, nil
 		}
@@ -132,6 +169,70 @@ func (s *Stream) Next() (Record, error) {
 // Reads and Bases report the records and bases delivered so far.
 func (s *Stream) Reads() uint64 { return s.reads }
 func (s *Stream) Bases() uint64 { return s.bases }
+
+// Cursor reports the resume position of the next undelivered record.
+// Capture it between Next calls; SeekCursor on a fresh stream over the
+// same inputs then replays exactly the records not yet returned.
+func (s *Stream) Cursor() Cursor {
+	if s.r == nil {
+		return Cursor{Input: s.cur}
+	}
+	return Cursor{Input: s.curInput, Record: s.curRecs}
+}
+
+// SeekCursor fast-forwards a fresh stream to a cursor previously
+// captured by Cursor: inputs before c.Input are skipped without being
+// opened, and c.Record records of input c.Input are parsed and
+// discarded (records are not byte-addressable — gzip inputs have no
+// random access). Skipped records do not count toward Reads/Bases.
+// Seeking a stream that already delivered records is an error, as is a
+// cursor pointing past the input's actual records (a changed or
+// truncated file must fail the resume, never silently shift it).
+func (s *Stream) SeekCursor(c Cursor) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.r != nil || s.cur != 0 || s.reads != 0 {
+		return fmt.Errorf("fastq: SeekCursor on a stream that already delivered records")
+	}
+	n := len(s.paths)
+	if s.paths == nil {
+		n = len(s.inputs)
+	}
+	if c.Input < 0 || c.Input > n {
+		return fmt.Errorf("fastq: cursor input %d outside this stream's %d inputs", c.Input, n)
+	}
+	s.cur = c.Input
+	if c.Record == 0 {
+		return nil
+	}
+	if c.Input == n {
+		return fmt.Errorf("fastq: cursor claims %d records past the last input", c.Record)
+	}
+	if err := s.advance(); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("fastq: cursor input %d: no records remain", c.Input)
+		}
+		s.err = err
+		return err
+	}
+	if s.curInput != c.Input {
+		// advance skips empty inputs; a cursor with records into one is
+		// stale (the file changed since the checkpoint).
+		return fmt.Errorf("fastq: cursor claims %d records in input %d, which is empty", c.Record, c.Input)
+	}
+	for i := uint64(0); i < c.Record; i++ {
+		if _, err := s.r.Read(); err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("fastq: cursor record %d past the end of input %s", c.Record, s.name)
+			}
+			s.err = &InputError{Input: s.name, Err: err}
+			return s.err
+		}
+	}
+	s.curRecs = c.Record
+	return nil
+}
 
 // Close releases the currently open file, if any. Safe to call at any
 // point; Next after Close reopens nothing (drained inputs stay drained,
@@ -188,6 +289,8 @@ func (s *Stream) advance() error {
 			continue
 		}
 		s.r = NewReader(r)
+		s.curInput = s.cur - 1
+		s.curRecs = 0
 		return nil
 	}
 }
@@ -228,10 +331,25 @@ type trimSource struct {
 
 // NewTrimSource returns a Source that quality-trims every record of src
 // (see TrimQuality) and drops records whose trimmed sequence is shorter
-// than minLen — the streaming equivalent of TrimAll.
+// than minLen — the streaming equivalent of TrimAll. When src is a
+// CursorSource the returned source is one too, delegating to src:
+// trimming is deterministic per raw record, so resuming the raw stream
+// at the cursor re-trims the remainder identically.
 func NewTrimSource(src Source, minQ, minLen int) Source {
-	return &trimSource{src: src, minQ: minQ, minLen: minLen}
+	t := &trimSource{src: src, minQ: minQ, minLen: minLen}
+	if cs, ok := src.(CursorSource); ok {
+		return &trimCursorSource{trimSource: t, cs: cs}
+	}
+	return t
 }
+
+// trimCursorSource is a trimSource over a cursor-capable raw stream.
+type trimCursorSource struct {
+	*trimSource
+	cs CursorSource
+}
+
+func (t *trimCursorSource) Cursor() Cursor { return t.cs.Cursor() }
 
 func (t *trimSource) Next() (Record, error) {
 	for {

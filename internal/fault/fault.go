@@ -47,11 +47,20 @@ type Config struct {
 	// Corrupt is the per-payload probability that one bit of the framed
 	// payload flips in flight.
 	Corrupt float64
+	// FatalKill schedules one deterministic, permanent rank death:
+	// FatalRank dies at the start of round FatalRound and never comes
+	// back (unlike the probabilistic Kill, which a replay may re-roll
+	// past). This is the recovery subsystem's test fixture: checkpoint /
+	// resume and shrink recovery need a kill that is certain to fire at a
+	// known round. The zero value (false) is inert.
+	FatalKill  bool
+	FatalRank  int
+	FatalRound int
 }
 
 // Enabled reports whether any fault has a non-zero probability.
 func (c Config) Enabled() bool {
-	return c.Kill > 0 || c.Delay > 0 || c.Drop > 0 || c.Corrupt > 0
+	return c.Kill > 0 || c.Delay > 0 || c.Drop > 0 || c.Corrupt > 0 || c.FatalKill
 }
 
 // Validate checks the probabilities.
@@ -66,6 +75,9 @@ func (c Config) Validate() error {
 	}
 	if c.DelayFor < 0 {
 		return fmt.Errorf("fault: negative delay %v", c.DelayFor)
+	}
+	if c.FatalKill && (c.FatalRank < 0 || c.FatalRound < 0) {
+		return fmt.Errorf("fault: fatal kill at rank %d round %d (both must be >= 0)", c.FatalRank, c.FatalRound)
 	}
 	return nil
 }
@@ -117,6 +129,9 @@ func New(cfg Config, ranks int) (*Injector, error) {
 	if ranks <= 0 {
 		return nil, fmt.Errorf("fault: non-positive world size %d", ranks)
 	}
+	if cfg.FatalKill && cfg.FatalRank >= ranks {
+		return nil, fmt.Errorf("fault: fatal kill targets rank %d of a %d-rank world", cfg.FatalRank, ranks)
+	}
 	if cfg.DelayFor == 0 {
 		cfg.DelayFor = 2 * time.Millisecond
 	}
@@ -150,6 +165,19 @@ func (in *Injector) mix(salt uint64, ids ...int) uint64 {
 // the event when it fires.
 func (in *Injector) Kill(rank, round int) bool {
 	if in.cfg.Kill == 0 || in.roll(killSalt, rank, round) >= in.cfg.Kill {
+		return false
+	}
+	in.counts[rank].killed.Add(1)
+	return true
+}
+
+// FatalKill reports whether the rank dies permanently at the start of the
+// round — an exact (rank, round) match of the scheduled fatal kill, not a
+// roll. It fires on any attempt at that round, including a shrink replay
+// that somehow revisits it, so recovery correctness cannot depend on the
+// dead rank participating.
+func (in *Injector) FatalKill(rank, round int) bool {
+	if !in.cfg.FatalKill || rank != in.cfg.FatalRank || round != in.cfg.FatalRound {
 		return false
 	}
 	in.counts[rank].killed.Add(1)

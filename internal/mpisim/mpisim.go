@@ -85,12 +85,16 @@ type Comm struct {
 	pending int
 }
 
-// world holds the shared state of one Run.
+// world holds the shared state of one Run. A Run may pass through several
+// worlds: Shrink retires a poisoned world and migrates the survivors into
+// a fresh, smaller one; the trace log is shared across them so the run's
+// collective history stays in one sequence.
 type world struct {
 	size     int
 	deadline time.Duration
 	obs      *obs.Recorder
 	wireTime func(sentBytes int) time.Duration
+	tr       *traceLog
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -101,8 +105,28 @@ type world struct {
 	// slots carries one deposit per rank for the collective in flight.
 	slots []any
 
-	traceMu sync.Mutex
-	trace   []TraceEntry
+	// Shrink protocol state (see Comm.Shrink): which ranks of THIS world
+	// have died, and how many survivors have arrived in Shrink. The
+	// protocol completes when every rank is accounted for — dead or
+	// shrinking — and publishes the successor world in shrunk.
+	dead      []bool
+	numDead   int
+	shrinkers int
+	shrunk    *shrunkWorld
+	shrinkErr error
+}
+
+// shrunkWorld is the successor published by a completed shrink:
+// survivors[i] is the old-world rank now running as rank i of w.
+type shrunkWorld struct {
+	w         *world
+	survivors []int
+}
+
+// traceLog accumulates the run's collective trace across worlds.
+type traceLog struct {
+	mu      sync.Mutex
+	entries []TraceEntry
 }
 
 // TraceEntry records the traffic matrix of one collective.
@@ -137,29 +161,56 @@ func Run(size int, body func(c *Comm) error) (trace []TraceEntry, err error) {
 
 // RunWithOptions is Run with collective deadlines configured.
 func RunWithOptions(size int, opt Options, body func(c *Comm) error) (trace []TraceEntry, err error) {
+	trace, errs, err := RunRanks(size, opt, body)
+	if err != nil {
+		return nil, err
+	}
+	var joined []error
+	for r, e := range errs {
+		if e != nil {
+			joined = append(joined, fmt.Errorf("rank %d: %w", r, e))
+		}
+	}
+	return trace, errors.Join(joined...)
+}
+
+// RunRanks is RunWithOptions exposing each rank's individual outcome:
+// errs[r] is rank r's return (nil on success). Callers running recovery
+// protocols need the split — after a shrink completes, a dead rank's
+// error is expected and must not mask the survivors' success — while
+// plain callers use RunWithOptions' joined form. The non-nil err return
+// reports only setup failures (bad size or options), not rank failures.
+func RunRanks(size int, opt Options, body func(c *Comm) error) (trace []TraceEntry, errs []error, err error) {
 	if size <= 0 {
-		return nil, fmt.Errorf("mpisim: non-positive world size %d", size)
+		return nil, nil, fmt.Errorf("mpisim: non-positive world size %d", size)
 	}
 	if opt.Deadline < 0 {
-		return nil, fmt.Errorf("mpisim: negative deadline %v", opt.Deadline)
+		return nil, nil, fmt.Errorf("mpisim: negative deadline %v", opt.Deadline)
 	}
-	w := &world{size: size, deadline: opt.Deadline, obs: opt.Obs, wireTime: opt.WireTime, slots: make([]any, size)}
+	w := &world{
+		size: size, deadline: opt.Deadline, obs: opt.Obs, wireTime: opt.WireTime,
+		tr: &traceLog{}, slots: make([]any, size), dead: make([]bool, size),
+	}
 	w.cond = sync.NewCond(&w.mu)
 
-	errs := make([]error, size)
+	errs = make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
 		wg.Add(1)
 		go func(rank int) {
+			// The Comm outlives the body call so the defer can mark the
+			// rank dead in whatever world it migrated to (see Shrink).
+			c := &Comm{rank: rank, world: w}
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = fmt.Errorf("mpisim: rank panicked: %v", p)
 				}
 				if errs[rank] != nil {
-					// Unblock peers stuck in a collective: poison the world
-					// so their collectives fail instead of deadlocking.
-					w.poison(fmt.Errorf("mpisim: rank %d dead: %w", rank, ErrPeerDead))
+					// Unblock peers stuck in a collective: mark this rank
+					// dead and poison its current world so their
+					// collectives fail instead of deadlocking.
+					c.die()
 				}
 			}()
 			// pprof labels attribute CPU samples of large simulated worlds
@@ -167,18 +218,112 @@ func RunWithOptions(size int, opt Options, body func(c *Comm) error) (trace []Tr
 			// while phases are open.
 			pprof.Do(context.Background(), pprof.Labels("rank", strconv.Itoa(rank), "phase", "rank-body"),
 				func(context.Context) {
-					errs[rank] = body(&Comm{rank: rank, world: w})
+					errs[rank] = body(c)
 				})
 		}(r)
 	}
 	wg.Wait()
-	var joined []error
-	for r, e := range errs {
-		if e != nil {
-			joined = append(joined, fmt.Errorf("rank %d: %w", r, e))
+	return w.tr.entries, errs, nil
+}
+
+// die marks the rank dead in its current world and poisons it, waking
+// both collective waiters (who fail with ErrPeerDead) and Shrink waiters
+// (whose completion condition now accounts for this rank).
+func (c *Comm) die() {
+	w := c.world
+	w.mu.Lock()
+	if !w.dead[c.rank] {
+		w.dead[c.rank] = true
+		w.numDead++
+	}
+	if w.failure == nil {
+		w.failure = fmt.Errorf("mpisim: rank %d dead: %w", c.rank, ErrPeerDead)
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Shrink is the collective reconfiguration protocol of a world poisoned
+// by rank death (MPI-ULFM's MPI_Comm_shrink, DESIGN.md §12): every
+// surviving rank calls Shrink, the protocol completes once each of the
+// world's ranks is accounted for — dead (its goroutine exited) or
+// arrived here — and the survivors migrate onto a fresh communicator of
+// size Size()-numDead, reranked densely in old-rank order. The returned
+// slice maps new rank → previous-world rank (survivors[c.Rank()] is this
+// rank's old id); callers chain these mappings across repeated shrinks.
+//
+// Shrink refuses a healthy world and a world poisoned by anything other
+// than rank death (notably ErrDeadline: the stalled rank may still be
+// alive and mutating shared payloads, so shrinking would race it). It
+// waits at most the communicator deadline for its peers. Nonblocking
+// requests posted before the shrink belong to the retired world and must
+// be abandoned, never Waited, after Shrink returns.
+func (c *Comm) Shrink() (survivors []int, err error) {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failure == nil {
+		return nil, fmt.Errorf("mpisim: Shrink on a healthy communicator")
+	}
+	if !errors.Is(w.failure, ErrPeerDead) {
+		return nil, fmt.Errorf("mpisim: cannot shrink: %w", w.failure)
+	}
+	if w.dead[c.rank] {
+		return nil, fmt.Errorf("mpisim: dead rank %d cannot shrink", c.rank)
+	}
+	w.shrinkers++
+	if w.deadline > 0 {
+		timer := time.AfterFunc(w.deadline, func() {
+			w.mu.Lock()
+			if w.shrunk == nil && w.shrinkErr == nil {
+				w.shrinkErr = fmt.Errorf("mpisim: waited %v for survivors to shrink: %w", w.deadline, ErrDeadline)
+				w.cond.Broadcast()
+			}
+			w.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for w.shrunk == nil && w.shrinkErr == nil {
+		if w.shrinkers+w.numDead >= w.size {
+			// Last rank accounted for: build the successor world. Peers
+			// woken by the broadcast find it in w.shrunk.
+			alive := make([]int, 0, w.size-w.numDead)
+			for r := 0; r < w.size; r++ {
+				if !w.dead[r] {
+					alive = append(alive, r)
+				}
+			}
+			nw := &world{
+				size: len(alive), deadline: w.deadline, obs: w.obs,
+				wireTime: w.wireTime, tr: w.tr,
+				slots: make([]any, len(alive)), dead: make([]bool, len(alive)),
+			}
+			nw.cond = sync.NewCond(&nw.mu)
+			w.shrunk = &shrunkWorld{w: nw, survivors: alive}
+			w.cond.Broadcast()
+			break
+		}
+		w.cond.Wait()
+	}
+	if w.shrinkErr != nil {
+		return nil, w.shrinkErr
+	}
+	sh := w.shrunk
+	newRank := -1
+	for i, o := range sh.survivors {
+		if o == c.rank {
+			newRank = i
+			break
 		}
 	}
-	return w.trace, errors.Join(joined...)
+	if newRank < 0 {
+		return nil, fmt.Errorf("mpisim: rank %d missing from the shrunk world", c.rank)
+	}
+	c.world = sh.w
+	c.rank = newRank
+	c.pending = 0
+	c.asyncTail = nil
+	return append([]int(nil), sh.survivors...), nil
 }
 
 // poison marks the world failed with the given reason (first reason wins)
@@ -289,9 +434,9 @@ func (c *Comm) record(op string, bytes [][]uint64) {
 	}
 	w := c.world
 	e := TraceEntry{Op: op, Bytes: bytes}
-	w.traceMu.Lock()
-	w.trace = append(w.trace, e)
-	w.traceMu.Unlock()
+	w.tr.mu.Lock()
+	w.tr.entries = append(w.tr.entries, e)
+	w.tr.mu.Unlock()
 	if w.obs != nil {
 		reg := w.obs.Registry()
 		reg.Counter("mpisim_collectives_total", "Completed collectives by kind.", obs.L("op", op)).Inc()
@@ -482,6 +627,25 @@ func (c *Comm) AllreduceMax(v uint64) (uint64, error) {
 		if x > m {
 			m = x
 		}
+	}
+	return m, nil
+}
+
+// AllreduceOr returns the bitwise OR of v across ranks. The recovery
+// layer agrees on dead-rank sets with it: each survivor contributes a bit
+// mask of the deaths it observed, and the OR is the union — which max or
+// sum cannot express when observations differ.
+func (c *Comm) AllreduceOr(v uint64) (uint64, error) {
+	if err := c.syncReady(); err != nil {
+		return 0, err
+	}
+	all, err := exchange(c, v)
+	if err != nil {
+		return 0, err
+	}
+	var m uint64
+	for _, x := range all {
+		m |= x
 	}
 	return m, nil
 }

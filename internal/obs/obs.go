@@ -27,11 +27,13 @@ import (
 // Phase names for the pipeline's per-round spans. Components may record
 // additional phases; these are the canonical set the report understands.
 const (
-	PhaseParse    = "parse"     // parse & process (kernel or scalar loop)
-	PhaseStageH2D = "stage_h2d" // host→device staging of the round's reads
-	PhaseExchange = "exchange"  // announce + payload Alltoallv (all attempts)
-	PhaseRetry    = "retry"     // one retry attempt inside an exchange
-	PhaseCount    = "count"     // table insertion
+	PhaseParse    = "parse"      // parse & process (kernel or scalar loop)
+	PhaseStageH2D = "stage_h2d"  // host→device staging of the round's reads
+	PhaseExchange = "exchange"   // announce + payload Alltoallv (all attempts)
+	PhaseRetry    = "retry"      // one retry attempt inside an exchange
+	PhaseCount    = "count"      // table insertion
+	PhaseCkpt     = "checkpoint" // persisting a round checkpoint slice
+	PhaseRecovery = "recovery"   // shrink reconfiguration + state reload
 )
 
 // Instant event names for faults and recovery milestones.
@@ -43,6 +45,8 @@ const (
 	EvRetry    = "retry_round"
 	EvDegraded = "degraded_round"
 	EvDeadline = "deadline_hit"
+	EvCkpt     = "checkpoint_round" // a round checkpoint was persisted
+	EvShrink   = "shrink_recovery"  // survivors completed a shrink recovery
 )
 
 // Span is one completed phase interval on one rank.

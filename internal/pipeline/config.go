@@ -20,12 +20,14 @@ import (
 
 	"dedukt/internal/cluster"
 	"dedukt/internal/dna"
+	"dedukt/internal/fastq"
 	"dedukt/internal/fault"
 	"dedukt/internal/gpusim"
 	"dedukt/internal/kcount"
 	"dedukt/internal/minimizer"
 	"dedukt/internal/mpisim"
 	"dedukt/internal/obs"
+	recov "dedukt/internal/recover"
 )
 
 // Mode selects the exchanged unit.
@@ -159,6 +161,42 @@ type Config struct {
 	// instants, and run metrics (see internal/obs). nil disables
 	// observability at zero cost to the hot paths.
 	Obs *obs.Recorder
+	// Ckpt configures round-granularity checkpointing and shrink recovery
+	// (DESIGN.md §12). Streaming runs only; the zero value disables both,
+	// leaving PR 1's degrade-to-Incomplete as the terminal fault state.
+	Ckpt CkptConfig
+}
+
+// CkptConfig parameterizes the recovery subsystem of a streaming run.
+type CkptConfig struct {
+	// Dir enables checkpointing: every Every rounds each rank persists
+	// its spectrum slice plus a round/cursor manifest into this
+	// directory (see internal/recover for the on-disk format), and a
+	// rank death triggers shrink recovery instead of failing the run.
+	// Empty disables the subsystem.
+	Dir string
+	// Every is the checkpoint period in rounds (default 4).
+	Every int
+	// NoShrink disables the shrink-recovery path while keeping periodic
+	// checkpoints: a rank death fails the run (resumable offline via
+	// ResumeStream) instead of reconfiguring in place.
+	NoShrink bool
+	// Reopen opens a fresh source positioned at the given cursor. Shrink
+	// recovery calls it to re-feed the replayed rounds, and ResumeStream
+	// to fast-forward the input; required whenever Dir is set. The
+	// source must be a fastq.CursorSource.
+	Reopen func(fastq.Cursor) (fastq.Source, error)
+	// Inputs fingerprints the input file list (path + size); a resume
+	// refuses a checkpoint taken over different inputs.
+	Inputs []recov.InputFile
+}
+
+// every returns the effective checkpoint period.
+func (c CkptConfig) every() int {
+	if c.Every == 0 {
+		return 4
+	}
+	return c.Every
 }
 
 // Validate checks the configuration.
@@ -210,6 +248,12 @@ func (c Config) Validate() error {
 	}
 	if c.ExchangeDeadline < 0 {
 		return fmt.Errorf("pipeline: negative ExchangeDeadline %v", c.ExchangeDeadline)
+	}
+	if c.Ckpt.Every < 0 {
+		return fmt.Errorf("pipeline: negative checkpoint period %d", c.Ckpt.Every)
+	}
+	if c.Ckpt.Dir != "" && c.Ckpt.Reopen == nil {
+		return fmt.Errorf("pipeline: checkpointing requires Ckpt.Reopen (recovery re-feeds the source)")
 	}
 	return nil
 }
@@ -386,6 +430,18 @@ type Result struct {
 	// injected kills/delays/drops/corruptions plus observed bad frames,
 	// retried rounds, and discarded items. All-zero on a healthy run.
 	Faults []fault.Counts
+	// Checkpoints is the number of round checkpoints persisted (0 when
+	// Config.Ckpt is unset).
+	Checkpoints int
+	// Recovered reports that at least one shrink recovery completed: one
+	// or more ranks died, the survivors reconfigured, replayed, and the
+	// counts are nevertheless full and exact. DeadRanks lists the
+	// original ids of the ranks lost along the way.
+	Recovered bool
+	DeadRanks []int
+	// Resumed reports that this run continued a checkpoint via
+	// ResumeStream rather than starting from the beginning of the input.
+	Resumed bool
 }
 
 // ModeledTotal returns the end-to-end modeled time under the run's

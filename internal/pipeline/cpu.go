@@ -18,6 +18,8 @@ type cpuRoundState struct {
 	buf       dna.SeqBuffer
 	sendWords [][]uint64
 	sendWire  [][]byte
+	routedW   [][]uint64
+	routedB   [][]byte
 	pend      *pendingExchange
 	recvWords [][]uint64
 	recvWire  [][]byte
@@ -28,9 +30,18 @@ type cpuRoundState struct {
 // ablation for one rank, metering abstract work with the same constants the
 // GPU kernels use and converting it to Power9 time via the layout's
 // CPUModel.
-func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, bloomBases int, out *rankOutcome) error {
+func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, bloomBases int, seat *rankSeat, ck *ckptCtl, out *rankOutcome) error {
 	model := *cfg.Layout.CPU
-	table := kcount.NewTable(1, cfg.Probing)
+	seedLen := 0
+	for _, db := range seat.seed {
+		seedLen += db.Len()
+	}
+	table := kcount.NewTable(seedLen+1, cfg.Probing)
+	for _, db := range seat.seed {
+		for _, e := range db.Entries {
+			table.Add(e.Key, e.Count)
+		}
+	}
 	var bloom *kcount.Bloom
 	if cfg.FilterSingletons {
 		fp := cfg.FilterFP
@@ -48,14 +59,14 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		}
 	}
 	rec := cfg.Obs
-	rank := c.Rank()
+	rank := seat.old
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
-	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
+	ex := &exchanger{c: c, rank: rank, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
 	var states [2]cpuRoundState
 
 	// Round-start faults fire once per executed round, before its parse.
 	start := func(r int) error {
-		return killOrStall(inj, c, r, rec)
+		return killOrStall(inj, rank, r, rec)
 	}
 
 	// Parse & process the round's chunk into the parity slot's send
@@ -74,10 +85,11 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 
 		sp := rec.Begin(rank, r, obs.PhaseParse)
 		var meter kernels.WorkMeter
+		// Destinations are always the ORIGINAL world (see runGPURank).
 		if cfg.Mode == KmerMode {
-			st.sendWords, meter = cpuParseKmers(cfg, c.Size(), data, st.sendWords)
+			st.sendWords, meter = cpuParseKmers(cfg, seat.nOrig, data, st.sendWords)
 		} else {
-			st.sendWire, meter, err = cpuBuildSupermers(cfg, destMap, c.Size(), data, st.sendWire)
+			st.sendWire, meter, err = cpuBuildSupermers(cfg, destMap, seat.nOrig, data, st.sendWire)
 			if err != nil {
 				sp.End(0, 0)
 				return false, err
@@ -109,9 +121,9 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	post := func(r int, more bool) error {
 		st := &states[r%2]
 		if cfg.Mode == KmerMode {
-			st.pend = ex.postWords(r, st.sendWords, more)
+			st.pend = ex.postWords(r, seat.route(st.sendWords, &st.routedW), more)
 		} else {
-			st.pend = ex.postWire(r, wire, st.sendWire, more)
+			st.pend = ex.postWire(r, wire, seat.routeBytes(st.sendWire, &st.routedB), more)
 		}
 		return nil
 	}
@@ -172,7 +184,14 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		return nil
 	}
 
-	rounds, err := runRounds(cfg.Overlap, roundHooks{start: start, parse: parse, post: post, finish: finish, count: count})
+	hooks := roundHooks{start: start, parse: parse, post: post, finish: finish, count: count}
+	if ck != nil {
+		hooks.ckptAt = ck.at
+		hooks.ckpt = func(r int) error {
+			return ck.write(c, seat, r, kcount.FromTable(table, cfg.K, ck.flags), out)
+		}
+	}
+	rounds, err := runRounds(cfg.Overlap, seat.base, hooks)
 	if err != nil {
 		return err
 	}

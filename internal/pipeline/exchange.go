@@ -37,7 +37,12 @@ import (
 // instant events, each retry attempt gets its own span nested inside the
 // exchange span, and a degraded round emits a degraded_round instant.
 type exchanger struct {
-	c       *mpisim.Comm
+	c *mpisim.Comm
+	// rank is the seat's original rank id — the coordinate for fault
+	// rolls and observability. It differs from c.Rank() after a shrink
+	// recovery: the fault schedule and the report's rank axis stay keyed
+	// to the original world.
+	rank    int
 	inj     *fault.Injector
 	retries int
 	out     *rankOutcome
@@ -110,7 +115,7 @@ func stripMore(expect []int) (anyMore bool) {
 // until finishWords returns (it is also the retry source). more announces
 // that this rank's input continues past this round (see moreFlag).
 func (e *exchanger) postWords(round int, send [][]uint64, more bool) *pendingExchange {
-	rank := e.c.Rank()
+	rank := e.rank
 	slot := &e.slots[round%2]
 	p := &pendingExchange{round: round, sendWords: send, slot: slot}
 	p.sp = e.rec.Begin(rank, round, obs.PhaseExchange)
@@ -157,7 +162,7 @@ func (e *exchanger) postWords(round int, send [][]uint64, more bool) *pendingExc
 
 // postWire is postWords for supermer-mode wire payloads.
 func (e *exchanger) postWire(round int, wire kernels.SupermerWire, send [][]byte, more bool) *pendingExchange {
-	rank := e.c.Rank()
+	rank := e.rank
 	slot := &e.slots[round%2]
 	p := &pendingExchange{round: round, sendWire: send, wire: wire, slot: slot}
 	p.sp = e.rec.Begin(rank, round, obs.PhaseExchange)
@@ -215,7 +220,7 @@ const byteFrameOverhead = 16
 // input continues (see moreFlag). On error the exchange span is closed; on
 // success it stays open for the caller to End with the staging time.
 func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, bool, error) {
-	rank := e.c.Rank()
+	rank := e.rank
 	slot := p.slot
 	expect, err := p.ann.Wait()
 	if err != nil {
@@ -295,7 +300,7 @@ func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, bool, error) {
 // frame checksum, each accepted payload's images are structurally verified
 // (length bytes in range) before release.
 func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, bool, error) {
-	rank := e.c.Rank()
+	rank := e.rank
 	slot := p.slot
 	wire := p.wire
 	expect, err := p.ann.Wait()
@@ -399,7 +404,7 @@ func (e *exchanger) beginAttempt(rank, round, attempt int) obs.SpanHandle {
 // every rank retries. The AllreduceSum keeps the decision collective —
 // ranks never diverge on whether a retry happens.
 func (e *exchanger) settle(round, attempt int, bad uint64) (done bool, err error) {
-	rank := e.c.Rank()
+	rank := e.rank
 	e.inj.RecordBadFrames(rank, bad)
 	totalBad, err := e.c.AllreduceSum(bad)
 	if err != nil {
@@ -422,23 +427,26 @@ func (e *exchanger) degrade(round int, lost, bad uint64) {
 		return
 	}
 	e.out.incomplete = true
-	e.inj.RecordDiscarded(e.c.Rank(), lost)
-	e.rec.Instant(e.c.Rank(), round, obs.EvDegraded)
+	e.inj.RecordDiscarded(e.rank, lost)
+	e.rec.Instant(e.rank, round, obs.EvDegraded)
 }
 
 // killOrStall applies the injector's round-start faults for this rank: a
 // straggler stall (recoverable — peers wait, or trip the deadline when one
-// is configured) or a kill (the rank abandons the computation, poisoning
-// the world for its peers). Fired faults surface as instant events when a
-// recorder is configured.
-func killOrStall(inj *fault.Injector, c *mpisim.Comm, round int, rec *obs.Recorder) error {
-	if d := inj.Delay(c.Rank(), round); d > 0 {
-		rec.Instant(c.Rank(), round, obs.EvDelay)
+// is configured), a probabilistic kill, or the deterministic fatal kill
+// the recovery tests use (the rank abandons the computation, poisoning the
+// world for its peers). rank is the seat's original id — the injector's
+// schedule is keyed to the original world so a fatal kill targets the same
+// rank whether or not earlier shrinks renumbered the communicator. Fired
+// faults surface as instant events when a recorder is configured.
+func killOrStall(inj *fault.Injector, rank, round int, rec *obs.Recorder) error {
+	if d := inj.Delay(rank, round); d > 0 {
+		rec.Instant(rank, round, obs.EvDelay)
 		time.Sleep(d)
 	}
-	if inj.Kill(c.Rank(), round) {
-		rec.Instant(c.Rank(), round, obs.EvKill)
-		return fmt.Errorf("pipeline: rank %d at round %d: %w", c.Rank(), round, fault.ErrKilled)
+	if inj.Kill(rank, round) || inj.FatalKill(rank, round) {
+		rec.Instant(rank, round, obs.EvKill)
+		return fmt.Errorf("pipeline: rank %d at round %d: %w", rank, round, fault.ErrKilled)
 	}
 	return nil
 }

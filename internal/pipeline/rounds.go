@@ -55,12 +55,18 @@ func (s *sliceChunker) nextChunk() ([]fastq.Record, bool, error) {
 // completes the exchange (verification, retries, the settle collective)
 // and returns the world's agreement on whether any rank still has input;
 // count(r) inserts the received items into the rank's table.
+// The optional checkpoint pair rides along: ckptAt(r) reports whether
+// round r is a checkpoint round — it must be a pure function of r, the
+// same on every rank, because ckpt(r) runs collective barriers — and
+// ckpt(r) persists the rank's state as of the end of round r.
 type roundHooks struct {
 	start  func(r int) error
 	parse  func(r int) (more bool, err error)
 	post   func(r int, more bool) error
 	finish func(r int) (anyMore bool, err error)
 	count  func(r int) error
+	ckptAt func(r int) bool
+	ckpt   func(r int) error
 }
 
 // runRounds drives one rank's open-ended round loop until the world
@@ -96,9 +102,24 @@ type roundHooks struct {
 // implies every peer finished round r-1 — the last user of that parity's
 // buffers. count(r) reads round r's received parts (parity r%2) while
 // round r+1 flies on the other parity.
-func runRounds(overlap bool, h roundHooks) (rounds int, err error) {
+//
+// base is the first round index (non-zero when resuming from a
+// checkpoint); hooks see global round numbers and the returned count is
+// the global total (base + rounds executed here), so a resumed run
+// reports the same Rounds as an unfaulted one.
+//
+// Checkpoint rounds drain the overlap: a checkpoint must capture the
+// stream cursor *before* round r+1's chunk is pulled, so when ckptAt(r)
+// the speculative parse(r+1) is suppressed and the iteration runs
+// finish(r); count(r); ckpt(r); parse(r+1); post(r+1) — a pipeline
+// bubble every Ckpt.Every rounds, which is the checkpoint's entire
+// steady-state cost. ckpt(r) runs blocking collectives, which is legal
+// exactly there: round r's requests were waited by finish(r) and round
+// r+1's are not yet posted.
+func runRounds(overlap bool, base int, h roundHooks) (rounds int, err error) {
+	ckptDue := func(r int) bool { return h.ckptAt != nil && h.ckptAt(r) }
 	if !overlap {
-		for r := 0; ; r++ {
+		for r := base; ; r++ {
 			if err := h.start(r); err != nil {
 				return r, err
 			}
@@ -119,24 +140,32 @@ func runRounds(overlap bool, h roundHooks) (rounds int, err error) {
 			if !anyMore {
 				return r + 1, nil
 			}
+			if ckptDue(r) {
+				if err := h.ckpt(r); err != nil {
+					return r, err
+				}
+			}
 		}
 	}
-	if err := h.start(0); err != nil {
-		return 0, err
+	if err := h.start(base); err != nil {
+		return base, err
 	}
-	selfMore, err := h.parse(0)
+	selfMore, err := h.parse(base)
 	if err != nil {
-		return 0, err
+		return base, err
 	}
-	if err := h.post(0, selfMore); err != nil {
-		return 0, err
+	if err := h.post(base, selfMore); err != nil {
+		return base, err
 	}
-	for r := 0; ; r++ {
+	for r := base; ; r++ {
+		drain := ckptDue(r)
 		var nextMore bool
 		parsedNext := false
-		if selfMore {
+		if selfMore && !drain {
 			// This rank's own input continues, so round r+1 is certain:
-			// parse it while round r's exchange is in flight.
+			// parse it while round r's exchange is in flight. (On a
+			// checkpoint round the pull waits until after ckpt(r) captured
+			// the cursor.)
 			if err := h.start(r + 1); err != nil {
 				return r, err
 			}
@@ -149,28 +178,40 @@ func runRounds(overlap bool, h roundHooks) (rounds int, err error) {
 		if err != nil {
 			return r, err
 		}
-		if anyMore {
-			if !parsedNext {
-				// A peer still has input; this rank participates in round
-				// r+1 with an empty chunk (the pull is cheap — its source
-				// is dry). Nothing overlapped the exchange this round, but
-				// a drained rank has no parse work to hide anyway.
-				if err := h.start(r + 1); err != nil {
+		if !anyMore {
+			if err := h.count(r); err != nil {
+				return r, err
+			}
+			return r + 1, nil
+		}
+		if parsedNext {
+			if err := h.post(r+1, nextMore); err != nil {
+				return r, err
+			}
+			if err := h.count(r); err != nil {
+				return r, err
+			}
+		} else {
+			// No speculative parse happened — the rank's input is drained
+			// or round r checkpoints. Count first (the checkpoint includes
+			// round r's counts), persist, then pull and post round r+1.
+			if err := h.count(r); err != nil {
+				return r, err
+			}
+			if drain {
+				if err := h.ckpt(r); err != nil {
 					return r, err
 				}
-				if nextMore, err = h.parse(r + 1); err != nil {
-					return r, err
-				}
+			}
+			if err := h.start(r + 1); err != nil {
+				return r, err
+			}
+			if nextMore, err = h.parse(r + 1); err != nil {
+				return r, err
 			}
 			if err := h.post(r+1, nextMore); err != nil {
 				return r, err
 			}
-		}
-		if err := h.count(r); err != nil {
-			return r, err
-		}
-		if !anyMore {
-			return r + 1, nil
 		}
 		selfMore = nextMore
 	}

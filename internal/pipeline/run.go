@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -32,6 +33,10 @@ type rankOutcome struct {
 	countSt      gpusim.KernelStats
 	rounds       int
 	incomplete   bool // a round degraded past its retry budget
+	ckpts        int  // round checkpoints this seat persisted
+	recovered    bool // this seat completed at least one shrink recovery
+	deadRanks    []int
+	replays      int // shrink recoveries this seat went through
 }
 
 // Run executes the configured pipeline over the reads and returns the
@@ -47,6 +52,9 @@ type rankOutcome struct {
 func Run(cfg Config, reads []fastq.Record) (*Result, error) {
 	if err := validateRun(cfg); err != nil {
 		return nil, err
+	}
+	if cfg.Ckpt.Dir != "" {
+		return nil, fmt.Errorf("pipeline: checkpointing needs the streaming cursor protocol; use RunStream")
 	}
 	var destMap []uint16
 	if cfg.BalancedPartition {
@@ -64,7 +72,7 @@ func Run(cfg Config, reads []fastq.Record) (*Result, error) {
 		totalBases += uint64(bloomBases[r])
 		sources[r] = &sliceChunker{reads: part, maxBases: cfg.RoundBases}
 	}
-	res, err := runWorld(cfg, destMap, sources, bloomBases)
+	res, err := runWorld(cfg, destMap, sources, bloomBases, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -84,34 +92,80 @@ func validateRun(cfg Config) error {
 	return nil
 }
 
-// runWorld is the engine shared by Run and RunStream: it spins up the
-// simulated world with one chunk producer per rank and aggregates the
-// rank outcomes. sources feeds each rank's round loop (a preloaded
-// partition for Run, handles on a shared bounded producer for
-// RunStream); bloomBases, when non-nil, gives each rank's expected input
-// bases for singleton-filter sizing (unknown when streaming, which is
-// why RunStream rejects FilterSingletons).
-func runWorld(cfg Config, destMap []uint16, sources []chunkSource, bloomBases []int) (*Result, error) {
-	p := cfg.Layout.Ranks()
-	inj, err := fault.New(cfg.Fault, p)
+// runWorld is the engine shared by Run, RunStream and ResumeStream: it
+// spins up the simulated world with one chunk producer per rank and
+// aggregates the rank outcomes. sources feeds each rank's round loop (a
+// preloaded partition for Run, handles on a shared bounded producer for
+// the streaming paths); bloomBases, when non-nil, gives each rank's
+// expected input bases for singleton-filter sizing (unknown when
+// streaming, which is why RunStream rejects FilterSingletons).
+//
+// seats, when non-nil, is a resumed world (possibly smaller than the
+// layout after earlier shrinks); nil means the identity world. ck
+// enables periodic checkpointing and rv in-place shrink recovery; with
+// rv set, a rank death no longer fails the run — survivors shrink the
+// communicator, replay from the last checkpoint, and the dead ranks'
+// expected failures are absorbed below.
+func runWorld(cfg Config, destMap []uint16, sources []chunkSource, bloomBases []int, seats []*rankSeat, ck *ckptCtl, rv *recoverRT) (*Result, error) {
+	nOrig := cfg.Layout.Ranks()
+	inj, err := fault.New(cfg.Fault, nOrig)
 	if err != nil {
 		return nil, err
 	}
-	outcomes := make([]rankOutcome, p)
+	outcomes := make([]rankOutcome, nOrig)
+	if seats == nil {
+		seats = make([]*rankSeat, nOrig)
+		for r := range seats {
+			seats[r] = identitySeat(r, nOrig)
+		}
+	}
 
 	start := time.Now()
-	trace, err := mpisim.RunWithOptions(p, mpisim.Options{Deadline: cfg.ExchangeDeadline, Obs: cfg.Obs, WireTime: cfg.WireTime}, func(c *mpisim.Comm) error {
-		if cfg.Layout.GPU != nil {
-			return runGPURank(cfg, destMap, inj, c, sources[c.Rank()], &outcomes[c.Rank()])
-		}
+	trace, errs, err := mpisim.RunRanks(len(seats), mpisim.Options{Deadline: cfg.ExchangeDeadline, Obs: cfg.Obs, WireTime: cfg.WireTime}, func(c *mpisim.Comm) error {
+		// The seat and source are bound to the starting slot; both stay
+		// with this goroutine when a shrink renumbers the communicator.
+		seat := seats[c.Rank()]
+		src := sources[c.Rank()]
+		out := &outcomes[seat.old]
+		out.incomplete = seat.degraded
 		bases := 0
 		if bloomBases != nil {
 			bases = bloomBases[c.Rank()]
 		}
-		return runCPURank(cfg, destMap, inj, c, sources[c.Rank()], bases, &outcomes[c.Rank()])
+		for {
+			var err error
+			if cfg.Layout.GPU != nil {
+				err = runGPURank(cfg, destMap, inj, c, src, seat, ck, out)
+			} else {
+				err = runCPURank(cfg, destMap, inj, c, src, bases, seat, ck, out)
+			}
+			if err == nil {
+				return nil
+			}
+			if rv == nil || !errors.Is(err, mpisim.ErrPeerDead) {
+				return err
+			}
+			// A peer died mid-run and recovery is enabled: shrink,
+			// reload the last checkpoint, replay. Another death during
+			// the recovery itself surfaces as ErrPeerDead again and
+			// loops into a further shrink — each attempt loses at least
+			// one rank, so the loop terminates.
+			for {
+				rerr := rv.shrinkReload(c, seat, out)
+				if rerr == nil {
+					break
+				}
+				if !errors.Is(rerr, mpisim.ErrPeerDead) {
+					return rerr
+				}
+			}
+		}
 	})
 	wall := time.Since(start)
 	if err != nil {
+		return nil, err
+	}
+	if err := absorbRankErrors(seats, outcomes, errs); err != nil {
 		return nil, err
 	}
 	res := aggregate(cfg, trace, outcomes, wall)
@@ -121,6 +175,38 @@ func runWorld(cfg Config, destMap []uint16, sources []chunkSource, bloomBases []
 		inj.RegisterMetrics(cfg.Obs.Registry())
 	}
 	return res, nil
+}
+
+// absorbRankErrors decides whether the world's per-slot outcomes add up
+// to a successful run. Without recovery every failure is fatal
+// (RunWithOptions semantics). After a shrink recovery the dead ranks'
+// own failures are expected — the survivors completed the full
+// computation on their behalf — so a failure is absorbed exactly when
+// some seat recovered and the failing slot's original rank is in the
+// agreed dead set. Any other failure (or all ranks failing) still fails
+// the run.
+func absorbRankErrors(seats []*rankSeat, outcomes []rankOutcome, errs []error) error {
+	dead := map[int]bool{}
+	anyRecovered := false
+	for i := range outcomes {
+		if outcomes[i].recovered {
+			anyRecovered = true
+			for _, d := range outcomes[i].deadRanks {
+				dead[d] = true
+			}
+		}
+	}
+	var joined []error
+	for slot, e := range errs {
+		if e == nil {
+			continue
+		}
+		if anyRecovered && dead[seats[slot].old] {
+			continue
+		}
+		joined = append(joined, fmt.Errorf("rank %d: %w", seats[slot].old, e))
+	}
+	return errors.Join(joined...)
 }
 
 // registerRunMetrics publishes the run's headline numbers into the shared
@@ -139,6 +225,13 @@ func registerRunMetrics(reg *obs.Registry, res *Result) {
 		incomplete = 1
 	}
 	reg.Gauge("pipeline_incomplete", "1 when a round degraded past its retry budget (counts are a lower bound).").Set(incomplete)
+	reg.Counter("pipeline_ckpt_rounds_total", "Round checkpoints persisted.").Add(uint64(res.Checkpoints))
+	recovered := uint64(0)
+	if res.Recovered {
+		recovered = 1
+	}
+	reg.Counter("pipeline_recovery_shrinks_total", "Runs completed through shrink recovery after rank death.").Add(recovered)
+	reg.Gauge("pipeline_recovery_dead_ranks", "Ranks lost (and absorbed by survivors) during the latest run.").Set(float64(len(res.DeadRanks)))
 	for phase, d := range map[string]time.Duration{
 		"parse":    res.Modeled.Parse,
 		"exchange": res.Modeled.Exchange,
@@ -159,6 +252,8 @@ type gpuRoundState struct {
 	sup       kernels.SupermerScratch
 	sendWords [][]uint64
 	sendWire  [][]byte
+	routedW   [][]uint64
+	routedB   [][]byte
 	bytesOut  uint64
 	pend      *pendingExchange
 	recvWords [][]uint64
@@ -166,21 +261,42 @@ type gpuRoundState struct {
 	roundRecv uint64
 }
 
-func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, out *rankOutcome) error {
+// seedAtomicTable preloads checkpointed spectrum slices into a fresh
+// atomic table sized for them.
+func seedAtomicTable(seed []*kcount.Database, load float64, prob kcount.Probing) (*kcount.AtomicTable, error) {
+	n := 1
+	for _, db := range seed {
+		n += db.Len()
+	}
+	t := kcount.NewAtomicTable(n, load, prob)
+	for _, db := range seed {
+		for _, e := range db.Entries {
+			if _, _, err := t.Add(e.Key, e.Count); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, seat *rankSeat, ck *ckptCtl, out *rankOutcome) error {
 	dev := gpusim.MustDevice(*cfg.Layout.GPU)
 	if cfg.Obs != nil {
 		dev.Observe(cfg.Obs.Registry())
 	}
 	rec := cfg.Obs
-	rank := c.Rank()
-	table := kcount.NewAtomicTable(1, cfg.tableLoad(), cfg.Probing)
+	rank := seat.old
+	table, err := seedAtomicTable(seat.seed, cfg.tableLoad(), cfg.Probing)
+	if err != nil {
+		return err
+	}
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
-	ex := &exchanger{c: c, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
+	ex := &exchanger{c: c, rank: rank, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
 	var states [2]gpuRoundState
 
 	// Round-start faults fire once per executed round, before its parse.
 	start := func(r int) error {
-		return killOrStall(inj, c, r, rec)
+		return killOrStall(inj, rank, r, rec)
 	}
 
 	// Stage + parse: pull the round's chunk, build its concatenated base
@@ -208,13 +324,16 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 
 		sp = rec.Begin(rank, r, obs.PhaseParse)
 		var parseSt gpusim.KernelStats
+		// Destinations are always the ORIGINAL world: the key→rank map
+		// never changes across shrinks (checkpointed slices stay valid);
+		// the seat folds dead destinations onto survivors at post time.
 		if cfg.Mode == KmerMode {
 			st.sendWords, parseSt, err = kernels.ParseKmers(dev, kernels.ParseConfig{
-				Enc: cfg.Enc, K: cfg.K, NumDest: c.Size(), Canonical: cfg.Canonical,
+				Enc: cfg.Enc, K: cfg.K, NumDest: seat.nOrig, Canonical: cfg.Canonical,
 			}, data, &st.parse)
 		} else {
 			st.sendWire, parseSt, err = kernels.BuildSupermers(dev, kernels.SupermerConfig{
-				Enc: cfg.Enc, C: cfg.minimizerConfig(), NumDest: c.Size(), DestMap: destMap,
+				Enc: cfg.Enc, C: cfg.minimizerConfig(), NumDest: seat.nOrig, DestMap: destMap,
 			}, data, &st.sup)
 		}
 		if err != nil {
@@ -251,9 +370,9 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	post := func(r int, more bool) error {
 		st := &states[r%2]
 		if cfg.Mode == KmerMode {
-			st.pend = ex.postWords(r, st.sendWords, more)
+			st.pend = ex.postWords(r, seat.route(st.sendWords, &st.routedW), more)
 		} else {
-			st.pend = ex.postWire(r, wire, st.sendWire, more)
+			st.pend = ex.postWire(r, wire, seat.routeBytes(st.sendWire, &st.routedB), more)
 		}
 		return nil
 	}
@@ -336,7 +455,16 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		return nil
 	}
 
-	rounds, err := runRounds(cfg.Overlap, roundHooks{start: start, parse: parse, post: post, finish: finish, count: count})
+	hooks := roundHooks{start: start, parse: parse, post: post, finish: finish, count: count}
+	if ck != nil {
+		hooks.ckptAt = ck.at
+		hooks.ckpt = func(r int) error {
+			// table is reassigned by ensureCapacity; snapshot the current
+			// one at checkpoint time.
+			return ck.write(c, seat, r, kcount.FromTable(table.Snapshot(), cfg.K, ck.flags), out)
+		}
+	}
+	rounds, err := runRounds(cfg.Overlap, seat.base, hooks)
 	if err != nil {
 		return err
 	}
@@ -389,6 +517,12 @@ func aggregate(cfg Config, trace []mpisim.TraceEntry, outcomes []rankOutcome, wa
 		if o.incomplete {
 			res.Incomplete = true
 		}
+		if o.ckpts > res.Checkpoints {
+			res.Checkpoints = o.ckpts
+		}
+		if o.recovered {
+			res.Recovered = true
+		}
 		res.ItemsExchanged += o.itemsSent
 		res.PayloadBytes += o.payloadSent
 		res.TotalKmers += o.counted
@@ -415,6 +549,7 @@ func aggregate(cfg Config, trace []mpisim.TraceEntry, outcomes []rankOutcome, wa
 	if len(res.TopKmers) > topKPerRank {
 		res.TopKmers = res.TopKmers[:topKPerRank]
 	}
+	res.DeadRanks = mergeDead(outcomes)
 	res.Modeled.Parse = maxParse
 	res.Modeled.Count = maxCount
 

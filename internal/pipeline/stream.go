@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dedukt/internal/fastq"
+	recov "dedukt/internal/recover"
 )
 
 // RunStream executes the configured pipeline over a streaming source,
@@ -23,7 +24,18 @@ import (
 // front: BalancedPartition (its minimizer-load profiling pass) and
 // FilterSingletons (per-rank Bloom sizing). Preload the reads and use
 // Run for those.
+//
+// With Config.Ckpt set, the run persists round-granularity checkpoints
+// and survives rank death by shrink recovery (see ResumeStream and
+// DESIGN.md §12); src must then be a fastq.CursorSource.
 func RunStream(cfg Config, src fastq.Source) (*Result, error) {
+	return runStream(cfg, src, nil)
+}
+
+// runStream is the shared core of RunStream (man == nil) and
+// ResumeStream (man holds the validated checkpoint manifest and src is
+// already fast-forwarded to its cursor).
+func runStream(cfg Config, src fastq.Source, man *recov.Manifest) (*Result, error) {
 	if err := validateRun(cfg); err != nil {
 		return nil, err
 	}
@@ -36,13 +48,41 @@ func RunStream(cfg Config, src fastq.Source) (*Result, error) {
 	if cfg.FilterSingletons {
 		return nil, fmt.Errorf("pipeline: FilterSingletons sizes its Bloom filter from the input size, unknown when streaming; preload the reads and use Run")
 	}
-	p := cfg.Layout.Ranks()
-	prod := &chunkProducer{src: src, maxBases: cfg.streamRoundBases()}
-	sources := make([]chunkSource, p)
+	ckpt := cfg.Ckpt.Dir != ""
+	if ckpt {
+		if _, ok := src.(fastq.CursorSource); !ok {
+			return nil, fmt.Errorf("pipeline: checkpointing needs a source with cursor support (got %T)", src)
+		}
+	}
+	prod := &chunkProducer{src: src, maxBases: cfg.streamRoundBases(), track: ckpt}
+
+	var ck *ckptCtl
+	var rv *recoverRT
+	var seats []*rankSeat
+	if ckpt {
+		ck = newCkptCtl(cfg, prod)
+		if !cfg.Ckpt.NoShrink {
+			rv = &recoverRT{ck: ck, prod: prod, reopen: cfg.Ckpt.Reopen, rec: cfg.Obs}
+		}
+	}
+	world := cfg.Layout.Ranks()
+	if man != nil {
+		// Resuming: the producer has already delivered the checkpointed
+		// prefix in the prior run; seed its tallies so Result reports the
+		// whole input, and rebuild the manifest's (possibly shrunk) world.
+		prod.reads, prod.bases = man.Reads, man.Bases
+		var err error
+		seats, err = seatsFromManifest(cfg, man, ck.fphash)
+		if err != nil {
+			return nil, err
+		}
+		world = len(seats)
+	}
+	sources := make([]chunkSource, world)
 	for r := range sources {
 		sources[r] = &streamHandle{prod: prod}
 	}
-	res, err := runWorld(cfg, nil, sources, nil)
+	res, err := runWorld(cfg, nil, sources, nil, seats, ck, rv)
 	if err != nil {
 		return nil, err
 	}
@@ -50,6 +90,7 @@ func RunStream(cfg Config, src fastq.Source) (*Result, error) {
 	res.MemBudget = cfg.memBudget()
 	res.InputReads = prod.reads
 	res.InputBases = prod.bases
+	res.Resumed = man != nil
 	return res, nil
 }
 
@@ -72,6 +113,12 @@ type chunkProducer struct {
 	err      error
 	reads    uint64 // records delivered (retained past drain for Result)
 	bases    uint64
+	// track enables checkpoint cursor maintenance (requires src to be a
+	// fastq.CursorSource); cur is the source position just before the
+	// pending record was pulled, i.e. the replay point that re-delivers
+	// it.
+	track bool
+	cur   fastq.Cursor
 }
 
 // fill appends the next chunk's records into buf, reporting whether the
@@ -95,6 +142,10 @@ func (p *chunkProducer) fill(buf *chunkBuf) (more bool, err error) {
 		p.pending = nil
 	}
 	for !p.done {
+		var pos fastq.Cursor
+		if p.track {
+			pos = p.src.(fastq.CursorSource).Cursor()
+		}
 		rec, err := p.src.Next()
 		if err != nil {
 			if err == io.EOF {
@@ -111,12 +162,42 @@ func (p *chunkProducer) fill(buf *chunkBuf) (more bool, err error) {
 			// its buffers) as the next chunk's first record.
 			clone := rec.Clone()
 			p.pending = &clone
+			p.cur = pos
 			return true, nil
 		}
 		bases += len(rec.Seq)
 		buf.append(rec)
 	}
 	return p.pending != nil, nil
+}
+
+// ckptCursor returns the resume point as of the last delivered chunk:
+// the source position from which a replay re-delivers exactly the
+// records no chunk has carried yet, plus the read/base tallies of
+// everything before it. A retained pending record has been pulled from
+// the source but delivered to no round, so the cursor steps back over it
+// — otherwise one read per checkpoint would vanish on resume.
+func (p *chunkProducer) ckptCursor() (c fastq.Cursor, reads, bases uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pending != nil {
+		return p.cur, p.reads - 1, p.bases - uint64(len(p.pending.Seq))
+	}
+	return p.src.(fastq.CursorSource).Cursor(), p.reads, p.bases
+}
+
+// reset re-feeds the producer from a reopened source during shrink
+// recovery: the replayed rounds pull from src as if the run had just
+// resumed from the checkpoint the cursor came from.
+func (p *chunkProducer) reset(src fastq.Source, reads, bases uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.src = src
+	p.pending = nil
+	p.done = false
+	p.err = nil
+	p.reads = reads
+	p.bases = bases
 }
 
 // streamHandle adapts one rank's view of the shared producer to the

@@ -1,0 +1,419 @@
+// Package recover is the durable-state layer of the pipeline's
+// checkpoint/restart and shrink-recovery machinery (DESIGN.md §12): it
+// defines the on-disk checkpoint — one CRC-framed manifest plus one
+// KCD-embedded spectrum slice per rank — and the deterministic successor
+// function that reassigns a dead rank's key ownership to a survivor.
+//
+// A checkpoint directory holds, atomically (tmp+rename, manifest last):
+//
+//	MANIFEST                 the round/cursor manifest (see Manifest)
+//	r<round>-s<slot>.ckpt    slot's spectrum slice at that round
+//
+// Readers are hardened the same way kcount's database reader is: a short
+// file surfaces ErrTruncated, a full-length file with wrong bytes
+// ErrChecksum, and a file from a different run ErrMismatch — a resume can
+// fail, but it can never silently continue from the wrong state.
+package recover
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dedukt/internal/fastq"
+	"dedukt/internal/kcount"
+)
+
+// Sentinel errors; test with errors.Is.
+var (
+	// ErrTruncated marks a manifest or rank checkpoint that ended before
+	// its declared structure was complete.
+	ErrTruncated = errors.New("recover: truncated checkpoint")
+	// ErrChecksum marks a structurally complete file whose CRC32 does not
+	// match its contents.
+	ErrChecksum = errors.New("recover: checkpoint checksum mismatch")
+	// ErrMismatch marks a checkpoint that does not belong to this run:
+	// wrong magic/version, a fingerprint for a different configuration or
+	// input set, or a rank file for a different round/slot.
+	ErrMismatch = errors.New("recover: checkpoint does not match this run")
+	// ErrNoCheckpoint reports a checkpoint directory with no manifest —
+	// nothing has been persisted yet, so recovery replays from the start.
+	ErrNoCheckpoint = errors.New("recover: no checkpoint manifest")
+)
+
+// InputFile fingerprints one input by path and size; a resume refuses a
+// checkpoint whose input list differs (the cursor would land on the
+// wrong records).
+type InputFile struct {
+	Path string `json:"path"`
+	Size int64  `json:"size"`
+}
+
+// Fingerprint identifies the run configuration a checkpoint belongs to.
+// Every field changes what the spectrum or its partition looks like;
+// resuming under a different value would merge incompatible state.
+type Fingerprint struct {
+	K         int         `json:"k"`
+	M         int         `json:"m,omitempty"`
+	Window    int         `json:"window,omitempty"`
+	Mode      string      `json:"mode"`
+	Engine    string      `json:"engine"`
+	Encoding  string      `json:"encoding"`
+	Canonical bool        `json:"canonical,omitempty"`
+	Ranks     int         `json:"ranks"`
+	Nodes     int         `json:"nodes"`
+	Inputs    []InputFile `json:"inputs,omitempty"`
+}
+
+// Hash folds the fingerprint into the 64-bit stamp carried by every rank
+// checkpoint file (FNV-1a over the canonical JSON encoding).
+func (f Fingerprint) Hash() uint64 {
+	b, err := json.Marshal(f)
+	if err != nil {
+		// Fingerprint is plain data; Marshal cannot fail on it.
+		panic(err)
+	}
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}
+
+// Manifest is the checkpoint's round/cursor record: everything a resume
+// needs beyond the per-slot spectrum slices. It is written by slot 0
+// after every slot's slice landed, so a directory with a manifest always
+// has the matching slices.
+type Manifest struct {
+	Fingerprint Fingerprint `json:"fingerprint"`
+	// Round is the last completed round covered by this checkpoint; the
+	// resumed loop continues at Round+1.
+	Round int `json:"round"`
+	// Cursor is the streaming source position of the first record not
+	// yet counted through Round.
+	Cursor fastq.Cursor `json:"cursor"`
+	// Reads and Bases are the input totals delivered through Round,
+	// re-seeding the resumed producer's tallies.
+	Reads uint64 `json:"reads"`
+	Bases uint64 `json:"bases"`
+	// Survivors maps checkpoint slot → original rank id. On an unfaulted
+	// run it is the identity; after a shrink recovery it lists the live
+	// ranks, and Dead the original ranks whose ownership was remapped
+	// (see Successor).
+	Survivors []int `json:"survivors"`
+	Dead      []int `json:"dead,omitempty"`
+	// Incomplete records that a round covered by this checkpoint degraded
+	// past its retry budget, so state resumed from it stays a lower
+	// bound; the flag re-seeds Result.Incomplete across a resume.
+	Incomplete bool `json:"incomplete,omitempty"`
+}
+
+// Manifest file framing:
+//
+//	magic   "DKMF"       4 bytes
+//	version uint16       (1)
+//	length  uint32       JSON payload bytes
+//	payload length bytes of JSON (Manifest)
+//	crc32   uint32       IEEE, over everything after the magic
+//
+// Rank checkpoint file framing:
+//
+//	magic   "DKCP"       4 bytes
+//	version uint16       (1)
+//	round   uint32
+//	slot    uint32
+//	fphash  uint64       Fingerprint.Hash() of the run
+//	crc32   uint32       IEEE, over the header after the magic
+//	body    an embedded KCD database (kcount format, self-checksummed)
+//
+// All integers are little-endian.
+const (
+	manifestMagic   = "DKMF"
+	ckptMagic       = "DKCP"
+	formatVersion   = 1
+	manifestName    = "MANIFEST"
+	maxManifestSize = 1 << 24 // a manifest is a few KB; cap the allocation
+)
+
+// ManifestPath returns the manifest location inside a checkpoint dir.
+func ManifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+// RankFilePath returns the location of a slot's spectrum slice for a
+// round inside a checkpoint dir.
+func RankFilePath(dir string, round, slot int) string {
+	return filepath.Join(dir, fmt.Sprintf("r%08d-s%04d.ckpt", round, slot))
+}
+
+// WriteManifest encodes m into w with the CRC frame.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(manifestMagic)
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	crc := crc32.ChecksumIEEE(buf.Bytes()[len(manifestMagic):])
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	buf.Write(tail[:])
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// ReadManifest decodes a CRC-framed manifest, returning ErrTruncated /
+// ErrChecksum / ErrMismatch on damage — never a wrong manifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("manifest magic: %w", eofAs(err, ErrTruncated))
+	}
+	if string(magic[:]) != manifestMagic {
+		return nil, fmt.Errorf("manifest magic %q: %w", magic[:], ErrMismatch)
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("manifest header: %w", eofAs(err, ErrTruncated))
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != formatVersion {
+		return nil, fmt.Errorf("manifest version %d (want %d): %w", v, formatVersion, ErrMismatch)
+	}
+	n := binary.LittleEndian.Uint32(hdr[2:6])
+	if n > maxManifestSize {
+		return nil, fmt.Errorf("manifest declares %d payload bytes: %w", n, ErrMismatch)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("manifest payload: %w", eofAs(err, ErrTruncated))
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("manifest checksum: %w", eofAs(err, ErrTruncated))
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if got := binary.LittleEndian.Uint32(tail[:]); got != crc.Sum32() {
+		return nil, fmt.Errorf("manifest crc %08x != %08x: %w", got, crc.Sum32(), ErrChecksum)
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		// The CRC matched, so this is a framing bug or handcrafted file,
+		// not wire damage; refuse it as a mismatch.
+		return nil, fmt.Errorf("manifest payload: %v: %w", err, ErrMismatch)
+	}
+	if m.Round < 0 || len(m.Survivors) == 0 || len(m.Survivors) > m.Fingerprint.Ranks {
+		return nil, fmt.Errorf("manifest round %d / %d survivors of %d ranks: %w",
+			m.Round, len(m.Survivors), m.Fingerprint.Ranks, ErrMismatch)
+	}
+	seen := make(map[int]bool, len(m.Survivors))
+	for _, o := range m.Survivors {
+		if o < 0 || o >= m.Fingerprint.Ranks || seen[o] {
+			return nil, fmt.Errorf("manifest survivor %d of %d ranks: %w", o, m.Fingerprint.Ranks, ErrMismatch)
+		}
+		seen[o] = true
+	}
+	for _, o := range m.Dead {
+		if o < 0 || o >= m.Fingerprint.Ranks || seen[o] {
+			return nil, fmt.Errorf("manifest dead rank %d: %w", o, ErrMismatch)
+		}
+		seen[o] = true
+	}
+	return &m, nil
+}
+
+// LoadManifest reads the manifest of a checkpoint directory, mapping an
+// absent file onto ErrNoCheckpoint.
+func LoadManifest(dir string) (*Manifest, error) {
+	f, err := os.Open(ManifestPath(dir))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%s: %w", dir, ErrNoCheckpoint)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ReadManifest(f)
+}
+
+// SaveManifest atomically writes the manifest into dir.
+func SaveManifest(dir string, m *Manifest) error {
+	return atomicWrite(dir, manifestName, func(w io.Writer) error { return WriteManifest(w, m) })
+}
+
+// WriteRankFile encodes one slot's spectrum slice for a round.
+func WriteRankFile(w io.Writer, round, slot int, fphash uint64, db *kcount.Database) error {
+	var hdr bytes.Buffer
+	hdr.WriteString(ckptMagic)
+	var b [18]byte
+	binary.LittleEndian.PutUint16(b[0:2], formatVersion)
+	binary.LittleEndian.PutUint32(b[2:6], uint32(round))
+	binary.LittleEndian.PutUint32(b[6:10], uint32(slot))
+	binary.LittleEndian.PutUint64(b[10:18], fphash)
+	hdr.Write(b[:])
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(b[:]))
+	hdr.Write(tail[:])
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	return db.Write(w)
+}
+
+// ReadRankFile decodes a slot spectrum slice, verifying the header CRC
+// and the embedded database's own checksum.
+func ReadRankFile(r io.Reader) (round, slot int, fphash uint64, db *kcount.Database, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("checkpoint magic: %w", eofAs(err, ErrTruncated))
+	}
+	if string(magic[:]) != ckptMagic {
+		return 0, 0, 0, nil, fmt.Errorf("checkpoint magic %q: %w", magic[:], ErrMismatch)
+	}
+	var b [18]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("checkpoint header: %w", eofAs(err, ErrTruncated))
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("checkpoint header crc: %w", eofAs(err, ErrTruncated))
+	}
+	if got, want := binary.LittleEndian.Uint32(tail[:]), crc32.ChecksumIEEE(b[:]); got != want {
+		return 0, 0, 0, nil, fmt.Errorf("checkpoint header crc %08x != %08x: %w", got, want, ErrChecksum)
+	}
+	if v := binary.LittleEndian.Uint16(b[0:2]); v != formatVersion {
+		return 0, 0, 0, nil, fmt.Errorf("checkpoint version %d (want %d): %w", v, formatVersion, ErrMismatch)
+	}
+	round = int(binary.LittleEndian.Uint32(b[2:6]))
+	slot = int(binary.LittleEndian.Uint32(b[6:10]))
+	fphash = binary.LittleEndian.Uint64(b[10:18])
+	db, err = kcount.ReadDatabase(r)
+	if err != nil {
+		// Map the embedded database's sentinels onto ours so callers
+		// handle one error vocabulary.
+		switch {
+		case errors.Is(err, kcount.ErrTruncated):
+			err = fmt.Errorf("checkpoint body: %v: %w", err, ErrTruncated)
+		case errors.Is(err, kcount.ErrChecksum):
+			err = fmt.Errorf("checkpoint body: %v: %w", err, ErrChecksum)
+		}
+		return 0, 0, 0, nil, err
+	}
+	return round, slot, fphash, db, nil
+}
+
+// SaveRankFile atomically writes one slot's slice into dir.
+func SaveRankFile(dir string, round, slot int, fphash uint64, db *kcount.Database) error {
+	name := fmt.Sprintf("r%08d-s%04d.ckpt", round, slot)
+	return atomicWrite(dir, name, func(w io.Writer) error {
+		return WriteRankFile(w, round, slot, fphash, db)
+	})
+}
+
+// LoadRankFile reads a slot slice and validates it against the expected
+// coordinates, so a misnamed or foreign file can never seed a resume.
+func LoadRankFile(path string, round, slot int, fphash uint64) (*kcount.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, s, h, db, err := ReadRankFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r != round || s != slot || h != fphash {
+		return nil, fmt.Errorf("%s: holds round %d slot %d run %016x, want round %d slot %d run %016x: %w",
+			path, r, s, h, round, slot, fphash, ErrMismatch)
+	}
+	return db, nil
+}
+
+// RemoveStale deletes rank files of rounds other than keepRound (and
+// leftover temp files), called by slot 0 after the manifest for
+// keepRound landed. Failures are ignored — stale files are garbage, not
+// state; the manifest alone decides what a resume reads.
+func RemoveStale(dir string, keepRound int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keep := fmt.Sprintf("r%08d-", keepRound)
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+		case strings.HasSuffix(name, ".ckpt") && !strings.HasPrefix(name, keep):
+		default:
+			continue
+		}
+		os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// Successor returns the live owner of original rank r under the dead
+// set: r itself while alive, else the next live rank cyclically. This is
+// the deterministic ownership remap of shrink recovery, applied on top
+// of kernels.DestOf — keys keep their original destination and dead
+// destinations forward to their successor, so checkpointed slices stay
+// valid across shrinks. The function composes: for dead sets D ⊆ D',
+// Successor(Successor(r, D), D') == Successor(r, D'), which is what lets
+// a checkpoint written after one shrink be reloaded after another.
+// Returns -1 when every rank is dead.
+func Successor(r int, dead []bool) int {
+	for i := 0; i < len(dead); i++ {
+		o := (r + i) % len(dead)
+		if !dead[o] {
+			return o
+		}
+	}
+	return -1
+}
+
+// atomicWrite writes name into dir via a temp file + rename, so readers
+// never observe a partially written checkpoint and a crash mid-write
+// leaves the previous file intact.
+func atomicWrite(dir, name string, fn func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, name+".*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := fn(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// eofAs maps io.ReadFull's end-of-input errors onto sentinel, keeping
+// other I/O errors intact (mirrors kcount's reader hardening).
+func eofAs(err, sentinel error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return sentinel
+	}
+	return err
+}
