@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke trace-smoke stream-smoke recover-smoke experiments examples lint ci clean
+.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke cluster-smoke trace-smoke stream-smoke recover-smoke experiments examples lint ci clean
 
 all: build test
 
 # The full gate CI runs: build, formatting/vet lint, race-enabled tests,
-# every fuzz target over its seed corpus, and the serving-, tracing-,
-# streaming- and recovery-layer smoke tests.
-ci: build lint race fuzz-seeds serve-smoke trace-smoke stream-smoke recover-smoke
+# every fuzz target over its seed corpus, and the serving-, cluster-,
+# tracing-, streaming- and recovery-layer smoke tests.
+ci: build lint race fuzz-seeds serve-smoke cluster-smoke trace-smoke stream-smoke recover-smoke
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,15 @@ fuzz-seeds:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Serving-layer benchmarks (internal/kserve), emitted as BENCH_serve.json
-# so successive PRs have a perf trajectory to compare against.
+# Serving-layer benchmarks, emitted as BENCH_serve.json so successive PRs
+# have a perf trajectory to compare against: the kserve micro-benchmarks
+# plus the cluster replica-scaling kload runs (scripts/bench_cluster.sh,
+# 1/2/4 replicas behind kproxy).
 bench-serve:
-	$(GO) test -run xxx -bench BenchmarkKserve -benchmem ./internal/kserve/ | tee /dev/stderr | $(GO) run ./scripts/bench2json > BENCH_serve.json
+	$(GO) test -run xxx -bench BenchmarkKserve -benchmem ./internal/kserve/ | tee /dev/stderr | $(GO) run ./scripts/bench2json > BENCH_serve.micro.tmp
+	sh scripts/bench_cluster.sh > BENCH_serve.cluster.tmp
+	jq -s 'add' BENCH_serve.micro.tmp BENCH_serve.cluster.tmp > BENCH_serve.json
+	rm -f BENCH_serve.micro.tmp BENCH_serve.cluster.tmp
 
 # End-to-end pipeline benchmarks (internal/pipeline), emitted as
 # BENCH_pipeline.json. BenchmarkPipelineSupermer is the nil-recorder
@@ -52,6 +57,15 @@ bench-pipeline:
 # and assert the responses.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end smoke test of the serving cluster: 2 shards x 2 kserve
+# replicas behind kproxy, a >=100k-lookup kload burst with a mid-run
+# SIGKILL of one replica and an injected 50ms straggler, asserting zero
+# errors, hedges fired, and the dead replica marked down. Artifacts (kload
+# summary, proxy metrics, logs) land in CLUSTER_SMOKE_OUT (default: a temp
+# dir) so CI can upload them.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # End-to-end smoke test of the observability layer: run a small traced
 # pipeline, validate the Chrome trace JSON with jq, and check the

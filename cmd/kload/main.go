@@ -1,0 +1,78 @@
+// Command kload drives a kproxy (or a bare kserve replica — both speak
+// GET /kmer and POST /batch) with a reproducible synthetic workload and
+// prints a JSON latency/throughput summary.
+//
+//	kload -target http://127.0.0.1:9090 -n 100000 -batch 64 -c 16
+//	kload -target http://127.0.0.1:9090 -n 50000 -qps 20000   # open loop
+//
+// Keys are sampled from a fixed population under a zipfian (default) or
+// uniform mix; k is learned from the target's /healthz. With -qps the
+// harness runs open-loop: every request has a scheduled arrival time and
+// latency is measured from that schedule, so server stalls show up as the
+// queueing delay they caused instead of being silently absorbed
+// (coordinated omission). The summary counts request-level failures and
+// per-key degradation markers separately, matching kproxy's partial-batch
+// contract.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dedukt/internal/kcluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kload: ")
+	var (
+		target = flag.String("target", "http://127.0.0.1:9090", "base URL of the kproxy (or kserve) under load")
+		n      = flag.Int("n", 10000, "measured requests")
+		warmup = flag.Int("warmup", 0, "untimed warmup requests (fills caches and the hedge histogram)")
+		batch  = flag.Int("batch", 1, "lookups per request (1 = GET /kmer, >1 = POST /batch)")
+		conc   = flag.Int("c", 8, "concurrent workers")
+		qps    = flag.Float64("qps", 0, "open-loop offered rate in lookups/sec (0 = closed loop)")
+		keys   = flag.Int("keys", 65536, "sampled key-population size")
+		dist   = flag.String("dist", "zipf", "key mix: zipf or uniform")
+		zipfS  = flag.Float64("zipf-s", 1.1, "zipfian skew (>1)")
+		seed   = flag.Int64("seed", 1, "population/mix seed")
+		quiet  = flag.Bool("q", false, "suppress progress lines (JSON summary only)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	sum, err := kcluster.RunLoad(ctx, kcluster.LoadOptions{
+		Target:      *target,
+		Requests:    *n,
+		Warmup:      *warmup,
+		Batch:       *batch,
+		Concurrency: *conc,
+		QPS:         *qps,
+		Keys:        *keys,
+		Dist:        *dist,
+		ZipfS:       *zipfS,
+		Seed:        *seed,
+		Logf:        logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatal(err)
+	}
+	if sum.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+// Command kproxy fronts a replicated kserve cluster: it probes the seed
+// replicas' /healthz, learns the cluster shape (k, canonical, shard
+// count), places each shard's replicas on a consistent-hash ring, and
+// routes GET /kmer/{seq} and POST /batch by the pipeline's owner hash —
+// hedging slow requests at a latency quantile, retrying hard failures on
+// the next ring candidate, and degrading batches to per-key error markers
+// when a shard loses every replica.
+//
+//	kserve -kcd counts.kcd -shard 0/2 -addr :8081 &
+//	kserve -kcd counts.kcd -shard 0/2 -addr :8082 &
+//	kserve -kcd counts.kcd -shard 1/2 -addr :8083 &
+//	kserve -kcd counts.kcd -shard 1/2 -addr :8084 &
+//	kproxy -replica :8081 -replica :8082 -replica :8083 -replica :8084
+//
+//	curl localhost:9090/kmer/ACGTACGTACGTACGTA
+//	curl -X POST localhost:9090/batch -d '{"kmers":["ACGTACGTACGTACGTA"]}'
+//	curl localhost:9090/healthz       # cluster shape + per-replica state
+//	curl localhost:9090/metrics       # kcluster_* (hedges, retries, …)
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kcluster"
+)
+
+// addrList collects repeated -replica flags.
+type addrList []string
+
+func (p *addrList) String() string { return strings.Join(*p, ",") }
+func (p *addrList) Set(v string) error {
+	if !strings.Contains(v, ":") {
+		v = "127.0.0.1:" + v
+	} else if strings.HasPrefix(v, ":") {
+		v = "127.0.0.1" + v
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kproxy: ")
+	var replicas addrList
+	flag.Var(&replicas, "replica", "kserve replica address (repeatable; host:port, :port, or bare port)")
+	var (
+		addr          = flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free port)")
+		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond, "replica /healthz probe period")
+		failThreshold = flag.Int("fail-threshold", 2, "consecutive hard failures before a replica is down")
+		vnodes        = flag.Int("vnodes", 64, "virtual nodes per replica on each shard ring")
+		hedgeQ        = flag.Float64("hedge-quantile", 0.9, "observed-latency quantile at which a hedge fires")
+		hedgeMin      = flag.Duration("hedge-min", time.Millisecond, "lower clamp on the hedge delay")
+		hedgeMax      = flag.Duration("hedge-max", 25*time.Millisecond, "upper clamp on the hedge delay (also the cold-start delay)")
+		reqTimeout    = flag.Duration("request-timeout", 2*time.Second, "per-upstream-attempt timeout")
+		encoding      = flag.String("encoding", "random", "base encoding the replicas serve: random (CLI default) or lex")
+	)
+	flag.Parse()
+	for _, a := range flag.Args() {
+		_ = replicas.Set(a)
+	}
+	if len(replicas) == 0 {
+		log.Fatal("at least one -replica address is required")
+	}
+	enc := &dna.Random
+	switch *encoding {
+	case "random":
+	case "lex":
+		enc = &dna.Lexicographic
+	default:
+		log.Fatalf("unknown encoding %q", *encoding)
+	}
+
+	reg, err := kcluster.NewRegistry(kcluster.RegistryOptions{
+		Seeds:         replicas,
+		ProbeInterval: *probeInterval,
+		FailThreshold: *failThreshold,
+		Vnodes:        *vnodes,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+	reg.ProbeNow()
+	if k, canonical, shards, ready := reg.Shape(); ready {
+		log.Printf("routing %d replicas across %d shard(s), k=%d canonical=%v", len(replicas), shards, k, canonical)
+	} else {
+		log.Printf("no replica answered yet; routing %d seeds, shape pending", len(replicas))
+	}
+
+	router := kcluster.NewRouter(reg, kcluster.RouterOptions{
+		Enc:            enc,
+		HedgeQuantile:  *hedgeQ,
+		HedgeMin:       *hedgeMin,
+		HedgeMax:       *hedgeMax,
+		RequestTimeout: *reqTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	srv := &http.Server{Handler: kcluster.NewHandler(router)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("caught %s, shutting down", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -18,7 +18,9 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -39,14 +41,18 @@ func main() {
 	var kcds pathList
 	flag.Var(&kcds, "kcd", "KCD database to serve (repeatable; multiple files are unioned)")
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		shards   = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
-		maxBatch = flag.Int("max-batch", 64, "max lookups per shard micro-batch")
-		maxWait  = flag.Duration("max-wait", 200*time.Microsecond, "max time a shard holds an open micro-batch (negative = serve immediately)")
-		queue    = flag.Int("queue", 1024, "per-shard queue depth before 429s")
-		cache    = flag.Int("cache", 4096, "hot-k-mer LRU size in entries (negative disables)")
-		topN     = flag.Int("topn", 64, "top-N horizon precomputed for /topn")
-		encoding = flag.String("encoding", "random", "base encoding the KCD was packed under: random (CLI default) or lex")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		shards     = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", 64, "max lookups per shard micro-batch")
+		maxWait    = flag.Duration("max-wait", 200*time.Microsecond, "max time a shard holds an open micro-batch (negative = serve immediately)")
+		queue      = flag.Int("queue", 1024, "per-shard queue depth before 429s")
+		cache      = flag.Int("cache", 4096, "hot-k-mer LRU size in entries (negative disables)")
+		topN       = flag.Int("topn", 64, "top-N horizon precomputed for /topn")
+		encoding   = flag.String("encoding", "random", "base encoding the KCD was packed under: random (CLI default) or lex")
+		shard      = flag.String("shard", "", "cluster shard to serve as IDX/OF (e.g. 0/2): keep only keys owned by that slice of the key space; empty serves everything")
+		replicaID  = flag.String("replica-id", "", "replica name reported in /healthz (default host-pid)")
+		drainGrace = flag.Duration("drain-grace", 0, "handoff window between SIGTERM (healthz goes 503 draining) and shutdown, so a router can move traffic off this replica first")
+		slow       = flag.Duration("slow", 0, "TESTING ONLY: delay every /kmer and /batch request by this much (straggler injection for hedging tests)")
 	)
 	flag.Parse()
 	kcds = append(kcds, flag.Args()...)
@@ -67,6 +73,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	shardIdx, shardCount := 0, 1
+	if *shard != "" {
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &shardIdx, &shardCount); err != nil {
+			log.Fatalf("bad -shard %q, want IDX/OF like 0/2", *shard)
+		}
+		if db, err = kserve.FilterShard(db, shardIdx, shardCount); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *replicaID == "" {
+		host, _ := os.Hostname()
+		*replicaID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
 	svc, err := kserve.New(db, kserve.Options{
 		Shards:     *shards,
 		MaxBatch:   *maxBatch,
@@ -75,13 +94,18 @@ func main() {
 		CacheSize:  *cache,
 		TopN:       *topN,
 		Enc:        enc,
+		ReplicaID:  *replicaID,
+		ShardIndex: shardIdx,
+		ShardCount: shardCount,
+		DrainGrace: *drainGrace,
+		Slow:       *slow,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving %s distinct %d-mers (%s) from %d file(s) across %d shards",
-		stats.Count(svc.Distinct()), svc.K(), canonicalLabel(svc.Canonical()),
-		len(kcds), svc.Metrics().Shards)
+	log.Printf("replica %s serving %s distinct %d-mers (%s, cluster shard %d/%d) from %d file(s) across %d shards",
+		*replicaID, stats.Count(svc.Distinct()), svc.K(), canonicalLabel(svc.Canonical()),
+		shardIdx, shardCount, len(kcds), svc.Metrics().Shards)
 	if err := kserve.ServeUntilInterrupt(*addr, svc, log.Printf); err != nil {
 		log.Fatal(err)
 	}

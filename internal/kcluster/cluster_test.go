@@ -1,0 +1,436 @@
+package kcluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kcount"
+	"dedukt/internal/kernels"
+	"dedukt/internal/kserve"
+)
+
+// sampleDB builds a deterministic database of n-ish distinct k-mers
+// (mirrors the kserve test fixture).
+func sampleDB(t testing.TB, k, n int, seed int64) *kcount.Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tab := kcount.NewTable(n, kcount.Linear)
+	mask := uint64(dna.KmerMask(k))
+	for i := 0; i < n*3; i++ {
+		tab.Inc(rng.Uint64() % (mask + 1))
+	}
+	return kcount.FromTable(tab, k, 0)
+}
+
+// testReplica is one real kserve process-equivalent: a Service behind an
+// http.Server on a loopback port, holding one cluster shard of db.
+type testReplica struct {
+	t    *testing.T
+	db   *kcount.Database
+	idx  int
+	of   int
+	slow time.Duration
+
+	svc  *kserve.Service
+	srv  *http.Server
+	addr string
+}
+
+// start brings the replica up; addr "" picks a free port, a previous addr
+// restarts it in place (ring-rebalance tests).
+func (r *testReplica) start(addr string) {
+	r.t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	sub, err := kserve.FilterShard(r.db, r.idx, r.of)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	svc, err := kserve.New(sub, kserve.Options{
+		Shards:     2,
+		MaxWait:    -1,
+		ReplicaID:  fmt.Sprintf("rep-%d-%s", r.idx, addr),
+		ShardIndex: r.idx,
+		ShardCount: r.of,
+		Slow:       r.slow,
+	})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	var ln net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			r.t.Fatalf("listen %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond) // port may linger after a restart
+	}
+	r.svc = svc
+	r.addr = ln.Addr().String()
+	r.srv = &http.Server{Handler: kserve.NewHandler(svc)}
+	go r.srv.Serve(ln)
+	r.t.Cleanup(r.stop)
+}
+
+func (r *testReplica) stop() {
+	if r.srv != nil {
+		r.srv.Close()
+		r.srv = nil
+		r.svc.Close()
+	}
+}
+
+// startCluster starts replicasPer replicas for each of shardCount shards.
+// reps[shard*replicasPer+j] is replica j of that shard.
+func startCluster(t *testing.T, db *kcount.Database, shardCount, replicasPer int) ([]*testReplica, []string) {
+	t.Helper()
+	var reps []*testReplica
+	var seeds []string
+	for s := 0; s < shardCount; s++ {
+		for j := 0; j < replicasPer; j++ {
+			r := &testReplica{t: t, db: db, idx: s, of: shardCount}
+			r.start("")
+			reps = append(reps, r)
+			seeds = append(seeds, r.addr)
+		}
+	}
+	return reps, seeds
+}
+
+// newTestRegistry builds a registry probed only via ProbeNow (the
+// background interval is an hour), so tests control state transitions.
+func newTestRegistry(t *testing.T, seeds []string) *Registry {
+	t.Helper()
+	reg, err := NewRegistry(RegistryOptions{
+		Seeds:         seeds,
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  2 * time.Second,
+		FailThreshold: 2,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reg.Close)
+	reg.ProbeNow()
+	return reg
+}
+
+func seqOf(key uint64, k int) string { return dna.Kmer(key).String(&dna.Random, k) }
+
+func TestRouterRoutesAndMatches(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 2000, 1)
+	_, seeds := startCluster(t, db, 2, 2)
+	reg := newTestRegistry(t, seeds)
+	if !reg.Ready() {
+		t.Fatalf("cluster not ready after probe: %+v", reg.Snapshot())
+	}
+	gotK, canonical, shards, ready := reg.Shape()
+	if !ready || gotK != k || canonical || shards != 2 {
+		t.Fatalf("Shape() = %d %v %d %v", gotK, canonical, shards, ready)
+	}
+	rt := NewRouter(reg, RouterOptions{})
+	ctx := context.Background()
+
+	for _, e := range db.Entries[:200] {
+		res, err := rt.Lookup(ctx, seqOf(e.Key, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != e.Count || !res.Present {
+			t.Fatalf("Lookup(%#x) = %+v, want count %d", e.Key, res, e.Count)
+		}
+	}
+	// Absent key answers present=false, not an error.
+	var absent uint64
+	for db.Get(absent) != 0 {
+		absent++
+	}
+	if res, err := rt.Lookup(ctx, seqOf(absent, k)); err != nil || res.Present {
+		t.Fatalf("absent lookup = %+v, %v", res, err)
+	}
+	// Malformed k-mer is the client's fault.
+	if _, err := rt.Lookup(ctx, "NOPE"); err == nil {
+		t.Fatal("bad k-mer accepted")
+	}
+
+	// Batch crosses both shards and matches the database.
+	kmers := make([]string, 0, 300)
+	for _, e := range db.Entries[:300] {
+		kmers = append(kmers, seqOf(e.Key, k))
+	}
+	resp, err := rt.Batch(ctx, kmers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Complete || resp.Errors != 0 {
+		t.Fatalf("batch degraded: complete=%v errors=%d", resp.Complete, resp.Errors)
+	}
+	for i, e := range db.Entries[:300] {
+		if resp.Results[i].Count != e.Count {
+			t.Fatalf("batch[%d] = %+v, want count %d", i, resp.Results[i], e.Count)
+		}
+	}
+}
+
+func TestHedgeFiresAndWins(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1500, 2)
+	fast := &testReplica{t: t, db: db, idx: 0, of: 1}
+	fast.start("")
+	slow := &testReplica{t: t, db: db, idx: 0, of: 1, slow: 60 * time.Millisecond}
+	slow.start("")
+	reg := newTestRegistry(t, []string{fast.addr, slow.addr})
+	rt := NewRouter(reg, RouterOptions{HedgeMin: time.Millisecond, HedgeMax: 5 * time.Millisecond})
+	ctx := context.Background()
+
+	start := time.Now()
+	for _, e := range db.Entries[:80] {
+		res, err := rt.Lookup(ctx, seqOf(e.Key, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != e.Count {
+			t.Fatalf("Lookup(%#x) = %d, want %d", e.Key, res.Count, e.Count)
+		}
+	}
+	elapsed := time.Since(start)
+	if rt.met.hedges.Value() == 0 {
+		t.Fatal("no hedges fired against a 60ms straggler with a 5ms hedge deadline")
+	}
+	if rt.met.hedgeWins.Value() == 0 {
+		t.Fatal("no hedge ever won the race")
+	}
+	// ~half the keys have the straggler as primary; without hedging those
+	// 40 lookups alone would take ≥ 2.4s.
+	if elapsed > 2*time.Second {
+		t.Fatalf("80 hedged lookups took %v", elapsed)
+	}
+}
+
+func TestReplicaFailureRetriesAndGoesDown(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1500, 3)
+	reps, seeds := startCluster(t, db, 1, 2)
+	reg := newTestRegistry(t, seeds)
+	rt := NewRouter(reg, RouterOptions{})
+	ctx := context.Background()
+
+	before := reg.Rebalances()
+	reps[1].stop() // hard kill, no drain
+	for _, e := range db.Entries[:100] {
+		res, err := rt.Lookup(ctx, seqOf(e.Key, k))
+		if err != nil {
+			t.Fatalf("lookup with a dead replica: %v", err)
+		}
+		if res.Count != e.Count {
+			t.Fatalf("Lookup(%#x) = %d, want %d", e.Key, res.Count, e.Count)
+		}
+	}
+	if rt.met.retries.Value() == 0 {
+		t.Fatal("no retries recorded while a replica was dead")
+	}
+	// Request failures alone (no probe tick) must take the replica down.
+	if got := findReplica(reg, reps[1].addr).State(); got != StateDown {
+		t.Fatalf("dead replica state = %v, want down", got)
+	}
+	if reg.Rebalances() == before {
+		t.Fatal("ring not rebalanced after replica death")
+	}
+	// Down replica is no longer a candidate.
+	for _, e := range db.Entries[:50] {
+		for _, c := range reg.Candidates(0, e.Key) {
+			if c.Addr == reps[1].addr {
+				t.Fatal("down replica still on the ring")
+			}
+		}
+	}
+}
+
+func TestAllReplicasDownPartialBatch(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1500, 4)
+	reps, seeds := startCluster(t, db, 2, 1)
+	reg := newTestRegistry(t, seeds)
+	rt := NewRouter(reg, RouterOptions{})
+	ctx := context.Background()
+
+	reps[1].stop() // shard 1 loses its only replica
+	reg.ProbeNow()
+	reg.ProbeNow() // second strike crosses FailThreshold
+	if reg.Ready() {
+		t.Fatal("registry still ready with shard 1 empty")
+	}
+
+	var kmers []string
+	var wantErr []bool
+	for _, e := range db.Entries[:200] {
+		kmers = append(kmers, seqOf(e.Key, k))
+		wantErr = append(wantErr, kernels.DestOf(e.Key, 2) == 1)
+	}
+	resp, err := rt.Batch(ctx, kmers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Complete {
+		t.Fatal("batch claims complete with a shard down")
+	}
+	if resp.Errors == 0 || resp.Errors == len(kmers) {
+		t.Fatalf("errors = %d of %d, want partial", resp.Errors, len(kmers))
+	}
+	for i := range kmers {
+		if wantErr[i] && resp.Results[i].Error == "" {
+			t.Fatalf("shard-1 key %q answered without its shard", kmers[i])
+		}
+		if !wantErr[i] && resp.Results[i].Error != "" {
+			t.Fatalf("shard-0 key %q degraded: %s", kmers[i], resp.Results[i].Error)
+		}
+	}
+	if rt.met.partialBatches.Value() == 0 {
+		t.Fatal("partial batch not counted")
+	}
+}
+
+func TestRingRebalanceOnReturn(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1000, 5)
+	reps, seeds := startCluster(t, db, 1, 2)
+	reg := newTestRegistry(t, seeds)
+
+	addr := reps[1].addr
+	reps[1].stop()
+	reg.ProbeNow()
+	reg.ProbeNow()
+	if got := findReplica(reg, addr).State(); got != StateDown {
+		t.Fatalf("state after kill = %v, want down", got)
+	}
+	afterDown := reg.Rebalances()
+
+	// Same shard, same address: the replica comes back.
+	back := &testReplica{t: t, db: db, idx: 0, of: 1}
+	back.start(addr)
+	reg.ProbeNow()
+	if got := findReplica(reg, addr).State(); got != StateUp {
+		t.Fatalf("state after return = %v, want up", got)
+	}
+	if reg.Rebalances() == afterDown {
+		t.Fatal("ring not rebalanced when the replica returned")
+	}
+	found := false
+	for _, c := range reg.Candidates(0, db.Entries[0].Key) {
+		if c.Addr == addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("returned replica not back on the ring")
+	}
+}
+
+func TestDrainShiftsTraffic(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1000, 6)
+	reps, seeds := startCluster(t, db, 1, 2)
+	reg := newTestRegistry(t, seeds)
+	rt := NewRouter(reg, RouterOptions{})
+	ctx := context.Background()
+
+	reps[1].svc.BeginDrain()
+	reg.ProbeNow()
+	drained := findReplica(reg, reps[1].addr)
+	if got := drained.State(); got != StateDraining {
+		t.Fatalf("state after BeginDrain = %v, want draining", got)
+	}
+	// The draining replica is still routable — but never the primary.
+	for _, e := range db.Entries[:100] {
+		cands := reg.Candidates(0, e.Key)
+		if len(cands) != 2 {
+			t.Fatalf("want both replicas routable, got %d", len(cands))
+		}
+		if cands[0] == drained {
+			t.Fatal("draining replica still primary")
+		}
+		res, err := rt.Lookup(ctx, seqOf(e.Key, k))
+		if err != nil || res.Count != e.Count {
+			t.Fatalf("lookup during drain = %+v, %v", res, err)
+		}
+	}
+}
+
+func TestLoadgenAgainstCluster(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 2000, 7)
+	_, seeds := startCluster(t, db, 2, 2)
+	reg := newTestRegistry(t, seeds)
+	rt := NewRouter(reg, RouterOptions{})
+	srv := &http.Server{Handler: NewHandler(rt)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	sum, err := RunLoad(context.Background(), LoadOptions{
+		Target:      "http://" + ln.Addr().String(),
+		Requests:    150,
+		Warmup:      20,
+		Batch:       16,
+		Concurrency: 4,
+		Keys:        4096,
+		Dist:        "zipf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests != 150 || sum.Lookups != 150*16 {
+		t.Fatalf("summary counts = %+v", sum)
+	}
+	if sum.Errors != 0 || sum.KeyErrors != 0 {
+		t.Fatalf("load run saw errors: %+v", sum)
+	}
+	if sum.Latency.P50 <= 0 || sum.Latency.P999 < sum.Latency.P50 {
+		t.Fatalf("implausible latency digest: %+v", sum.Latency)
+	}
+
+	// Open-loop mode measures from the scheduled arrival.
+	open, err := RunLoad(context.Background(), LoadOptions{
+		Target:      "http://" + ln.Addr().String(),
+		Requests:    100,
+		Batch:       1,
+		Concurrency: 4,
+		QPS:         2000,
+		Keys:        1024,
+		Dist:        "uniform",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Errors != 0 {
+		t.Fatalf("open-loop run saw errors: %+v", open)
+	}
+	if open.WallSec < 0.04 {
+		t.Fatalf("open loop finished in %.3fs, faster than the offered rate allows", open.WallSec)
+	}
+}
+
+func findReplica(reg *Registry, addr string) *Replica {
+	for _, rep := range reg.replicas {
+		if rep.Addr == addr {
+			return rep
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package kcluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// healthzResponse is the router's GET /healthz body.
+type healthzResponse struct {
+	Status     string        `json:"status"` // "ready" or "degraded"
+	K          int           `json:"k"`
+	Canonical  bool          `json:"canonical"`
+	ShardCount int           `json:"shard_count"`
+	Rebalances uint64        `json:"rebalances"`
+	Replicas   []ReplicaInfo `json:"replicas"`
+}
+
+// NewHandler exposes the router over HTTP with the same client surface as
+// a single kserve replica — GET /kmer/{seq}, POST /batch — plus cluster
+// introspection (/healthz, /replicas, /metrics). A client pointed at a
+// replica can be repointed at the proxy unchanged; batch responses gain
+// the degradation contract fields (complete, errors, per-key error).
+func NewHandler(r *Router) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/kmer/", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		seq := strings.TrimPrefix(req.URL.Path, "/kmer/")
+		res, err := r.Lookup(req.Context(), seq)
+		if err != nil {
+			writeRouteErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var body struct {
+			Kmers []string `json:"kmers"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBatchBody)).Decode(&body); err != nil {
+			http.Error(w, fmt.Sprintf("bad batch body: %v", err), http.StatusBadRequest)
+			return
+		}
+		resp, err := r.Batch(req.Context(), body.Kmers)
+		if err != nil {
+			writeRouteErr(w, err)
+			return
+		}
+		// Degraded batches still answer 200: the contract is per-key error
+		// markers plus complete=false, not an all-or-nothing failure.
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		k, canonical, shards, _ := r.reg.Shape()
+		resp := healthzResponse{
+			Status:     "ready",
+			K:          k,
+			Canonical:  canonical,
+			ShardCount: shards,
+			Rebalances: r.reg.Rebalances(),
+			Replicas:   r.reg.Snapshot(),
+		}
+		code := http.StatusOK
+		if !r.reg.Ready() {
+			resp.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, resp)
+	})
+
+	mux.HandleFunc("/replicas", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.reg.Snapshot())
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.reg.Obs().WritePrometheus(w)
+	})
+
+	return mux
+}
+
+func writeRouteErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotReady):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrShardUnavailable):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrBadQuery):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		// Everything else is an upstream failure (transport error or a
+		// non-200 that survived retries).
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,358 @@
+package kcluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions configures one load run against a kproxy (or a bare kserve
+// replica — both speak GET /kmer and POST /batch).
+type LoadOptions struct {
+	// Target is the base URL, e.g. "http://127.0.0.1:9090".
+	Target string
+	// Requests is the number of measured HTTP requests; Warmup requests
+	// run first, untimed, to fill caches and the hedge latency histogram.
+	Requests int
+	Warmup   int
+	// Batch is the lookups per request: 1 sends GET /kmer/{seq}, larger
+	// sends POST /batch (default 1).
+	Batch int
+	// Concurrency is the worker count (default 8).
+	Concurrency int
+	// QPS, when > 0, switches to open-loop arrival: lookups are assigned
+	// scheduled send times at the offered rate, and latency is measured
+	// from the *scheduled* time, so a stalled server accrues the queueing
+	// delay it caused (no coordinated omission). 0 runs closed-loop.
+	QPS float64
+	// Keys is the sampled key-population size (default 65536); Dist picks
+	// keys "zipf" (default, ZipfS skew, default 1.1) or "uniform".
+	Keys  int
+	Dist  string
+	ZipfS float64
+	// K is the k-mer length; 0 learns it from GET {Target}/healthz.
+	K int
+	// Seed makes the key population and arrival mix reproducible
+	// (default 1).
+	Seed int64
+	// Client overrides the HTTP client.
+	Client *http.Client
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Requests <= 0 {
+		o.Requests = 1000
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Keys <= 0 {
+		o.Keys = 65536
+	}
+	if o.Dist == "" {
+		o.Dist = "zipf"
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: &http.Transport{MaxIdleConnsPerHost: 256, MaxIdleConns: 1024},
+		}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// LatencySummary is a percentile digest in microseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50_us"`
+	P90  float64 `json:"p90_us"`
+	P99  float64 `json:"p99_us"`
+	P999 float64 `json:"p999_us"`
+	Mean float64 `json:"mean_us"`
+	Max  float64 `json:"max_us"`
+}
+
+// LoadSummary is one load run's result, shaped for JSON output
+// (cmd/kload emits it verbatim; scripts/cluster_smoke.sh asserts on it).
+type LoadSummary struct {
+	Target      string         `json:"target"`
+	Dist        string         `json:"dist"`
+	Batch       int            `json:"batch"`
+	Concurrency int            `json:"concurrency"`
+	Requests    uint64         `json:"requests"`
+	Lookups     uint64         `json:"lookups"`
+	Errors      uint64         `json:"errors"`
+	KeyErrors   uint64         `json:"key_errors"`
+	WallSec     float64        `json:"wall_sec"`
+	QPSOffered  float64        `json:"qps_offered"` // lookups/sec; 0 = closed loop
+	QPSAchieved float64        `json:"qps_achieved"`
+	Latency     LatencySummary `json:"latency"`
+}
+
+// learnK asks the target's /healthz for the served k-mer length (both
+// kproxy and kserve report it).
+func learnK(ctx context.Context, client *http.Client, target string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		K int `json:"k"`
+	}
+	if err := json.NewDecoder(&limitedReader{r: resp.Body, n: 1 << 16}).Decode(&h); err != nil {
+		return 0, fmt.Errorf("bad healthz body from %s: %v", target, err)
+	}
+	if h.K <= 0 {
+		return 0, fmt.Errorf("target %s reports k=%d", target, h.K)
+	}
+	return h.K, nil
+}
+
+// makeKeys generates the sampled k-mer population.
+func makeKeys(rng *rand.Rand, n, k int) []string {
+	const bases = "ACGT"
+	keys := make([]string, n)
+	buf := make([]byte, k)
+	for i := range keys {
+		for j := range buf {
+			buf[j] = bases[rng.Intn(4)]
+		}
+		keys[i] = string(buf)
+	}
+	return keys
+}
+
+// picker selects key indices under the configured distribution.
+type picker struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newPicker(seed int64, opts LoadOptions) *picker {
+	rng := rand.New(rand.NewSource(seed))
+	p := &picker{rng: rng, n: opts.Keys}
+	if opts.Dist == "zipf" {
+		p.zipf = rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.Keys-1))
+	}
+	return p
+}
+
+func (p *picker) next() int {
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	return p.rng.Intn(p.n)
+}
+
+// RunLoad drives the target: a warmup phase, then Requests measured
+// requests, closed-loop or open-loop (QPS > 0). Per-key error markers in
+// otherwise-successful batches are counted separately from request-level
+// failures, matching the router's degradation contract.
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadSummary, error) {
+	opts = opts.withDefaults()
+	if opts.Target == "" {
+		return LoadSummary{}, fmt.Errorf("kcluster: load target required")
+	}
+	if opts.Dist != "zipf" && opts.Dist != "uniform" {
+		return LoadSummary{}, fmt.Errorf("kcluster: unknown key distribution %q", opts.Dist)
+	}
+	k := opts.K
+	if k <= 0 {
+		var err error
+		if k, err = learnK(ctx, opts.Client, opts.Target); err != nil {
+			return LoadSummary{}, err
+		}
+	}
+	keys := makeKeys(rand.New(rand.NewSource(opts.Seed)), opts.Keys, k)
+
+	if opts.Warmup > 0 {
+		opts.Logf("warmup: %d requests", opts.Warmup)
+		w := opts
+		w.Requests = opts.Warmup
+		w.Warmup = 0
+		w.QPS = 0 // warmup is a closed-loop burst
+		runPhase(ctx, w, keys)
+	}
+	opts.Logf("measuring: %d requests x %d lookups", opts.Requests, opts.Batch)
+	sum := runPhase(ctx, opts, keys)
+	sum.Target = opts.Target
+	sum.Dist = opts.Dist
+	sum.Batch = opts.Batch
+	sum.Concurrency = opts.Concurrency
+	return sum, ctx.Err()
+}
+
+func runPhase(ctx context.Context, opts LoadOptions, keys []string) LoadSummary {
+	var (
+		next      atomic.Int64
+		errs      atomic.Uint64
+		keyErrs   atomic.Uint64
+		completed atomic.Uint64
+		lookups   atomic.Uint64
+	)
+	latencies := make([]float64, opts.Requests) // microseconds, indexed by request
+	var interval time.Duration
+	if opts.QPS > 0 {
+		interval = time.Duration(float64(opts.Batch) / opts.QPS * float64(time.Second))
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pick := newPicker(opts.Seed+int64(w)+1, opts)
+			batch := make([]string, opts.Batch)
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests {
+					return
+				}
+				sent := time.Now()
+				if interval > 0 {
+					// Open loop: this request was due at its scheduled
+					// arrival; latency accrues from there even if every
+					// worker was stuck behind a stalled server.
+					sent = start.Add(time.Duration(i) * interval)
+					if d := time.Until(sent); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				for j := range batch {
+					batch[j] = keys[pick.next()]
+				}
+				ke, err := doRequest(ctx, opts, batch)
+				latencies[i] = float64(time.Since(sent)) / float64(time.Microsecond)
+				completed.Add(1)
+				lookups.Add(uint64(opts.Batch))
+				keyErrs.Add(uint64(ke))
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	sum := LoadSummary{
+		Requests:   completed.Load(),
+		Lookups:    lookups.Load(),
+		Errors:     errs.Load(),
+		KeyErrors:  keyErrs.Load(),
+		WallSec:    wall,
+		QPSOffered: opts.QPS,
+	}
+	if wall > 0 {
+		sum.QPSAchieved = float64(sum.Lookups) / wall
+	}
+	sum.Latency = summarize(latencies[:completed.Load()])
+	return sum
+}
+
+// doRequest sends one lookup (batch of 1 → GET /kmer) or batch request,
+// returning the per-key error-marker count and a request-level error.
+func doRequest(ctx context.Context, opts LoadOptions, batch []string) (keyErrors int, err error) {
+	if len(batch) == 1 {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, opts.Target+"/kmer/"+batch[0], nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := opts.Client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, readStatusError(resp)
+		}
+		var res Result
+		if err := json.NewDecoder(&limitedReader{r: resp.Body, n: 1 << 16}).Decode(&res); err != nil {
+			return 0, err
+		}
+		if res.Error != "" {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	body, err := json.Marshal(struct {
+		Kmers []string `json:"kmers"`
+	}{Kmers: batch})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.Target+"/batch", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, readStatusError(resp)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(&limitedReader{r: resp.Body, n: maxBatchBody}).Decode(&br); err != nil {
+		return 0, err
+	}
+	for i := range br.Results {
+		if br.Results[i].Error != "" {
+			keyErrors++
+		}
+	}
+	return keyErrors, nil
+}
+
+// summarize digests latencies (µs) into percentiles.
+func summarize(lat []float64) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	pct := func(q float64) float64 { return s[int(q*float64(len(s)-1))] }
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return LatencySummary{
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+		P999: pct(0.999),
+		Mean: sum / float64(len(s)),
+		Max:  s[len(s)-1],
+	}
+}

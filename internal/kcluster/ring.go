@@ -1,0 +1,106 @@
+package kcluster
+
+import (
+	"sort"
+
+	"dedukt/internal/hash"
+)
+
+// Ring seeds keep vnode placement and key affinity in distinct hash
+// families, and both distinct from the owner-rank hash (kernels.DestSeed)
+// that picks the shard — otherwise every key would land on the same arc.
+const (
+	ringVnodeSeed    = 0x766e6f6465 // "vnode"
+	ringAffinitySeed = 0x61666669   // "affi"
+)
+
+// ring is the consistent-hash ring of one cluster shard's replicas. Each
+// replica contributes vnodes points (hashes of addr × vnode index); a
+// key's candidate order is the clockwise walk from the key's affinity
+// hash, deduplicated to distinct replicas. Properties the router relies
+// on:
+//
+//   - Stickiness: a key's primary is stable while membership is stable,
+//     so each replica's hot-k-mer LRU concentrates on its arc.
+//   - Minimal movement: removing a replica remaps only the keys whose
+//     walk hit its points first; other keys keep their primary.
+//   - Spread: vnodes (default 64 per replica) keep arc sizes near-even.
+//
+// Rings are immutable snapshots; the registry rebuilds them (a "rebalance
+// event") whenever membership or routability changes.
+type ring struct {
+	points []ringPoint // sorted ascending by h
+	// members are the distinct replicas on the ring, in point order of
+	// first appearance (used when the walk must yield everyone).
+	members []*Replica
+}
+
+type ringPoint struct {
+	h   uint64
+	rep *Replica
+}
+
+// pointHash places vnode v of the replica at addr on the ring.
+func pointHash(addr string, v int) uint64 {
+	return hash.Mix64Seeded(hash.Sum64([]byte(addr), ringVnodeSeed)^uint64(v)*0x9e3779b97f4a7c15, ringVnodeSeed)
+}
+
+// affinityOf places a key on the ring.
+func affinityOf(key uint64) uint64 {
+	return hash.Mix64Seeded(key, ringAffinitySeed)
+}
+
+// buildRing constructs the ring over members (each contributing vnodes
+// points). An empty member set yields an empty ring (shard unavailable).
+func buildRing(members []*Replica, vnodes int) *ring {
+	r := &ring{}
+	if len(members) == 0 {
+		return r
+	}
+	r.points = make([]ringPoint, 0, len(members)*vnodes)
+	for _, m := range members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{h: pointHash(m.Addr, v), rep: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].h < r.points[j].h })
+	seen := make(map[*Replica]bool, len(members))
+	for _, p := range r.points {
+		if !seen[p.rep] {
+			seen[p.rep] = true
+			r.members = append(r.members, p.rep)
+		}
+	}
+	return r
+}
+
+// candidates returns every distinct replica on the ring in walk order from
+// the key's affinity hash, with currently-draining replicas moved to the
+// back (routable as a last resort only). The first entry is the key's
+// sticky primary; the second is the hedge/retry target.
+func (r *ring) candidates(key uint64) []*Replica {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := affinityOf(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	out := make([]*Replica, 0, len(r.members))
+	var draining []*Replica
+	seen := make(map[*Replica]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(seen) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.rep] {
+			continue
+		}
+		seen[p.rep] = true
+		if p.rep.State() == StateDraining {
+			draining = append(draining, p.rep)
+		} else {
+			out = append(out, p.rep)
+		}
+	}
+	return append(out, draining...)
+}

@@ -1,0 +1,146 @@
+package kcluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testReplicas(n int) []*Replica {
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = &Replica{Addr: fmt.Sprintf("10.0.0.%d:8080", i+1)}
+		reps[i].state = StateUp
+	}
+	return reps
+}
+
+func TestRingCandidatesDistinctAndSticky(t *testing.T) {
+	reps := testReplicas(4)
+	r := buildRing(reps, 64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		key := rng.Uint64()
+		cands := r.candidates(key)
+		if len(cands) != len(reps) {
+			t.Fatalf("key %#x: %d candidates, want %d", key, len(cands), len(reps))
+		}
+		seen := map[*Replica]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("key %#x: duplicate candidate %s", key, c.Addr)
+			}
+			seen[c] = true
+		}
+		again := r.candidates(key)
+		for j := range cands {
+			if cands[j] != again[j] {
+				t.Fatalf("key %#x: candidate order not stable", key)
+			}
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	reps := testReplicas(4)
+	r := buildRing(reps, 64)
+	counts := map[*Replica]int{}
+	rng := rand.New(rand.NewSource(11))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.candidates(rng.Uint64())[0]]++
+	}
+	for _, rep := range reps {
+		frac := float64(counts[rep]) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("replica %s owns %.1f%% of keys, want near 25%%", rep.Addr, 100*frac)
+		}
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	reps := testReplicas(4)
+	full := buildRing(reps, 64)
+	reduced := buildRing(reps[:3], 64) // reps[3] removed
+	rng := rand.New(rand.NewSource(13))
+	const n = 10000
+	moved, ownedByLost := 0, 0
+	for i := 0; i < n; i++ {
+		key := rng.Uint64()
+		before := full.candidates(key)[0]
+		after := reduced.candidates(key)[0]
+		if before == reps[3] {
+			ownedByLost++
+			continue // these must move; their new home is unconstrained
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d/%d keys not owned by the removed replica changed primary", moved, n)
+	}
+	if frac := float64(ownedByLost) / n; frac < 0.10 || frac > 0.45 {
+		t.Errorf("removed replica owned %.1f%% of keys, want near 25%%", 100*frac)
+	}
+}
+
+func TestRingDrainingSortsLast(t *testing.T) {
+	reps := testReplicas(3)
+	r := buildRing(reps, 64)
+	reps[1].mu.Lock()
+	reps[1].state = StateDraining
+	reps[1].mu.Unlock()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		cands := r.candidates(rng.Uint64())
+		if got := cands[len(cands)-1]; got != reps[1] {
+			t.Fatalf("draining replica sorted at %v, want last", got.Addr)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if got := buildRing(nil, 64).candidates(42); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+}
+
+func TestReplicaEWMA(t *testing.T) {
+	rep := &Replica{Addr: "x"}
+	rep.observe(10 * time.Millisecond)
+	if got := rep.EWMALatencyMs(); got != 10 {
+		t.Fatalf("first sample = %v, want 10", got)
+	}
+	rep.observe(20 * time.Millisecond)
+	want := (1-ewmaAlpha)*10 + ewmaAlpha*20
+	if got := rep.EWMALatencyMs(); got != want {
+		t.Fatalf("ewma = %v, want %v", got, want)
+	}
+}
+
+func TestClampAndValidate(t *testing.T) {
+	if got := clampDuration(5, 10, 20); got != 10 {
+		t.Fatalf("clamp below = %v", got)
+	}
+	if got := clampDuration(25, 10, 20); got != 20 {
+		t.Fatalf("clamp above = %v", got)
+	}
+	if got := clampDuration(15, 10, 20); got != 15 {
+		t.Fatalf("clamp inside = %v", got)
+	}
+	if err := validateShard(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {0, 0}} {
+		if validateShard(bad[0], bad[1]) == nil {
+			t.Errorf("validateShard(%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+	for s, want := range map[State]bool{StateUnknown: false, StateUp: true, StateDraining: true, StateDown: false} {
+		if s.Routable() != want {
+			t.Errorf("%v.Routable() = %v", s, !want)
+		}
+	}
+}

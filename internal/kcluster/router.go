@@ -1,0 +1,423 @@
+package kcluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kcount"
+	"dedukt/internal/kernels"
+	"dedukt/internal/obs"
+)
+
+// Batch limits mirror kserve's: the router enforces them before fanning
+// out, so an oversized batch is rejected once instead of per shard.
+const (
+	maxBatchBody  = 1 << 20
+	maxBatchKmers = 8192
+)
+
+// RouterOptions tunes the front router.
+type RouterOptions struct {
+	// Enc is the base encoding queries are packed under; it must match the
+	// replicas' (default dna.Random, the CLI default).
+	Enc *dna.Encoding
+	// HedgeQuantile is the observed-latency quantile at which a hedge
+	// fires (default 0.9).
+	HedgeQuantile float64
+	// HedgeMin / HedgeMax clamp the hedge delay (defaults 1ms / 25ms).
+	// Until HedgeMinSamples latencies are observed the delay is HedgeMax.
+	HedgeMin        time.Duration
+	HedgeMax        time.Duration
+	HedgeMinSamples uint64
+	// RequestTimeout bounds one upstream attempt (default 2s).
+	RequestTimeout time.Duration
+	// Client overrides the upstream HTTP client (default: pooled transport
+	// with RequestTimeout).
+	Client *http.Client
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.Enc == nil {
+		o.Enc = &dna.Random
+	}
+	if o.HedgeQuantile <= 0 || o.HedgeQuantile >= 1 {
+		o.HedgeQuantile = 0.9
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = time.Millisecond
+	}
+	if o.HedgeMax <= 0 {
+		o.HedgeMax = 25 * time.Millisecond
+	}
+	if o.HedgeMax < o.HedgeMin {
+		o.HedgeMax = o.HedgeMin
+	}
+	if o.HedgeMinSamples == 0 {
+		o.HedgeMinSamples = 64
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{
+			Timeout:   o.RequestTimeout,
+			Transport: &http.Transport{MaxIdleConnsPerHost: 256, MaxIdleConns: 1024},
+		}
+	}
+	return o
+}
+
+// Result is one answered lookup. Error is set (and Count/Present zero)
+// when the key could not be answered — a bad k-mer, or its shard down.
+type Result struct {
+	Kmer    string `json:"kmer"`
+	Count   uint32 `json:"count"`
+	Present bool   `json:"present"`
+	Error   string `json:"error,omitempty"`
+}
+
+// BatchResponse is the router's POST /batch answer: results index-aligned
+// with the request, Complete=false when any key degraded to an error
+// marker for cluster reasons (shard unavailable, upstream failure) rather
+// than a bad query.
+type BatchResponse struct {
+	Results  []Result `json:"results"`
+	Complete bool     `json:"complete"`
+	Errors   int      `json:"errors"`
+}
+
+// Router fans lookups out to the registry's replicas: shard by the
+// pipeline owner hash, pick candidates off the shard ring, hedge at a
+// latency quantile, retry hard failures, degrade per key.
+type Router struct {
+	reg  *Registry
+	opts RouterOptions
+	met  routerMetrics
+}
+
+type routerMetrics struct {
+	requests       *obs.Counter
+	batches        *obs.Counter
+	hedges         *obs.Counter
+	hedgeWins      *obs.Counter
+	retries        *obs.Counter
+	unrouteable    *obs.Counter
+	partialBatches *obs.Counter
+	latency        *obs.Histogram
+}
+
+// NewRouter builds a router over an existing registry (whose Obs registry
+// also receives the router metrics).
+func NewRouter(reg *Registry, opts RouterOptions) *Router {
+	r := &Router{reg: reg, opts: opts.withDefaults()}
+	o := reg.Obs()
+	r.met = routerMetrics{
+		requests:       o.Counter("kcluster_requests_total", "Client lookups routed (batch keys count individually)."),
+		batches:        o.Counter("kcluster_batches_total", "Client batch requests routed."),
+		hedges:         o.Counter("kcluster_hedges_total", "Hedged upstream requests fired after the latency-quantile deadline."),
+		hedgeWins:      o.Counter("kcluster_hedge_wins_total", "Races won by the hedged request."),
+		retries:        o.Counter("kcluster_retries_total", "Upstream retries after a hard failure."),
+		unrouteable:    o.Counter("kcluster_unrouteable_total", "Lookups degraded because their shard had no routable replica."),
+		partialBatches: o.Counter("kcluster_partial_batches_total", "Batches answered with at least one cluster-degraded key."),
+		latency:        o.Histogram("kcluster_request_latency_seconds", "Latency of winning upstream requests.", obs.ExpBuckets(0.00025, 2, 12)),
+	}
+	return r
+}
+
+// Registry returns the router's registry.
+func (r *Router) Registry() *Registry { return r.reg }
+
+// hedgeDelay is the current hedge deadline: the configured quantile of
+// observed winning-upstream latencies, clamped to [HedgeMin, HedgeMax];
+// HedgeMax until enough samples exist to trust the estimate.
+func (r *Router) hedgeDelay() time.Duration {
+	if r.met.latency.Count() < r.opts.HedgeMinSamples {
+		return r.opts.HedgeMax
+	}
+	q := r.met.latency.Quantile(r.opts.HedgeQuantile)
+	return clampDuration(time.Duration(q*float64(time.Second)), r.opts.HedgeMin, r.opts.HedgeMax)
+}
+
+// httpStatusError is a non-200 upstream answer.
+type httpStatusError struct {
+	status int
+	body   string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("upstream status %d: %s", e.status, e.body)
+}
+
+// isHealthStrike reports whether a failure should count against the
+// replica's health: transport errors and 5xx, except 503 (draining or
+// shedding — the probe loop classifies those by body) and 429 (admission
+// control working as designed under load).
+func isHealthStrike(err error) bool {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.status >= 500 && se.status != http.StatusServiceUnavailable
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// raceReplicas runs do against cands in order: cands[0] immediately, the
+// next candidate either when the hedge timer fires (hedge) or when the
+// previous attempt hard-fails (retry). First success wins and cancels the
+// losers; the replica's latency and failure streak feed the registry.
+func raceReplicas[T any](r *Router, ctx context.Context, cands []*Replica, do func(ctx context.Context, rep *Replica) (T, error)) (T, error) {
+	var zero T
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		val    T
+		err    error
+		rep    *Replica
+		hedged bool
+		dur    time.Duration
+	}
+	results := make(chan outcome, len(cands))
+	launched := 0
+	launch := func(hedged bool) {
+		rep := cands[launched]
+		launched++
+		rep.inflight.Add(1)
+		go func() {
+			start := time.Now()
+			v, err := do(rctx, rep)
+			rep.inflight.Add(-1)
+			results <- outcome{val: v, err: err, rep: rep, hedged: hedged, dur: time.Since(start)}
+		}()
+	}
+	launch(false)
+	var hedgeC <-chan time.Time
+	if len(cands) > 1 {
+		t := time.NewTimer(r.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case <-ctx.Done():
+			if firstErr != nil {
+				return zero, firstErr
+			}
+			return zero, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(cands) {
+				r.met.hedges.Inc()
+				launch(true)
+				pending++
+			}
+		case o := <-results:
+			pending--
+			if o.err == nil {
+				r.reg.ReportSuccess(o.rep, o.dur)
+				r.met.latency.Observe(o.dur.Seconds())
+				if o.hedged {
+					r.met.hedgeWins.Inc()
+				}
+				return o.val, nil
+			}
+			// A loser canceled because someone else won never reaches here
+			// (we return on first success); rctx cancellation only happens
+			// via the parent ctx, handled above. So this is a real failure.
+			if isHealthStrike(o.err) {
+				r.reg.ReportFailure(o.rep, o.err)
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if launched < len(cands) {
+				r.met.retries.Inc()
+				launch(false)
+				pending++
+			} else if pending == 0 {
+				return zero, firstErr
+			}
+		}
+	}
+}
+
+// lookupOnce is one upstream GET /kmer attempt.
+func (r *Router) lookupOnce(ctx context.Context, rep *Replica, seq string) (Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+rep.Addr+"/kmer/"+seq, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Result{}, readStatusError(resp)
+	}
+	var res Result
+	if err := json.NewDecoder(&limitedReader{r: resp.Body, n: 1 << 16}).Decode(&res); err != nil {
+		return Result{}, fmt.Errorf("bad upstream body: %w", err)
+	}
+	return res, nil
+}
+
+// batchOnce is one upstream POST /batch attempt for a per-replica key group.
+func (r *Router) batchOnce(ctx context.Context, rep *Replica, seqs []string) ([]Result, error) {
+	body, err := json.Marshal(struct {
+		Kmers []string `json:"kmers"`
+	}{Kmers: seqs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+rep.Addr+"/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readStatusError(resp)
+	}
+	var br struct {
+		Results []Result `json:"results"`
+	}
+	if err := json.NewDecoder(&limitedReader{r: resp.Body, n: maxBatchBody}).Decode(&br); err != nil {
+		return nil, fmt.Errorf("bad upstream body: %w", err)
+	}
+	if len(br.Results) != len(seqs) {
+		return nil, fmt.Errorf("upstream answered %d results for %d kmers", len(br.Results), len(seqs))
+	}
+	return br.Results, nil
+}
+
+func readStatusError(resp *http.Response) error {
+	buf := make([]byte, 256)
+	n, _ := resp.Body.Read(buf)
+	return &httpStatusError{status: resp.StatusCode, body: string(bytes.TrimSpace(buf[:n]))}
+}
+
+// route parses a query and resolves its shard candidates. A parse error
+// is terminal (bad query); an empty candidate list is cluster degradation.
+func (r *Router) route(seq string) (key uint64, cands []*Replica, err error) {
+	k, canonical, shards, ready := r.reg.Shape()
+	if !ready {
+		return 0, nil, ErrNotReady
+	}
+	key, err = kcount.ParseQuery(r.opts.Enc, k, canonical, seq)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	cands = r.reg.Candidates(kernels.DestOf(key, shards), key)
+	if len(cands) == 0 {
+		r.met.unrouteable.Inc()
+		return key, nil, ErrShardUnavailable
+	}
+	return key, cands, nil
+}
+
+// Lookup answers one point lookup, hedging and retrying across the key's
+// replica candidates.
+func (r *Router) Lookup(ctx context.Context, seq string) (Result, error) {
+	r.met.requests.Inc()
+	_, cands, err := r.route(seq)
+	if err != nil {
+		return Result{}, err
+	}
+	return raceReplicas(r, ctx, cands, func(ctx context.Context, rep *Replica) (Result, error) {
+		return r.lookupOnce(ctx, rep, seq)
+	})
+}
+
+// batchGroup is the slice of a client batch bound for one primary replica.
+type batchGroup struct {
+	cands []*Replica
+	seqs  []string
+	idx   []int
+}
+
+// Batch answers a client batch: keys are grouped by their sticky primary
+// replica, each group raced (hedge + retry) as one upstream sub-batch,
+// and failures degrade to per-key error markers instead of failing the
+// whole batch.
+func (r *Router) Batch(ctx context.Context, kmers []string) (BatchResponse, error) {
+	r.met.batches.Inc()
+	if len(kmers) > maxBatchKmers {
+		return BatchResponse{}, fmt.Errorf("%w: batch of %d exceeds %d", ErrBadQuery, len(kmers), maxBatchKmers)
+	}
+	if _, _, _, ready := r.reg.Shape(); !ready {
+		return BatchResponse{}, ErrNotReady
+	}
+	out := BatchResponse{Results: make([]Result, len(kmers)), Complete: true}
+	groups := make(map[*Replica]*batchGroup)
+	for i, seq := range kmers {
+		r.met.requests.Inc()
+		_, cands, err := r.route(seq)
+		if err != nil {
+			out.Results[i] = Result{Kmer: seq, Error: err.Error()}
+			if errors.Is(err, ErrShardUnavailable) {
+				out.Complete = false
+			}
+			continue
+		}
+		g := groups[cands[0]]
+		if g == nil {
+			g = &batchGroup{cands: cands}
+			groups[cands[0]] = g
+		}
+		g.seqs = append(g.seqs, seq)
+		g.idx = append(g.idx, i)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		degraded bool
+	)
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *batchGroup) {
+			defer wg.Done()
+			results, err := raceReplicas(r, ctx, g.cands, func(ctx context.Context, rep *Replica) ([]Result, error) {
+				return r.batchOnce(ctx, rep, g.seqs)
+			})
+			if err != nil {
+				mu.Lock()
+				degraded = true
+				for j, i := range g.idx {
+					out.Results[i] = Result{Kmer: g.seqs[j], Error: err.Error()}
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			for j, i := range g.idx {
+				out.Results[i] = results[j]
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if degraded {
+		out.Complete = false
+	}
+	if !out.Complete {
+		r.met.partialBatches.Inc()
+	}
+	for i := range out.Results {
+		if out.Results[i].Error != "" {
+			out.Errors++
+		}
+	}
+	return out, nil
+}

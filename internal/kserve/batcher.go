@@ -2,17 +2,22 @@ package kserve
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
 // call is one in-flight key resolution — a future completed exactly once
 // by the owning shard worker (or immediately, for cache hits and admission
-// failures). Multiple waiters may share a call via singleflight.
+// failures). Point lookups carry their own done channel and may be shared
+// by multiple waiters via singleflight; batch lookups instead embed their
+// calls in a pooled slab (batchSlab) whose members report completion to a
+// shared callGroup, so a 256-key batch costs one channel, not 256.
 type call struct {
 	key  uint64
 	val  uint32
 	err  error
-	done chan struct{}
+	done chan struct{} // per-call completion; nil for group members
+	grp  *callGroup    // batch-slab membership; nil for point calls
 }
 
 func newCall(key uint64) *call {
@@ -26,11 +31,28 @@ func completedCall(v uint32) *call {
 	return c
 }
 
-// complete publishes the result and releases every waiter. Must be called
+// callGroup is the shared completion of one batch slab: the last member to
+// complete closes done, releasing the single batch waiter.
+type callGroup struct {
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+func (g *callGroup) finish() {
+	if g.remaining.Add(-1) == 0 {
+		close(g.done)
+	}
+}
+
+// complete publishes the result and releases the waiter(s). Must be called
 // exactly once per non-completed call.
 func (c *call) complete(v uint32, err error) {
 	c.val = v
 	c.err = err
+	if c.grp != nil {
+		c.grp.finish()
+		return
+	}
 	close(c.done)
 }
 

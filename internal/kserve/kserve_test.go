@@ -15,6 +15,7 @@ import (
 
 	"dedukt/internal/dna"
 	"dedukt/internal/kcount"
+	"dedukt/internal/kernels"
 )
 
 // sampleDB builds a deterministic database of n-ish distinct k-mers.
@@ -533,4 +534,135 @@ func TestLoadDatabases(t *testing.T) {
 
 func writeFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
+}
+
+// TestBeginDrainHandoff pins the drain/handoff contract the cluster router
+// relies on: after BeginDrain, /healthz answers 503 with Retry-After (so a
+// router can tell an orderly drain from a crash) while lookups keep being
+// served until Close.
+func TestBeginDrainHandoff(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 500, 21, 0)
+	svc := newService(t, db, Options{Shards: 2, MaxWait: -1, ReplicaID: "r0"})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.ReplicaID != "r0" || h.ShardCount != 1 || h.Status != "ok" {
+		t.Fatalf("healthz before drain: %+v", h)
+	}
+
+	svc.BeginDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining healthz missing Retry-After")
+	}
+	// The handoff window: lookups still succeed after BeginDrain.
+	seq := dna.Kmer(db.Entries[0].Key).String(&dna.Random, k)
+	resp, err = http.Get(ts.URL + "/kmer/" + seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lookup during drain window: %d, want 200", resp.StatusCode)
+	}
+
+	svc.Close()
+	resp, err = http.Get(ts.URL + "/kmer/" + seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("lookup after close: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("closed lookup missing Retry-After")
+	}
+}
+
+// TestFilterShard pins the cluster sharding helper: shards are disjoint,
+// cover the database, and agree with kernels.DestOf.
+func TestFilterShard(t *testing.T) {
+	db := sampleDB(t, 17, 2_000, 22, 0)
+	const n = 3
+	total := 0
+	for idx := 0; idx < n; idx++ {
+		part, err := FilterShard(db, idx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.K != db.K || part.Flags != db.Flags {
+			t.Fatalf("shard %d lost metadata: %+v", idx, part)
+		}
+		for _, e := range part.Entries {
+			if kernels.DestOf(e.Key, n) != idx {
+				t.Fatalf("shard %d holds foreign key %#x", idx, e.Key)
+			}
+			if got := db.Get(e.Key); got != e.Count {
+				t.Fatalf("shard %d key %#x count %d, want %d", idx, e.Key, e.Count, got)
+			}
+		}
+		total += part.Len()
+	}
+	if total != db.Len() {
+		t.Fatalf("shards cover %d entries, want %d", total, db.Len())
+	}
+	if same, err := FilterShard(db, 0, 1); err != nil || same != db {
+		t.Fatalf("FilterShard(db, 0, 1) = (%p, %v), want identity", same, err)
+	}
+	if _, err := FilterShard(db, 2, 2); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// TestBatchAllocRegression pins the pooled batch path: resolving a 256-key
+// batch through LookupKeysInto must stay within a handful of allocations
+// (one completion channel plus slack for pool misses) — the regression
+// guard for BenchmarkKserveBatch, which sat at 526 allocs/op before the
+// batch slab landed.
+func TestBatchAllocRegression(t *testing.T) {
+	db := sampleDB(t, 17, 50_000, 23, 0)
+	svc := newService(t, db, Options{Shards: 4, CacheSize: -1, MaxWait: -1, QueueDepth: 4096})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = db.Entries[rng.Intn(len(db.Entries))].Key
+	}
+	out := make([]uint32, len(keys))
+	for i := 0; i < 32; i++ { // warm the slab pool and worker batch slices
+		if err := svc.LookupKeysInto(ctx, keys, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := svc.LookupKeysInto(ctx, keys, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 16 {
+		t.Fatalf("LookupKeysInto allocates %.1f/op for 256 keys, want ≤16", avg)
+	}
+	for i, key := range keys {
+		if want := db.Get(key); out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
 }

@@ -70,6 +70,14 @@ func (s *Service) initMetrics(reg *obs.Registry) {
 	reg.Gauge("kserve_k", "Served k-mer length.").Set(float64(s.k))
 	reg.Gauge("kserve_distinct_kmers", "Distinct k-mers in the served spectrum.").Set(float64(s.distinct))
 	reg.Gauge("kserve_shards", "Number of serving shards.").Set(float64(len(s.shards)))
+	reg.Gauge("kserve_cluster_shard_index", "Cluster shard of the key space this replica holds.").Set(float64(s.opts.ShardIndex))
+	reg.Gauge("kserve_cluster_shard_count", "Total cluster shards the key space is split into.").Set(float64(s.opts.ShardCount))
+	reg.GaugeFunc("kserve_draining", "1 while the service is draining (BeginDrain/Close).", func() float64 {
+		if s.Draining() {
+			return 1
+		}
+		return 0
+	})
 	reg.GaugeFunc("kserve_uptime_seconds", "Seconds since the service started.", func() float64 {
 		return time.Since(s.met.start).Seconds()
 	})

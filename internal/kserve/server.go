@@ -10,11 +10,13 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
 	"dedukt/internal/dna"
 	"dedukt/internal/kcount"
+	"dedukt/internal/kernels"
 )
 
 // maxBatchBody bounds a /batch request body; maxBatchKmers bounds how many
@@ -59,12 +61,20 @@ type topNResponse struct {
 	Kmers []KmerResult `json:"kmers"`
 }
 
-// healthResponse is the GET /healthz answer.
+// healthResponse is the GET /healthz answer. ReplicaID, ShardIndex and
+// ShardCount identify this process within a replicated cluster (see
+// internal/kcluster): the kproxy registry probes /healthz and uses them to
+// build its routing rings, and Canonical/K let the router pack queries the
+// same way the replica does.
 type healthResponse struct {
-	Status   string `json:"status"`
-	K        int    `json:"k"`
-	Distinct uint64 `json:"distinct"`
-	Shards   int    `json:"shards"`
+	Status     string `json:"status"`
+	ReplicaID  string `json:"replica_id,omitempty"`
+	K          int    `json:"k"`
+	Canonical  bool   `json:"canonical"`
+	Distinct   uint64 `json:"distinct"`
+	Shards     int    `json:"shards"`
+	ShardIndex int    `json:"shard_index"`
+	ShardCount int    `json:"shard_count"`
 }
 
 // NewHandler builds the HTTP surface over svc:
@@ -79,6 +89,9 @@ type healthResponse struct {
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /kmer/{seq}", func(w http.ResponseWriter, r *http.Request) {
+		if d := svc.opts.Slow; d > 0 {
+			time.Sleep(d)
+		}
 		seq := r.PathValue("seq")
 		count, err := svc.Lookup(r.Context(), seq)
 		if err != nil {
@@ -88,6 +101,9 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, KmerResult{Kmer: seq, Count: count, Present: count > 0})
 	})
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		if d := svc.opts.Slow; d > 0 {
+			time.Sleep(d)
+		}
 		var req batchRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
 		if err := dec.Decode(&req); err != nil {
@@ -98,16 +114,33 @@ func NewHandler(svc *Service) http.Handler {
 			writeErr(w, fmt.Errorf("%w: batch of %d exceeds %d", errBadRequest, len(req.Kmers), maxBatchKmers))
 			return
 		}
-		counts, err := svc.LookupBatch(r.Context(), req.Kmers)
-		if err != nil {
+		bb := batchBufPool.Get().(*batchBuffers)
+		defer func() { batchBufPool.Put(bb) }()
+		keys := bb.keys[:0]
+		for i, q := range req.Kmers {
+			key, err := svc.ParseQuery(q)
+			if err != nil {
+				writeErr(w, fmt.Errorf("%w: kmer %d: %v", errBadRequest, i, err))
+				bb.keys = keys
+				return
+			}
+			keys = append(keys, key)
+		}
+		if cap(bb.counts) < len(keys) {
+			bb.counts = make([]uint32, len(keys))
+		}
+		counts := bb.counts[:len(keys)]
+		if err := svc.LookupKeysInto(r.Context(), keys, counts); err != nil {
 			writeErr(w, err)
+			bb.keys = keys
 			return
 		}
-		resp := batchResponse{Results: make([]KmerResult, len(counts))}
+		results := bb.results[:0]
 		for i, c := range counts {
-			resp.Results[i] = KmerResult{Kmer: req.Kmers[i], Count: c, Present: c > 0}
+			results = append(results, KmerResult{Kmer: req.Kmers[i], Count: c, Present: c > 0})
 		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, batchResponse{Results: results})
+		bb.keys, bb.results = keys, results
 	})
 	mux.HandleFunc("GET /histogram", func(w http.ResponseWriter, r *http.Request) {
 		h := svc.Histogram()
@@ -142,9 +175,13 @@ func NewHandler(svc *Service) http.Handler {
 		status, code := "ok", http.StatusOK
 		if svc.Draining() {
 			status, code = "draining", http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		}
 		writeJSON(w, code, healthResponse{
-			Status: status, K: svc.K(), Distinct: svc.Distinct(), Shards: len(svc.shards),
+			Status: status, ReplicaID: svc.opts.ReplicaID,
+			K: svc.K(), Canonical: svc.Canonical(),
+			Distinct: svc.Distinct(), Shards: len(svc.shards),
+			ShardIndex: svc.opts.ShardIndex, ShardCount: svc.opts.ShardCount,
 		})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -163,7 +200,9 @@ func NewHandler(svc *Service) http.Handler {
 var errBadRequest = errors.New("bad request")
 
 // writeErr maps service errors onto HTTP statuses: overload → 429 (with
-// Retry-After), draining → 503, malformed queries → 400.
+// Retry-After), draining/closed → 503 (with Retry-After, so a router can
+// tell an orderly drain from a crashed peer and back off instead of
+// blacklisting), malformed queries → 400.
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
@@ -171,6 +210,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", "1")
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusServiceUnavailable
@@ -178,22 +218,29 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// batchBuffers are the pooled per-request scratch slices of the /batch
+// handler — parsed keys, resolved counts, rendered results — so steady
+// batch traffic reuses them instead of reallocating three slices per hit.
+type batchBuffers struct {
+	keys    []uint64
+	counts  []uint32
+	results []KmerResult
+}
+
+var batchBufPool = sync.Pool{New: func() any { return new(batchBuffers) }}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// Draining reports whether Close has begun.
-func (s *Service) Draining() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.closed
-}
-
 // ServeUntilInterrupt listens on addr (host:port; port 0 picks a free one),
 // serves the service's HTTP API, and blocks until SIGINT/SIGTERM, then
-// drains: in-flight HTTP requests get shutdownGrace to finish, queued
+// drains in two steps: BeginDrain flips /healthz to 503 "draining" and —
+// after Options.DrainGrace, the handoff window in which a cluster router
+// (cmd/kproxy) observes the drain and moves traffic to the shard's other
+// replicas — in-flight HTTP requests get shutdownGrace to finish, queued
 // lookups are answered, workers exit. logf receives progress lines
 // (log.Printf-shaped); the bound address is always announced as
 // "listening on <addr>" so callers and scripts can discover dynamic ports.
@@ -217,7 +264,18 @@ func ServeUntilInterrupt(addr string, svc *Service, logf func(format string, arg
 		svc.Close()
 		return err
 	case got := <-sig:
-		logf("caught %s, draining", got)
+		svc.BeginDrain()
+		if grace := svc.opts.DrainGrace; grace > 0 {
+			logf("caught %s, draining (handoff window %s)", got, grace)
+			select {
+			case <-time.After(grace):
+			case err := <-errc:
+				svc.Close()
+				return err
+			}
+		} else {
+			logf("caught %s, draining", got)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		err := srv.Shutdown(ctx)
@@ -225,6 +283,31 @@ func ServeUntilInterrupt(addr string, svc *Service, logf func(format string, arg
 		logf("drained")
 		return err
 	}
+}
+
+// FilterShard returns the slice of db owned by cluster shard idx of n —
+// the keys whose exchange owner hash kernels.DestOf(key, n) equals idx,
+// exactly the keys rank idx of an n-rank pipeline would have counted. A
+// replicated cluster starts n kserve processes per replica set, each with
+// `-shard idx/n` over the same full database, and lets cmd/kproxy route
+// keys by the same hash. n == 1 returns db unchanged.
+func FilterShard(db *kcount.Database, idx, n int) (*kcount.Database, error) {
+	if db == nil {
+		return nil, fmt.Errorf("kserve: nil database")
+	}
+	if n <= 0 || idx < 0 || idx >= n {
+		return nil, fmt.Errorf("kserve: shard %d/%d out of range", idx, n)
+	}
+	if n == 1 {
+		return db, nil
+	}
+	out := &kcount.Database{K: db.K, Flags: db.Flags}
+	for _, e := range db.Entries {
+		if kernels.DestOf(e.Key, n) == idx {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out, nil
 }
 
 // LoadDatabases reads and unions one or more KCD files into a single

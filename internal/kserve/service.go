@@ -69,6 +69,26 @@ type Options struct {
 	// get counting and serving metrics in a single /metrics exposition.
 	// nil creates a private registry (GET /metrics works either way).
 	Registry *obs.Registry
+	// ReplicaID names this process in a replicated cluster; it is reported
+	// in /healthz so a router (cmd/kproxy) can tell replicas apart. Empty
+	// is fine for standalone use.
+	ReplicaID string
+	// ShardIndex/ShardCount declare which cluster shard of the key space
+	// this replica holds (keys with kernels.DestOf(key, ShardCount) ==
+	// ShardIndex; see FilterShard). The default 0/1 means "the whole key
+	// space". These are distinct from Shards, the in-process worker split.
+	ShardIndex int
+	ShardCount int
+	// DrainGrace is how long ServeUntilInterrupt keeps serving after
+	// BeginDrain before shutting down — the handoff window in which
+	// /healthz already answers 503 "draining" so a router can move traffic
+	// off this replica while in-flight and freshly routed requests still
+	// succeed. 0 drains immediately (the standalone behavior).
+	DrainGrace time.Duration
+	// Slow, when positive, sleeps every /kmer and /batch request by that
+	// duration before serving it — straggler fault injection for hedging
+	// tests and cluster smoke scripts. Never set it in production.
+	Slow time.Duration
 
 	// testHookBeforeServe, when set (tests only), runs in a shard worker
 	// before each batch is served — used to hold a shard busy
@@ -103,6 +123,10 @@ func (o Options) withDefaults() Options {
 	if o.Enc == nil {
 		o.Enc = &dna.Random
 	}
+	if o.ShardCount <= 0 {
+		o.ShardCount = 1
+		o.ShardIndex = 0
+	}
 	return o
 }
 
@@ -126,6 +150,7 @@ type Service struct {
 	mu        sync.RWMutex // serializes enqueue against Close
 	closed    bool
 	closedBit atomic.Bool    // fast-path mirror of closed for cache hits
+	draining  atomic.Bool    // BeginDrain called; still serving
 	wg        sync.WaitGroup // shard workers
 }
 
@@ -249,25 +274,101 @@ func (s *Service) LookupBatch(ctx context.Context, seqs []string) ([]uint32, err
 
 // LookupKeys is LookupBatch over pre-packed keys.
 func (s *Service) LookupKeys(ctx context.Context, keys []uint64) ([]uint32, error) {
-	calls := make([]*call, len(keys))
-	for i, key := range keys {
-		c, err := s.getAsync(key)
-		if err != nil {
-			// Abandon the batch; already-enqueued calls complete on
-			// their own (other waiters may share them via singleflight).
-			return nil, err
-		}
-		calls[i] = c
-	}
 	out := make([]uint32, len(keys))
-	for i, c := range calls {
-		v, err := c.wait(ctx)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	if err := s.LookupKeysInto(ctx, keys, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// batchSlab is the pooled per-batch state of LookupKeysInto: one call per
+// key, all reporting completion to one shared group, so a steady batch
+// workload allocates only the group's completion channel per batch.
+type batchSlab struct {
+	calls []call
+	grp   callGroup
+}
+
+var slabPool = sync.Pool{New: func() any { return new(batchSlab) }}
+
+func getSlab(n int) *batchSlab {
+	s := slabPool.Get().(*batchSlab)
+	if cap(s.calls) < n {
+		s.calls = make([]call, n)
+	}
+	s.calls = s.calls[:n]
+	s.grp.remaining.Store(int32(n))
+	s.grp.done = make(chan struct{})
+	return s
+}
+
+// LookupKeysInto resolves keys into out (which must be exactly len(keys)
+// long), the allocation-free core of LookupBatch: per-batch call state
+// comes from a pool and every key completes into one shared group. Batch
+// calls skip the singleflight group — bulk lookups rarely collide, and
+// skipping it keeps the hot path free of the per-key map mutex — but still
+// read and publish the hot-k-mer cache. If any key fails admission
+// (ErrOverloaded/ErrClosed) the first such error is returned after the
+// rest of the batch completes; out then holds counts for the keys that
+// were served and 0 for the failed ones.
+func (s *Service) LookupKeysInto(ctx context.Context, keys []uint64, out []uint32) error {
+	if len(out) != len(keys) {
+		return fmt.Errorf("kserve: out length %d != keys length %d", len(out), len(keys))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	slab := getSlab(len(keys))
+	for i, key := range keys {
+		c := &slab.calls[i]
+		*c = call{key: key, grp: &slab.grp}
+		if s.closedBit.Load() {
+			c.complete(0, ErrClosed)
+			continue
+		}
+		s.met.requests.Add(1)
+		if s.cache != nil {
+			if v, ok := s.cache.get(key); ok {
+				s.met.cacheHits.Add(1)
+				c.complete(v, nil)
+				continue
+			}
+			s.met.cacheMisses.Add(1)
+		}
+		sh := s.shards[kernels.DestOf(key, len(s.shards))]
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			c.complete(0, ErrClosed)
+			continue
+		}
+		select {
+		case sh.queue <- c:
+			s.mu.RUnlock()
+			sh.met.enqueued.Add(1)
+		default:
+			s.mu.RUnlock()
+			sh.met.rejected.Add(1)
+			s.met.rejected.Add(1)
+			c.complete(0, ErrOverloaded)
+		}
+	}
+	select {
+	case <-slab.grp.done:
+	case <-ctx.Done():
+		// Abandoned: enqueued calls will still complete into this slab, so
+		// it must not be pooled for reuse.
+		return ctx.Err()
+	}
+	var firstErr error
+	for i := range slab.calls {
+		out[i] = slab.calls[i].val
+		if err := slab.calls[i].err; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	slabPool.Put(slab)
+	return firstErr
 }
 
 // getAsync starts (or joins) the resolution of key and returns its call.
@@ -314,6 +415,16 @@ func (s *Service) getAsync(key uint64) (*call, error) {
 	}
 }
 
+// BeginDrain marks the service as draining without refusing lookups: from
+// here /healthz answers 503 (with Retry-After) so a cluster router stops
+// routing new traffic to this replica, while requests already in flight —
+// and any that still arrive during the handoff window — are served
+// normally. Call Close after the window to stop serving. Idempotent.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain or Close has begun.
+func (s *Service) Draining() bool { return s.draining.Load() || s.closedBit.Load() }
+
 // Close drains the service: no new lookups are admitted, every queued
 // request is answered, then the shard workers exit. Safe to call more than
 // once and concurrently with lookups.
@@ -326,6 +437,7 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.closedBit.Store(true)
+	s.draining.Store(true)
 	s.mu.Unlock()
 	// No enqueue can start after this point (closed is checked under the
 	// read lock before every send), so closing the queues is race-free and

@@ -59,7 +59,11 @@ func (sh *shard) serve(batch []*call) {
 		if sh.svc.cache != nil {
 			sh.svc.cache.add(c.key, v)
 		}
-		sh.svc.flight.forget(c.key)
+		// Batch-slab members never joined the flight group; forgetting
+		// their key here could clear an unrelated point lookup's slot early.
+		if c.grp == nil {
+			sh.svc.flight.forget(c.key)
+		}
 		c.complete(v, nil)
 	}
 }

@@ -109,6 +109,70 @@ func (h *Histogram) Snapshot() (buckets []uint64, count uint64, sum float64) {
 	return buckets, h.count.Load(), math.Float64frombits(h.sumBits.Load())
 }
 
+// Count returns the number of samples observed so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly within the bucket that straddles the target rank.
+// Samples in the +Inf bucket are attributed to the last finite upper bound
+// (the estimate saturates there — a bounded answer beats a useless +Inf).
+// Returns 0 when the histogram is empty. The estimate is only as fine as
+// the bucket layout; kcluster uses it to derive hedge deadlines, where a
+// bucket-resolution answer is exactly what is wanted.
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets, count, _ := h.Snapshot()
+	if count == 0 || len(h.upper) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	var cum float64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next || i == len(buckets)-1 {
+			if i >= len(h.upper) {
+				return h.upper[len(h.upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			hi := h.upper[i]
+			frac := (rank - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// ExpBuckets returns n ascending upper bounds starting at start and growing
+// by factor — the usual latency-histogram layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		panic(fmt.Sprintf("obs: bad ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
 // Counter returns the counter with the given name and labels, creating it
 // (and its family) on first use. The name must stay one metric type; mixing
 // types under one name panics (programmer error).

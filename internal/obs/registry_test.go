@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -159,4 +160,59 @@ func TestGaugeFuncReplacement(t *testing.T) {
 	if !strings.Contains(sb.String(), "g 2\n") {
 		t.Fatalf("re-registered GaugeFunc not replaced:\n%s", sb.String())
 	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", "", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 samples uniform in (0,1]: every quantile lands in the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); got <= 0 || got > 1 {
+		t.Fatalf("p50 = %v, want within (0,1]", got)
+	}
+	// Push the tail into (4,8]: p99 must move to the tail bucket while p50
+	// stays in the head.
+	for i := 0; i < 100; i++ {
+		h.Observe(6)
+	}
+	if got := h.Quantile(0.99); got <= 4 || got > 8 {
+		t.Fatalf("p99 = %v, want within (4,8]", got)
+	}
+	if got := h.Quantile(0.25); got > 1 {
+		t.Fatalf("p25 = %v, want ≤1", got)
+	}
+	// +Inf samples saturate at the last finite bound instead of returning Inf.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.999); got != 8 {
+		t.Fatalf("overflow quantile = %v, want saturation at 8", got)
+	}
+	if got := h.Count(); got != 1200 {
+		t.Fatalf("Count = %d, want 1200", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 2, 5)
+	want := []float64{0.001, 0.002, 0.004, 0.008, 0.016}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpBuckets(0, 2, 3) did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
 }

@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench-cluster: measure cluster serving throughput as the replica count
+# scales (1 -> 2 -> 4 replicas of one shard behind kproxy), driven by a
+# fixed closed-loop kload burst. Emits a JSON array of annotated kload
+# summaries on stdout; `make bench-serve` merges it into BENCH_serve.json
+# next to the kserve micro-benchmarks so successive PRs can compare the
+# cluster trajectory too.
+set -eu
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    for p in $pids; do wait "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "bench-cluster: FAIL: $*" >&2
+    exit 1
+}
+
+wait_addr() {
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's/.*listening on //p' "$1" | head -n1)
+        if [ -n "$addr" ]; then echo "$addr"; return 0; fi
+        kill -0 "$2" 2>/dev/null || return 1
+        sleep 0.1
+        i=$((i + 1))
+    done
+    return 1
+}
+
+go run ./cmd/dedukt -okcd "$tmp/bench.kcd" -hist 0 -top 0 >/dev/null 2>&1 || fail "dedukt -okcd"
+go build -o "$tmp/kserve" ./cmd/kserve || fail "go build ./cmd/kserve"
+go build -o "$tmp/kproxy" ./cmd/kproxy || fail "go build ./cmd/kproxy"
+go build -o "$tmp/kload" ./cmd/kload || fail "go build ./cmd/kload"
+
+for R in 1 2 4; do
+    echo "bench-cluster: $R replica(s)" >&2
+    seeds=""
+    round_pids=""
+    i=0
+    while [ $i -lt "$R" ]; do
+        "$tmp/kserve" -kcd "$tmp/bench.kcd" -addr 127.0.0.1:0 -replica-id "bench-$R-$i" \
+            2> "$tmp/r$R$i.log" &
+        pids="$pids $!"
+        round_pids="$round_pids $!"
+        addr=$(wait_addr "$tmp/r$R$i.log" "$!") || fail "replica $i of $R never listened"
+        seeds="$seeds -replica $addr"
+        i=$((i + 1))
+    done
+    # shellcheck disable=SC2086
+    "$tmp/kproxy" -addr 127.0.0.1:0 $seeds 2> "$tmp/p$R.log" &
+    pids="$pids $!"
+    round_pids="$round_pids $!"
+    paddr=$(wait_addr "$tmp/p$R.log" "$!") || fail "kproxy for $R replicas never listened"
+    "$tmp/kload" -q -target "http://$paddr" -n 1500 -batch 64 -c 16 -warmup 200 \
+        > "$tmp/load$R.json" || fail "kload against $R replicas"
+    jq --arg r "$R" '. + {name: ("ClusterKloadZipf/replicas=" + $r), replicas: ($r | tonumber)}' \
+        "$tmp/load$R.json" > "$tmp/out$R.json" || fail "jq annotate"
+    for p in $round_pids; do kill "$p" 2>/dev/null || true; done
+    for p in $round_pids; do wait "$p" 2>/dev/null || true; done
+done
+
+jq -s '.' "$tmp/out1.json" "$tmp/out2.json" "$tmp/out4.json"
