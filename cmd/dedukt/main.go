@@ -79,6 +79,7 @@ func main() {
 		gpuStats  = flag.Bool("gpustats", false, "print GPU kernel efficiency metrics (GPU engine only)")
 		outKCD    = flag.String("okcd", "", "write the counted k-mers to this KCD database (see cmd/kmertools)")
 		serve     = flag.String("serve", "", "after counting, serve the spectrum over HTTP on this address (see cmd/kserve; blocks until SIGINT)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off by default; e.g. 127.0.0.1:6060)")
 
 		runReport  = flag.Bool("report", false, "print the per-round observability report (imbalance trajectory, slowest-rank attribution, fault tallies)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto or chrome://tracing)")
@@ -217,10 +218,12 @@ func main() {
 		cfg.Fault.FatalRank = *faultKillRank
 		cfg.Fault.FatalRound = *faultKillRound
 	}
+	obs.ServePprof(*pprofAddr, log.Printf)
 	var rec *obs.Recorder
 	if *runReport || *traceOut != "" || *metricsOut != "" || *serve != "" {
 		rec = obs.NewRecorder(layout.Ranks())
 		cfg.Obs = rec
+		obs.RegisterBuildInfo(rec.Registry(), "dedukt")
 	}
 	switch *mode {
 	case "kmer":
@@ -437,6 +440,7 @@ type jsonReport struct {
 	InputBases uint64            `json:"input_bases,omitempty"`
 	Histogram  map[uint32]uint64 `json:"histogram"`
 	Top        []jsonKmer        `json:"top_kmers,omitempty"`
+	Build      obs.BuildInfo     `json:"build"`
 
 	// Incomplete is always present: automation checks it to decide whether
 	// the spectrum is exact or a degraded lower bound.
@@ -473,6 +477,7 @@ func reportJSON(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top int)
 		Items: res.ItemsExchanged, Payload: res.PayloadBytes, Fabric: res.Volume.FabricBytes,
 		Total: res.TotalKmers, Distinct: res.DistinctKmers,
 		Imbalance: res.LoadImbalance(), Histogram: res.Histogram.Counts,
+		Build: obs.ReadBuild(),
 	}
 	if cfg.Mode == pipeline.SupermerMode {
 		rep.M, rep.Window = cfg.M, cfg.Window

@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"dedukt/internal/kcluster"
+	"dedukt/internal/obs"
 )
 
 func main() {
@@ -42,6 +43,10 @@ func main() {
 		zipfS  = flag.Float64("zipf-s", 1.1, "zipfian skew (>1)")
 		seed   = flag.Int64("seed", 1, "population/mix seed")
 		quiet  = flag.Bool("q", false, "suppress progress lines (JSON summary only)")
+
+		traceSample = flag.Int("trace-sample", 0, "root a trace for 1-in-N measured requests and forward traceparent to the target (0 = no tracing)")
+		traceOut    = flag.String("trace-out", "", "write the recorded root spans to this file (join with the servers' dumps via kmertools trace-join)")
+		slo         = flag.String("slo", "", "latency objective as <duration>:p<percentile> (e.g. 5ms:p99); adds error-budget accounting to the summary")
 	)
 	flag.Parse()
 
@@ -50,6 +55,18 @@ func main() {
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	var sloObj *kcluster.SLO
+	if *slo != "" {
+		parsed, err := kcluster.ParseSLO(*slo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sloObj = &parsed
+	}
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.NewTracer("kload", *traceSample, 0)
 	}
 	sum, err := kcluster.RunLoad(ctx, kcluster.LoadOptions{
 		Target:      *target,
@@ -63,9 +80,17 @@ func main() {
 		ZipfS:       *zipfS,
 		Seed:        *seed,
 		Logf:        logf,
+		Tracer:      tracer,
+		SLO:         sloObj,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil && *traceOut != "" {
+		if err := tracer.WriteSpansFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		logf("wrote %d spans to %s", tracer.Len(), *traceOut)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

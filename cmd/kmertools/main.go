@@ -9,6 +9,7 @@
 //	kmertools lookup -db db.kcd ACGTACGTACGTACGTA ...   (or k-mers on stdin)
 //	kmertools intersect|union|subtract -a x.kcd -b y.kcd -o out.kcd
 //	kmertools filter -db db.kcd -min 3 -max 1000 -o out.kcd
+//	kmertools trace-join -o joined.json kload.json kproxy.json replica*.json
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"dedukt/internal/fastq"
 	"dedukt/internal/kcount"
 	"dedukt/internal/kmer"
+	"dedukt/internal/obs"
 	"dedukt/internal/stats"
 )
 
@@ -49,6 +51,8 @@ func main() {
 		err = runSetOp(cmd, args)
 	case "filter":
 		err = runFilter(args)
+	case "trace-join":
+		err = runTraceJoin(args)
 	default:
 		usage()
 	}
@@ -58,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kmertools <count|info|histo|dump|lookup|intersect|union|subtract|filter> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: kmertools <count|info|histo|dump|lookup|intersect|union|subtract|filter|trace-join> [flags]")
 	os.Exit(2)
 }
 
@@ -290,5 +294,53 @@ func runFilter(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "kmertools: kept %s of %s entries -> %s\n",
 		stats.Count(uint64(filtered.Len())), stats.Count(uint64(d.Len())), *out)
+	return nil
+}
+
+// runTraceJoin merges per-process request-trace dumps (written by kload,
+// kproxy, and kserve via -trace-out or fetched from /debug/trace) into one
+// Chrome trace-event JSON, viewable in Perfetto or chrome://tracing. Each
+// process becomes a pid row; spans sharing a trace ID line up across rows.
+func runTraceJoin(args []string) error {
+	fs := flag.NewFlagSet("trace-join", flag.ExitOnError)
+	out := fs.String("o", "", "output trace-event JSON path (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("trace-join: at least one trace dump is required")
+	}
+	var dumps []obs.TraceDump
+	var spans int
+	var dropped uint64
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		d, err := obs.ReadTraceDump(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("trace-join: %s: %w", path, err)
+		}
+		spans += len(d.Spans)
+		dropped += d.Dropped
+		dumps = append(dumps, d)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.JoinTraces(w, dumps); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kmertools: joined %d spans from %d process(es)", spans, len(dumps))
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, " (%d dropped at capture)", dropped)
+	}
+	fmt.Fprintln(os.Stderr)
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 
 	"dedukt/internal/dna"
 	"dedukt/internal/kcluster"
+	"dedukt/internal/obs"
 )
 
 // addrList collects repeated -replica flags.
@@ -63,6 +64,9 @@ func main() {
 		hedgeMax      = flag.Duration("hedge-max", 25*time.Millisecond, "upper clamp on the hedge delay (also the cold-start delay)")
 		reqTimeout    = flag.Duration("request-timeout", 2*time.Second, "per-upstream-attempt timeout")
 		encoding      = flag.String("encoding", "random", "base encoding the replicas serve: random (CLI default) or lex")
+		traceSample   = flag.Int("trace-sample", 0, "enable request tracing: root a span for 1-in-N headerless requests; incoming sampled traceparents are always continued (0 disables rooting; tracing stays on if -trace-out is set)")
+		traceOut      = flag.String("trace-out", "", "write the recorded span buffer to this file on exit (tracing also serves /debug/trace live)")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off by default)")
 	)
 	flag.Parse()
 	for _, a := range flag.Args() {
@@ -98,13 +102,30 @@ func main() {
 		log.Printf("no replica answered yet; routing %d seeds, shape pending", len(replicas))
 	}
 
+	var tracer *obs.Tracer
+	if *traceSample > 0 || *traceOut != "" {
+		tracer = obs.NewTracer("kproxy", *traceSample, 0)
+	}
+	obs.ServePprof(*pprofAddr, log.Printf)
 	router := kcluster.NewRouter(reg, kcluster.RouterOptions{
 		Enc:            enc,
 		HedgeQuantile:  *hedgeQ,
 		HedgeMin:       *hedgeMin,
 		HedgeMax:       *hedgeMax,
 		RequestTimeout: *reqTimeout,
+		Tracer:         tracer,
 	})
+	obs.RegisterBuildInfo(reg.Obs(), "kproxy")
+	writeTrace := func() {
+		if tracer == nil || *traceOut == "" {
+			return
+		}
+		if err := tracer.WriteSpansFile(*traceOut); err != nil {
+			log.Printf("trace-out: %v", err)
+		} else {
+			log.Printf("wrote %d spans to %s", tracer.Len(), *traceOut)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -120,12 +141,15 @@ func main() {
 	defer signal.Stop(sig)
 	select {
 	case err := <-errc:
+		writeTrace()
 		log.Fatal(err)
 	case got := <-sig:
 		log.Printf("caught %s, shutting down", got)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		err := srv.Shutdown(ctx)
+		writeTrace()
+		if err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -26,6 +26,7 @@ import (
 
 	"dedukt/internal/dna"
 	"dedukt/internal/kserve"
+	"dedukt/internal/obs"
 	"dedukt/internal/stats"
 )
 
@@ -41,18 +42,21 @@ func main() {
 	var kcds pathList
 	flag.Var(&kcds, "kcd", "KCD database to serve (repeatable; multiple files are unioned)")
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		shards     = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
-		maxBatch   = flag.Int("max-batch", 64, "max lookups per shard micro-batch")
-		maxWait    = flag.Duration("max-wait", 200*time.Microsecond, "max time a shard holds an open micro-batch (negative = serve immediately)")
-		queue      = flag.Int("queue", 1024, "per-shard queue depth before 429s")
-		cache      = flag.Int("cache", 4096, "hot-k-mer LRU size in entries (negative disables)")
-		topN       = flag.Int("topn", 64, "top-N horizon precomputed for /topn")
-		encoding   = flag.String("encoding", "random", "base encoding the KCD was packed under: random (CLI default) or lex")
-		shard      = flag.String("shard", "", "cluster shard to serve as IDX/OF (e.g. 0/2): keep only keys owned by that slice of the key space; empty serves everything")
-		replicaID  = flag.String("replica-id", "", "replica name reported in /healthz (default host-pid)")
-		drainGrace = flag.Duration("drain-grace", 0, "handoff window between SIGTERM (healthz goes 503 draining) and shutdown, so a router can move traffic off this replica first")
-		slow       = flag.Duration("slow", 0, "TESTING ONLY: delay every /kmer and /batch request by this much (straggler injection for hedging tests)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		shards      = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 64, "max lookups per shard micro-batch")
+		maxWait     = flag.Duration("max-wait", 200*time.Microsecond, "max time a shard holds an open micro-batch (negative = serve immediately)")
+		queue       = flag.Int("queue", 1024, "per-shard queue depth before 429s")
+		cache       = flag.Int("cache", 4096, "hot-k-mer LRU size in entries (negative disables)")
+		topN        = flag.Int("topn", 64, "top-N horizon precomputed for /topn")
+		encoding    = flag.String("encoding", "random", "base encoding the KCD was packed under: random (CLI default) or lex")
+		shard       = flag.String("shard", "", "cluster shard to serve as IDX/OF (e.g. 0/2): keep only keys owned by that slice of the key space; empty serves everything")
+		replicaID   = flag.String("replica-id", "", "replica name reported in /healthz (default host-pid)")
+		drainGrace  = flag.Duration("drain-grace", 0, "handoff window between SIGTERM (healthz goes 503 draining) and shutdown, so a router can move traffic off this replica first")
+		slow        = flag.Duration("slow", 0, "TESTING ONLY: delay every /kmer and /batch request by this much (straggler injection for hedging tests)")
+		traceSample = flag.Int("trace-sample", 0, "enable request tracing: root a span for 1-in-N headerless requests; incoming sampled traceparents are always continued (0 disables rooting; tracing stays on if -trace-out is set)")
+		traceOut    = flag.String("trace-out", "", "write the recorded span buffer to this file on exit (tracing also serves /debug/trace live)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off by default; e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 	kcds = append(kcds, flag.Args()...)
@@ -86,6 +90,11 @@ func main() {
 		host, _ := os.Hostname()
 		*replicaID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	var tracer *obs.Tracer
+	if *traceSample > 0 || *traceOut != "" {
+		tracer = obs.NewTracer(*replicaID, *traceSample, 0)
+	}
+	obs.ServePprof(*pprofAddr, log.Printf)
 	svc, err := kserve.New(db, kserve.Options{
 		Shards:     *shards,
 		MaxBatch:   *maxBatch,
@@ -99,15 +108,27 @@ func main() {
 		ShardCount: shardCount,
 		DrainGrace: *drainGrace,
 		Slow:       *slow,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	obs.RegisterBuildInfo(svc.Registry(), "kserve")
 	log.Printf("replica %s serving %s distinct %d-mers (%s, cluster shard %d/%d) from %d file(s) across %d shards",
 		*replicaID, stats.Count(svc.Distinct()), svc.K(), canonicalLabel(svc.Canonical()),
 		shardIdx, shardCount, len(kcds), svc.Metrics().Shards)
-	if err := kserve.ServeUntilInterrupt(*addr, svc, log.Printf); err != nil {
-		log.Fatal(err)
+	serveErr := kserve.ServeUntilInterrupt(*addr, svc, log.Printf)
+	if tracer != nil && *traceOut != "" {
+		// Written after the drain so the dump holds the whole run (trace
+		// dumps survive a serve error too — that's when they matter most).
+		if err := tracer.WriteSpansFile(*traceOut); err != nil {
+			log.Printf("trace-out: %v", err)
+		} else {
+			log.Printf("wrote %d spans to %s", tracer.Len(), *traceOut)
+		}
+	}
+	if serveErr != nil {
+		log.Fatal(serveErr)
 	}
 }
 

@@ -1,11 +1,15 @@
 package kcluster
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -13,6 +17,7 @@ import (
 	"dedukt/internal/kcount"
 	"dedukt/internal/kernels"
 	"dedukt/internal/kserve"
+	"dedukt/internal/obs"
 )
 
 // sampleDB builds a deterministic database of n-ish distinct k-mers
@@ -31,11 +36,12 @@ func sampleDB(t testing.TB, k, n int, seed int64) *kcount.Database {
 // testReplica is one real kserve process-equivalent: a Service behind an
 // http.Server on a loopback port, holding one cluster shard of db.
 type testReplica struct {
-	t    *testing.T
-	db   *kcount.Database
-	idx  int
-	of   int
-	slow time.Duration
+	t      *testing.T
+	db     *kcount.Database
+	idx    int
+	of     int
+	slow   time.Duration
+	tracer *obs.Tracer
 
 	svc  *kserve.Service
 	srv  *http.Server
@@ -60,6 +66,7 @@ func (r *testReplica) start(addr string) {
 		ShardIndex: r.idx,
 		ShardCount: r.of,
 		Slow:       r.slow,
+		Tracer:     r.tracer,
 	})
 	if err != nil {
 		r.t.Fatal(err)
@@ -433,4 +440,159 @@ func findReplica(reg *Registry, addr string) *Replica {
 		}
 	}
 	return nil
+}
+
+func TestParseSLO(t *testing.T) {
+	slo, err := ParseSLO("5ms:p99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.Target != 5*time.Millisecond || slo.Quantile != 0.99 {
+		t.Fatalf("ParseSLO(5ms:p99) = %+v", slo)
+	}
+	if got := slo.String(); got != "5ms:p99" {
+		t.Fatalf("String() = %q, want 5ms:p99", got)
+	}
+	if slo, err = ParseSLO("250us:p99.9"); err != nil || math.Abs(slo.Quantile-0.999) > 1e-9 {
+		t.Fatalf("ParseSLO(250us:p99.9) = %+v, %v", slo, err)
+	}
+	for _, bad := range []string{"", "5ms", "p99", "5ms:99", "5ms:p0", "5ms:p100", "-5ms:p99", "x:p99", "5ms:px"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Fatalf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEvalSLO(t *testing.T) {
+	slo := SLO{Target: time.Millisecond, Quantile: 0.9}
+	// 100 latencies (µs): 95 fast, 5 over the 1000µs target → 5% violations
+	// against a 10% budget: met, burn rate 0.5.
+	lat := make([]float64, 100)
+	for i := range lat {
+		lat[i] = 100
+	}
+	for i := 0; i < 5; i++ {
+		lat[i] = 5000
+	}
+	s := evalSLO(slo, lat)
+	if !s.Met || s.Violations != 5 || s.ViolationRate != 0.05 {
+		t.Fatalf("evalSLO = %+v, want met with 5 violations", s)
+	}
+	if math.Abs(s.ErrorBudget-0.1) > 1e-9 || math.Abs(s.BudgetBurnRate-0.5) > 1e-9 {
+		t.Fatalf("budget accounting = %+v, want budget 0.1 burn 0.5", s)
+	}
+	// 20 violations blow the 10% budget: burn 2, not met.
+	for i := 0; i < 20; i++ {
+		lat[i] = 5000
+	}
+	if s := evalSLO(slo, lat); s.Met || math.Abs(s.BudgetBurnRate-2) > 1e-9 {
+		t.Fatalf("evalSLO over budget = %+v, want burn 2, not met", s)
+	}
+	if s := evalSLO(slo, nil); !s.Met || s.Violations != 0 {
+		t.Fatalf("evalSLO(empty) = %+v, want trivially met", s)
+	}
+}
+
+// TestEndToEndTracing runs the full serving path — loadgen roots traces,
+// the proxy continues them and spans every upstream attempt, both replicas
+// record server and shard spans — against a deliberate straggler, then
+// checks one trace ID stitches across all four processes and that a hedged
+// attempt won at least one race. The same invariants cluster_smoke.sh
+// asserts on the joined Chrome trace, here without processes.
+func TestEndToEndTracing(t *testing.T) {
+	const k = 17
+	db := sampleDB(t, k, 1500, 7)
+	fastTracer := obs.NewTracer("rep-fast", 1, 0)
+	slowTracer := obs.NewTracer("rep-slow", 1, 0)
+	fast := &testReplica{t: t, db: db, idx: 0, of: 1, tracer: fastTracer}
+	fast.start("")
+	slow := &testReplica{t: t, db: db, idx: 0, of: 1, slow: 50 * time.Millisecond, tracer: slowTracer}
+	slow.start("")
+	reg := newTestRegistry(t, []string{fast.addr, slow.addr})
+	proxyTracer := obs.NewTracer("kproxy", 1, 0)
+	rt := NewRouter(reg, RouterOptions{HedgeMin: time.Millisecond, HedgeMax: 5 * time.Millisecond, Tracer: proxyTracer})
+	srv := httptest.NewServer(NewHandler(rt))
+	defer srv.Close()
+
+	loadTracer := obs.NewTracer("kload", 1, 0)
+	sum, err := RunLoad(context.Background(), LoadOptions{
+		Target:      srv.URL,
+		Requests:    60,
+		Concurrency: 4,
+		Keys:        256,
+		K:           k,
+		Tracer:      loadTracer,
+		SLO:         &SLO{Target: 2 * time.Second, Quantile: 0.99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 || sum.KeyErrors != 0 {
+		t.Fatalf("load errors: %+v", sum)
+	}
+	if sum.SLO == nil || !sum.SLO.Met {
+		t.Fatalf("generous 2s:p99 SLO not met: %+v", sum.SLO)
+	}
+	if sum.Build.GoVersion == "" {
+		t.Fatal("summary missing build info")
+	}
+
+	dumps := []obs.TraceDump{loadTracer.Dump(), proxyTracer.Dump(), fastTracer.Dump(), slowTracer.Dump()}
+	// Index: trace ID → set of processes that recorded a span on it.
+	procs := make(map[string]map[string]bool)
+	hedgedWinner := false
+	for _, d := range dumps {
+		for _, sp := range d.Spans {
+			m := procs[sp.Trace]
+			if m == nil {
+				m = make(map[string]bool)
+				procs[sp.Trace] = m
+			}
+			m[d.Process] = true
+			if sp.Attrs["hedged"] == "true" && sp.Attrs["outcome"] == "winner" {
+				hedgedWinner = true
+			}
+		}
+	}
+	if !hedgedWinner {
+		t.Fatal("no upstream span marked hedged winner against a 50ms straggler")
+	}
+	full := 0
+	for _, m := range procs {
+		if m["kload"] && m["kproxy"] && m["rep-fast"] {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no trace spans kload+kproxy+replica; traces: %v", procs)
+	}
+
+	// The joined Chrome trace must load: every span lands under a process
+	// group with metadata events.
+	var joined bytes.Buffer
+	if err := obs.JoinTraces(&joined, dumps); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(joined.Bytes(), &tf); err != nil {
+		t.Fatalf("joined trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	want := 0
+	for _, d := range dumps {
+		want += len(d.Spans)
+	}
+	if spans != want {
+		t.Fatalf("joined trace has %d X events, want %d (one per span)", spans, want)
+	}
 }

@@ -1,11 +1,15 @@
 package kcluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"dedukt/internal/obs"
 )
 
 // healthzResponse is the router's GET /healthz body.
@@ -31,9 +35,12 @@ func NewHandler(r *Router) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		ctx, span := startProxySpan(r, req, "proxy_lookup")
+		defer span.End()
 		seq := strings.TrimPrefix(req.URL.Path, "/kmer/")
-		res, err := r.Lookup(req.Context(), seq)
+		res, err := r.Lookup(ctx, seq)
 		if err != nil {
+			span.SetAttr("error", err.Error())
 			writeRouteErr(w, err)
 			return
 		}
@@ -45,6 +52,8 @@ func NewHandler(r *Router) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		ctx, span := startProxySpan(r, req, "proxy_batch")
+		defer span.End()
 		var body struct {
 			Kmers []string `json:"kmers"`
 		}
@@ -52,8 +61,10 @@ func NewHandler(r *Router) http.Handler {
 			http.Error(w, fmt.Sprintf("bad batch body: %v", err), http.StatusBadRequest)
 			return
 		}
-		resp, err := r.Batch(req.Context(), body.Kmers)
+		span.SetAttr("batch_size", strconv.Itoa(len(body.Kmers)))
+		resp, err := r.Batch(ctx, body.Kmers)
 		if err != nil {
+			span.SetAttr("error", err.Error())
 			writeRouteErr(w, err)
 			return
 		}
@@ -89,7 +100,27 @@ func NewHandler(r *Router) http.Handler {
 		_ = r.reg.Obs().WritePrometheus(w)
 	})
 
+	if t := r.opts.Tracer; t != nil {
+		mux.Handle("/debug/trace", t.DebugHandler())
+	}
+
 	return mux
+}
+
+// startProxySpan continues (or roots) a trace for one proxied request —
+// the router-admission span of the end-to-end trace. A free no-op without
+// a tracer; unsampled requests keep their context unwrapped.
+func startProxySpan(r *Router, req *http.Request, name string) (context.Context, obs.ReqSpanHandle) {
+	ctx := req.Context()
+	t := r.opts.Tracer
+	if t == nil {
+		return ctx, obs.ReqSpanHandle{}
+	}
+	span := t.StartServer(req.Header, name, "http")
+	if span.Sampled() {
+		ctx = obs.ContextWithSpan(ctx, span.Context())
+	}
+	return ctx, span
 }
 
 func writeRouteErr(w http.ResponseWriter, err error) {

@@ -125,6 +125,14 @@ func (r *Replica) State() State {
 // Inflight returns how many proxied requests are outstanding.
 func (r *Replica) Inflight() int64 { return r.inflight.Load() }
 
+// ID returns the replica's self-reported ID ("" until the first probe
+// learns it from /healthz).
+func (r *Replica) ID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.id
+}
+
 // EWMALatencyMs returns the replica's moving-average latency in
 // milliseconds (0 until the first successful probe or request).
 func (r *Replica) EWMALatencyMs() float64 {

@@ -8,9 +8,13 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dedukt/internal/obs"
 )
 
 // LoadOptions configures one load run against a kproxy (or a bare kserve
@@ -46,6 +50,13 @@ type LoadOptions struct {
 	Client *http.Client
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, mints a root span per measured request (head
+	// sampling per the tracer's 1-in-N policy) and forwards its traceparent
+	// so the proxy and replicas join the trace. Warmup is never traced.
+	Tracer *obs.Tracer
+	// SLO, when non-nil, adds service-level-objective accounting over the
+	// measured request latencies to the summary.
+	SLO *SLO
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -107,6 +118,83 @@ type LoadSummary struct {
 	QPSOffered  float64        `json:"qps_offered"` // lookups/sec; 0 = closed loop
 	QPSAchieved float64        `json:"qps_achieved"`
 	Latency     LatencySummary `json:"latency"`
+	SLO         *SLOSummary    `json:"slo,omitempty"`
+	Build       obs.BuildInfo  `json:"build"`
+}
+
+// SLO is a latency service-level objective: at most 1−Quantile of measured
+// requests may exceed Target (e.g. "5ms:p99" — 1% of requests may be
+// slower than 5ms).
+type SLO struct {
+	Target   time.Duration
+	Quantile float64 // 0 < Quantile < 1, e.g. 0.99 for p99
+}
+
+// String renders the objective back in ParseSLO's notation.
+func (s SLO) String() string {
+	return fmt.Sprintf("%s:p%s", s.Target, strconv.FormatFloat(s.Quantile*100, 'f', -1, 64))
+}
+
+// ParseSLO parses "<duration>:p<percentile>" — "5ms:p99", "250us:p99.9",
+// "1s:p50" — into an SLO.
+func ParseSLO(s string) (SLO, error) {
+	dur, pct, ok := strings.Cut(s, ":")
+	if !ok || !strings.HasPrefix(pct, "p") {
+		return SLO{}, fmt.Errorf("kcluster: SLO %q not of the form <duration>:p<percentile>", s)
+	}
+	target, err := time.ParseDuration(dur)
+	if err != nil || target <= 0 {
+		return SLO{}, fmt.Errorf("kcluster: bad SLO target in %q: %v", s, err)
+	}
+	p, err := strconv.ParseFloat(pct[1:], 64)
+	if err != nil || p <= 0 || p >= 100 {
+		return SLO{}, fmt.Errorf("kcluster: bad SLO percentile in %q (want 0 < p < 100)", s)
+	}
+	return SLO{Target: target, Quantile: p / 100}, nil
+}
+
+// SLOSummary is the objective evaluated over one load run. ErrorBudget is
+// the allowed violation fraction (1−quantile); BudgetBurnRate is the
+// actual violation rate divided by that budget — burn < 1 means the run
+// met the objective with room to spare, burn N means violations arrived N
+// times faster than the budget allows.
+type SLOSummary struct {
+	Objective      string  `json:"objective"`
+	TargetUS       float64 `json:"target_us"`
+	Quantile       float64 `json:"quantile"`
+	MeasuredUS     float64 `json:"measured_us"` // empirical latency at the objective quantile
+	Met            bool    `json:"met"`
+	Violations     uint64  `json:"violations"` // requests slower than target
+	ViolationRate  float64 `json:"violation_rate"`
+	ErrorBudget    float64 `json:"error_budget"`
+	BudgetBurnRate float64 `json:"budget_burn_rate"`
+}
+
+// evalSLO scores measured request latencies (µs, any order) against the
+// objective.
+func evalSLO(slo SLO, lat []float64) *SLOSummary {
+	out := &SLOSummary{
+		Objective:   slo.String(),
+		TargetUS:    float64(slo.Target) / float64(time.Microsecond),
+		Quantile:    slo.Quantile,
+		ErrorBudget: 1 - slo.Quantile,
+	}
+	if len(lat) == 0 {
+		out.Met = true
+		return out
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	out.MeasuredUS = s[int(slo.Quantile*float64(len(s)-1))]
+	for _, v := range s {
+		if v > out.TargetUS {
+			out.Violations++
+		}
+	}
+	out.ViolationRate = float64(out.Violations) / float64(len(s))
+	out.BudgetBurnRate = out.ViolationRate / out.ErrorBudget
+	out.Met = out.ViolationRate <= out.ErrorBudget
+	return out
 }
 
 // learnK asks the target's /healthz for the served k-mer length (both
@@ -196,7 +284,8 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadSummary, error) {
 		w := opts
 		w.Requests = opts.Warmup
 		w.Warmup = 0
-		w.QPS = 0 // warmup is a closed-loop burst
+		w.QPS = 0      // warmup is a closed-loop burst
+		w.Tracer = nil // only measured requests are traced
 		runPhase(ctx, w, keys)
 	}
 	opts.Logf("measuring: %d requests x %d lookups", opts.Requests, opts.Batch)
@@ -205,6 +294,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadSummary, error) {
 	sum.Dist = opts.Dist
 	sum.Batch = opts.Batch
 	sum.Concurrency = opts.Concurrency
+	sum.Build = obs.ReadBuild()
 	return sum, ctx.Err()
 }
 
@@ -229,6 +319,7 @@ func runPhase(ctx context.Context, opts LoadOptions, keys []string) LoadSummary 
 			defer wg.Done()
 			pick := newPicker(opts.Seed+int64(w)+1, opts)
 			batch := make([]string, opts.Batch)
+			tid := "worker " + strconv.Itoa(w)
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= opts.Requests {
@@ -251,14 +342,17 @@ func runPhase(ctx context.Context, opts LoadOptions, keys []string) LoadSummary 
 				for j := range batch {
 					batch[j] = keys[pick.next()]
 				}
-				ke, err := doRequest(ctx, opts, batch)
+				span := opts.Tracer.StartRoot("request", tid)
+				ke, err := doRequest(ctx, opts, batch, span.Context())
 				latencies[i] = float64(time.Since(sent)) / float64(time.Microsecond)
 				completed.Add(1)
 				lookups.Add(uint64(opts.Batch))
 				keyErrs.Add(uint64(ke))
 				if err != nil {
 					errs.Add(1)
+					span.SetAttr("error", err.Error())
 				}
+				span.End()
 			}
 		}(w)
 	}
@@ -276,16 +370,24 @@ func runPhase(ctx context.Context, opts LoadOptions, keys []string) LoadSummary 
 		sum.QPSAchieved = float64(sum.Lookups) / wall
 	}
 	sum.Latency = summarize(latencies[:completed.Load()])
+	if opts.SLO != nil {
+		sum.SLO = evalSLO(*opts.SLO, latencies[:completed.Load()])
+	}
 	return sum
 }
 
 // doRequest sends one lookup (batch of 1 → GET /kmer) or batch request,
-// returning the per-key error-marker count and a request-level error.
-func doRequest(ctx context.Context, opts LoadOptions, batch []string) (keyErrors int, err error) {
+// returning the per-key error-marker count and a request-level error. A
+// sampled span context rides the request as its traceparent so the serving
+// tier joins the trace rooted here.
+func doRequest(ctx context.Context, opts LoadOptions, batch []string, sc obs.SpanContext) (keyErrors int, err error) {
 	if len(batch) == 1 {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, opts.Target+"/kmer/"+batch[0], nil)
 		if err != nil {
 			return 0, err
+		}
+		if sc.Sampled {
+			req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
 		}
 		resp, err := opts.Client.Do(req)
 		if err != nil {
@@ -315,6 +417,9 @@ func doRequest(ctx context.Context, opts LoadOptions, batch []string) (keyErrors
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc.Sampled {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
 	resp, err := opts.Client.Do(req)
 	if err != nil {
 		return 0, err

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dedukt/internal/dna"
@@ -41,6 +43,12 @@ type RouterOptions struct {
 	// Client overrides the upstream HTTP client (default: pooled transport
 	// with RequestTimeout).
 	Client *http.Client
+	// Tracer, when non-nil, records request spans for sampled traffic:
+	// server spans for /kmer and /batch admission, one span per upstream
+	// attempt (annotated replica, hedged, and winner/canceled/error
+	// outcome), with the attempt's traceparent forwarded upstream so the
+	// replica's spans join the same trace. nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -111,6 +119,15 @@ type routerMetrics struct {
 	unrouteable    *obs.Counter
 	partialBatches *obs.Counter
 	latency        *obs.Histogram
+
+	// stage latency histograms (kcluster_stage_seconds): where a request's
+	// time goes inside the proxy — shard/candidate resolution, the winning
+	// upstream attempt, how long the primary ran alone before a hedge
+	// fired, and end-to-end routing.
+	stageRoute     *obs.Histogram
+	stageUpstream  *obs.Histogram
+	stageHedgeWait *obs.Histogram
+	stageTotal     *obs.Histogram
 }
 
 // NewRouter builds a router over an existing registry (whose Obs registry
@@ -128,6 +145,12 @@ func NewRouter(reg *Registry, opts RouterOptions) *Router {
 		partialBatches: o.Counter("kcluster_partial_batches_total", "Batches answered with at least one cluster-degraded key."),
 		latency:        o.Histogram("kcluster_request_latency_seconds", "Latency of winning upstream requests.", obs.ExpBuckets(0.00025, 2, 12)),
 	}
+	stageHelp := "Router stage latency: route is shard/candidate resolution, upstream the winning attempt, hedge_wait how long the primary ran before a hedge fired, total end-to-end routing."
+	stageBuckets := obs.ExpBuckets(0.00001, 4, 10)
+	r.met.stageRoute = o.Histogram("kcluster_stage_seconds", stageHelp, stageBuckets, obs.L("stage", "route"))
+	r.met.stageUpstream = o.Histogram("kcluster_stage_seconds", stageHelp, stageBuckets, obs.L("stage", "upstream"))
+	r.met.stageHedgeWait = o.Histogram("kcluster_stage_seconds", stageHelp, stageBuckets, obs.L("stage", "hedge_wait"))
+	r.met.stageTotal = o.Histogram("kcluster_stage_seconds", stageHelp, stageBuckets, obs.L("stage", "total"))
 	return r
 }
 
@@ -143,6 +166,25 @@ func (r *Router) hedgeDelay() time.Duration {
 	}
 	q := r.met.latency.Quantile(r.opts.HedgeQuantile)
 	return clampDuration(time.Duration(q*float64(time.Second)), r.opts.HedgeMin, r.opts.HedgeMax)
+}
+
+// startAttempt opens one upstream-attempt span under the caller's trace.
+// With no tracer, or an unsampled caller, the returned handle is a free
+// no-op.
+func (r *Router) startAttempt(ctx context.Context, rep *Replica, hedged bool) obs.ReqSpanHandle {
+	t := r.opts.Tracer
+	if t == nil {
+		return obs.ReqSpanHandle{}
+	}
+	parent := obs.SpanFromContext(ctx)
+	if !parent.Sampled {
+		return obs.ReqSpanHandle{}
+	}
+	span := t.StartSpan(parent, "upstream", rep.ID())
+	span.SetAttr("replica", rep.ID())
+	span.SetAttr("addr", rep.Addr)
+	span.SetAttr("hedged", strconv.FormatBool(hedged))
+	return span
 }
 
 // httpStatusError is a non-200 upstream answer.
@@ -171,6 +213,13 @@ func isHealthStrike(err error) bool {
 // next candidate either when the hedge timer fires (hedge) or when the
 // previous attempt hard-fails (retry). First success wins and cancels the
 // losers; the replica's latency and failure streak feed the registry.
+//
+// When the caller's context carries a sampled trace, every attempt records
+// an "upstream" span: the attempt's own span context rides the context
+// into do (lookupOnce/batchOnce forward it as the outgoing traceparent, so
+// the replica's server span becomes its child) and the span is annotated
+// with the replica, whether it was a hedge, and how the race ended for it
+// — winner, canceled (a loser cut down by the winner's cancel), or error.
 func raceReplicas[T any](r *Router, ctx context.Context, cands []*Replica, do func(ctx context.Context, rep *Replica) (T, error)) (T, error) {
 	var zero T
 	rctx, cancel := context.WithCancel(ctx)
@@ -182,6 +231,8 @@ func raceReplicas[T any](r *Router, ctx context.Context, cands []*Replica, do fu
 		hedged bool
 		dur    time.Duration
 	}
+	var decided atomic.Bool // first successful attempt wins the race
+	raceStart := time.Now()
 	results := make(chan outcome, len(cands))
 	launched := 0
 	launch := func(hedged bool) {
@@ -189,10 +240,31 @@ func raceReplicas[T any](r *Router, ctx context.Context, cands []*Replica, do fu
 		launched++
 		rep.inflight.Add(1)
 		go func() {
+			span := r.startAttempt(ctx, rep, hedged)
+			actx := rctx
+			if span.Sampled() {
+				actx = obs.ContextWithSpan(rctx, span.Context())
+			}
 			start := time.Now()
-			v, err := do(rctx, rep)
+			v, err := do(actx, rep)
+			dur := time.Since(start)
 			rep.inflight.Add(-1)
-			results <- outcome{val: v, err: err, rep: rep, hedged: hedged, dur: time.Since(start)}
+			won := err == nil && decided.CompareAndSwap(false, true)
+			if span.Sampled() {
+				switch {
+				case won:
+					span.SetAttr("outcome", "winner")
+				case err == nil:
+					span.SetAttr("outcome", "late_success")
+				case errors.Is(err, context.Canceled) && ctx.Err() == nil:
+					span.SetAttr("outcome", "canceled")
+				default:
+					span.SetAttr("outcome", "error")
+					span.SetAttr("error", err.Error())
+				}
+				span.End()
+			}
+			results <- outcome{val: v, err: err, rep: rep, hedged: hedged, dur: dur}
 		}()
 	}
 	launch(false)
@@ -215,6 +287,7 @@ func raceReplicas[T any](r *Router, ctx context.Context, cands []*Replica, do fu
 			hedgeC = nil
 			if launched < len(cands) {
 				r.met.hedges.Inc()
+				r.met.stageHedgeWait.Observe(time.Since(raceStart).Seconds())
 				launch(true)
 				pending++
 			}
@@ -223,6 +296,7 @@ func raceReplicas[T any](r *Router, ctx context.Context, cands []*Replica, do fu
 			if o.err == nil {
 				r.reg.ReportSuccess(o.rep, o.dur)
 				r.met.latency.Observe(o.dur.Seconds())
+				r.met.stageUpstream.Observe(o.dur.Seconds())
 				if o.hedged {
 					r.met.hedgeWins.Inc()
 				}
@@ -254,6 +328,9 @@ func (r *Router) lookupOnce(ctx context.Context, rep *Replica, seq string) (Resu
 	if err != nil {
 		return Result{}, err
 	}
+	if sc := obs.SpanFromContext(ctx); sc.Sampled {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
 		return Result{}, err
@@ -282,6 +359,9 @@ func (r *Router) batchOnce(ctx context.Context, rep *Replica, seqs []string) ([]
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc := obs.SpanFromContext(ctx); sc.Sampled {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -330,14 +410,18 @@ func (r *Router) route(seq string) (key uint64, cands []*Replica, err error) {
 // Lookup answers one point lookup, hedging and retrying across the key's
 // replica candidates.
 func (r *Router) Lookup(ctx context.Context, seq string) (Result, error) {
+	start := time.Now()
 	r.met.requests.Inc()
 	_, cands, err := r.route(seq)
 	if err != nil {
 		return Result{}, err
 	}
-	return raceReplicas(r, ctx, cands, func(ctx context.Context, rep *Replica) (Result, error) {
+	r.met.stageRoute.Observe(time.Since(start).Seconds())
+	res, err := raceReplicas(r, ctx, cands, func(ctx context.Context, rep *Replica) (Result, error) {
 		return r.lookupOnce(ctx, rep, seq)
 	})
+	r.met.stageTotal.Observe(time.Since(start).Seconds())
+	return res, err
 }
 
 // batchGroup is the slice of a client batch bound for one primary replica.
@@ -352,6 +436,7 @@ type batchGroup struct {
 // and failures degrade to per-key error markers instead of failing the
 // whole batch.
 func (r *Router) Batch(ctx context.Context, kmers []string) (BatchResponse, error) {
+	start := time.Now()
 	r.met.batches.Inc()
 	if len(kmers) > maxBatchKmers {
 		return BatchResponse{}, fmt.Errorf("%w: batch of %d exceeds %d", ErrBadQuery, len(kmers), maxBatchKmers)
@@ -379,6 +464,7 @@ func (r *Router) Batch(ctx context.Context, kmers []string) (BatchResponse, erro
 		g.seqs = append(g.seqs, seq)
 		g.idx = append(g.idx, i)
 	}
+	r.met.stageRoute.Observe(time.Since(start).Seconds())
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -419,5 +505,6 @@ func (r *Router) Batch(ctx context.Context, kmers []string) (BatchResponse, erro
 			out.Errors++
 		}
 	}
+	r.met.stageTotal.Observe(time.Since(start).Seconds())
 	return out, nil
 }

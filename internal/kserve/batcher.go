@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync/atomic"
 	"time"
+
+	"dedukt/internal/obs"
 )
 
 // call is one in-flight key resolution — a future completed exactly once
@@ -18,6 +20,14 @@ type call struct {
 	err  error
 	done chan struct{} // per-call completion; nil for group members
 	grp  *callGroup    // batch-slab membership; nil for point calls
+
+	// enq stamps admission time so the shard worker can attribute queue
+	// wait (kserve_stage_seconds{stage="queue_wait"} and, when sc is a
+	// sampled trace context, a queue_wait span). Both fields are plain
+	// values on the already-allocated call — tracing adds no allocations
+	// to the lookup hot path.
+	enq time.Time
+	sc  obs.SpanContext
 }
 
 func newCall(key uint64) *call {

@@ -16,6 +16,7 @@ import (
 	"dedukt/internal/dna"
 	"dedukt/internal/kcount"
 	"dedukt/internal/kernels"
+	"dedukt/internal/obs"
 )
 
 // sampleDB builds a deterministic database of n-ish distinct k-mers.
@@ -174,14 +175,14 @@ func TestServiceBatching(t *testing.T) {
 	}
 	defer svc.Close()
 
-	c0, err := svc.getAsync(db.Entries[0].Key)
+	c0, err := svc.getAsync(context.Background(), db.Entries[0].Key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-entered // worker is now blocked serving [key0]
 	var calls []*call
 	for _, e := range db.Entries[1:9] {
-		c, err := svc.getAsync(e.Key)
+		c, err := svc.getAsync(context.Background(), e.Key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -664,5 +665,105 @@ func TestBatchAllocRegression(t *testing.T) {
 		if want := db.Get(key); out[i] != want {
 			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
 		}
+	}
+}
+
+// TestLookupAllocRegression pins the point-lookup hot path with tracing
+// plumbed in but sampling off: LookupKey through singleflight and the
+// shard micro-batch queue must stay at its pre-tracing budget of 2
+// allocations (the call struct and its completion channel) — the
+// regression guard for BenchmarkKserveLookup, so span plumbing can never
+// silently tax untraced traffic.
+func TestLookupAllocRegression(t *testing.T) {
+	db := sampleDB(t, 17, 50_000, 29, 0)
+	tracer := obs.NewTracer("kserve-test", 0, 0) // wired but never sampling
+	svc := newService(t, db, Options{Shards: 4, CacheSize: -1, MaxWait: -1, QueueDepth: 4096, Tracer: tracer})
+	ctx := context.Background()
+	key := db.Entries[1234].Key
+	for i := 0; i < 32; i++ { // warm the shard worker's batch slice
+		if _, err := svc.LookupKey(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := svc.LookupKey(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 2 is the structural floor; allow fractional scheduler noise but fail
+	// before a third steady allocation creeps in.
+	if avg > 2.5 {
+		t.Fatalf("LookupKey allocates %.2f/op with sampling off, want ≤2", avg)
+	}
+	if tracer.Len() != 0 {
+		t.Fatalf("never-sampling tracer recorded %d spans", tracer.Len())
+	}
+}
+
+// TestHandlerTracing drives a sampled request through the HTTP surface and
+// asserts the replica records the full span chain — server span continued
+// from the incoming traceparent, queue_wait on admission, serve_batch on
+// the owning shard — all under the caller's trace ID, and that
+// /debug/trace exposes the same dump.
+func TestHandlerTracing(t *testing.T) {
+	db := sampleDB(t, 17, 5_000, 31, 0)
+	tracer := obs.NewTracer("replica-test", 1, 0)
+	svc := newService(t, db, Options{Shards: 2, CacheSize: -1, MaxWait: -1, Tracer: tracer})
+	h := NewHandler(svc)
+
+	client := obs.NewTracer("client", 1, 0)
+	root := client.StartRoot("request", "load")
+	seq := dna.Kmer(db.Entries[7].Key).String(&dna.Random, 17)
+	req := httptest.NewRequest("GET", "/kmer/"+seq, nil)
+	req.Header.Set(obs.TraceparentHeader, root.Context().Traceparent())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	root.End()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced lookup: status %d: %s", rec.Code, rec.Body)
+	}
+
+	spans := tracer.Snapshot()
+	names := make(map[string]string, len(spans)) // name → trace ID
+	for _, sp := range spans {
+		names[sp.Name] = sp.Trace
+	}
+	wantTrace := client.Snapshot()[0].Trace
+	for _, name := range []string{"kserve_lookup", "queue_wait", "serve_batch"} {
+		if names[name] == "" {
+			t.Fatalf("missing %q span; got %v", name, names)
+		}
+		if names[name] != wantTrace {
+			t.Fatalf("%q span on trace %s, want caller trace %s", name, names[name], wantTrace)
+		}
+	}
+
+	// An unsampled traceparent must be respected: no new spans recorded.
+	before := tracer.Len()
+	req2 := httptest.NewRequest("GET", "/kmer/"+seq, nil)
+	sc := root.Context()
+	sc.Sampled = false
+	req2.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("unsampled lookup: status %d", rec2.Code)
+	}
+	if tracer.Len() != before {
+		t.Fatalf("unsampled request grew the span buffer: %d → %d", before, tracer.Len())
+	}
+
+	// /debug/trace serves the same dump, named for the process.
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("/debug/trace: status %d", rec3.Code)
+	}
+	dump, err := obs.ReadTraceDump(rec3.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Process != "replica-test" || len(dump.Spans) != len(spans) {
+		t.Fatalf("/debug/trace dump = %q/%d spans, want replica-test/%d", dump.Process, len(dump.Spans), len(spans))
 	}
 }

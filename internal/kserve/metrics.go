@@ -40,8 +40,10 @@ type serviceMetrics struct {
 	requests    *obs.Counter // every lookup, including cache hits
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
-	coalesced   *obs.Counter // singleflight followers
-	rejected    *obs.Counter // admission-control drops
+	coalesced   *obs.Counter   // singleflight followers
+	rejected    *obs.Counter   // admission-control drops
+	queueWait   *obs.Histogram // admission → batch start, per call
+	serveStage  *obs.Histogram // micro-batch serve duration
 }
 
 // shardMetrics are one shard's counters, written only by its worker and
@@ -66,6 +68,12 @@ func (s *Service) initMetrics(reg *obs.Registry) {
 		cacheMisses: reg.Counter("kserve_cache_misses_total", "Lookups that missed the cache."),
 		coalesced:   reg.Counter("kserve_coalesced_total", "Lookups coalesced onto an in-flight request (singleflight followers)."),
 		rejected:    reg.Counter("kserve_rejected_total", "Lookups shed by admission control (HTTP 429)."),
+		queueWait: reg.Histogram("kserve_stage_seconds",
+			"Serving-stage latency: queue_wait is admission to micro-batch start per lookup, serve is micro-batch execution.",
+			obs.ExpBuckets(0.000001, 4, 10), obs.L("stage", "queue_wait")),
+		serveStage: reg.Histogram("kserve_stage_seconds",
+			"Serving-stage latency: queue_wait is admission to micro-batch start per lookup, serve is micro-batch execution.",
+			obs.ExpBuckets(0.000001, 4, 10), obs.L("stage", "serve")),
 	}
 	reg.Gauge("kserve_k", "Served k-mer length.").Set(float64(s.k))
 	reg.Gauge("kserve_distinct_kmers", "Distinct k-mers in the served spectrum.").Set(float64(s.distinct))

@@ -17,6 +17,7 @@ import (
 	"dedukt/internal/dna"
 	"dedukt/internal/kcount"
 	"dedukt/internal/kernels"
+	"dedukt/internal/obs"
 )
 
 // maxBatchBody bounds a /batch request body; maxBatchKmers bounds how many
@@ -89,18 +90,23 @@ type healthResponse struct {
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /kmer/{seq}", func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := startServerSpan(svc, r, "kserve_lookup")
+		defer span.End()
 		if d := svc.opts.Slow; d > 0 {
 			time.Sleep(d)
 		}
 		seq := r.PathValue("seq")
-		count, err := svc.Lookup(r.Context(), seq)
+		count, err := svc.Lookup(ctx, seq)
 		if err != nil {
+			span.SetAttr("error", err.Error())
 			writeErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, KmerResult{Kmer: seq, Count: count, Present: count > 0})
 	})
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := startServerSpan(svc, r, "kserve_batch")
+		defer span.End()
 		if d := svc.opts.Slow; d > 0 {
 			time.Sleep(d)
 		}
@@ -130,7 +136,9 @@ func NewHandler(svc *Service) http.Handler {
 			bb.counts = make([]uint32, len(keys))
 		}
 		counts := bb.counts[:len(keys)]
-		if err := svc.LookupKeysInto(r.Context(), keys, counts); err != nil {
+		span.SetAttr("batch_size", strconv.Itoa(len(keys)))
+		if err := svc.LookupKeysInto(ctx, keys, counts); err != nil {
+			span.SetAttr("error", err.Error())
 			writeErr(w, err)
 			bb.keys = keys
 			return
@@ -184,6 +192,9 @@ func NewHandler(svc *Service) http.Handler {
 			ShardIndex: svc.opts.ShardIndex, ShardCount: svc.opts.ShardCount,
 		})
 	})
+	if t := svc.opts.Tracer; t != nil {
+		mux.Handle("GET /debug/trace", t.DebugHandler())
+	}
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" ||
 			r.Header.Get("Accept") == "application/json" {
@@ -194,6 +205,25 @@ func NewHandler(svc *Service) http.Handler {
 		_ = svc.Registry().WritePrometheus(w)
 	})
 	return mux
+}
+
+// startServerSpan continues (or roots) a trace for one HTTP request: the
+// incoming traceparent header decides trace identity and sampling, and the
+// returned context carries the span so the shard workers can attribute
+// queue wait and batch membership to it. With no tracer configured — or an
+// unsampled request — the handle is a free no-op and the request context
+// is returned unwrapped, keeping the untraced hot path allocation-clean.
+func startServerSpan(svc *Service, r *http.Request, name string) (context.Context, obs.ReqSpanHandle) {
+	ctx := r.Context()
+	t := svc.opts.Tracer
+	if t == nil {
+		return ctx, obs.ReqSpanHandle{}
+	}
+	span := t.StartServer(r.Header, name, "http")
+	if span.Sampled() {
+		ctx = obs.ContextWithSpan(ctx, span.Context())
+	}
+	return ctx, span
 }
 
 // errBadRequest tags client errors the generic mapper should turn into 400.

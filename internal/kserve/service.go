@@ -89,6 +89,12 @@ type Options struct {
 	// duration before serving it — straggler fault injection for hedging
 	// tests and cluster smoke scripts. Never set it in production.
 	Slow time.Duration
+	// Tracer, when non-nil, records request spans for sampled lookups:
+	// the HTTP handlers continue traces from incoming traceparent headers
+	// and the shard workers attribute queue wait and micro-batch serving
+	// to them. nil (the default) disables tracing entirely; unsampled
+	// requests cost nothing beyond a context check either way.
+	Tracer *obs.Tracer
 
 	// testHookBeforeServe, when set (tests only), runs in a shard worker
 	// before each batch is served — used to hold a shard busy
@@ -250,7 +256,7 @@ func (s *Service) Lookup(ctx context.Context, seq string) (uint32, error) {
 // LookupKey resolves one packed key through cache, singleflight and the
 // owning shard's micro-batch queue.
 func (s *Service) LookupKey(ctx context.Context, key uint64) (uint32, error) {
-	c, err := s.getAsync(key)
+	c, err := s.getAsync(ctx, key)
 	if err != nil {
 		return 0, err
 	}
@@ -319,9 +325,14 @@ func (s *Service) LookupKeysInto(ctx context.Context, keys []uint64, out []uint3
 		return nil
 	}
 	slab := getSlab(len(keys))
+	now := time.Now()
+	var sc obs.SpanContext
+	if s.opts.Tracer != nil {
+		sc = obs.SpanFromContext(ctx)
+	}
 	for i, key := range keys {
 		c := &slab.calls[i]
-		*c = call{key: key, grp: &slab.grp}
+		*c = call{key: key, grp: &slab.grp, enq: now, sc: sc}
 		if s.closedBit.Load() {
 			c.complete(0, ErrClosed)
 			continue
@@ -373,7 +384,7 @@ func (s *Service) LookupKeysInto(ctx context.Context, keys []uint64, out []uint3
 
 // getAsync starts (or joins) the resolution of key and returns its call.
 // Cache hits return an already-completed call.
-func (s *Service) getAsync(key uint64) (*call, error) {
+func (s *Service) getAsync(ctx context.Context, key uint64) (*call, error) {
 	if s.closedBit.Load() {
 		return nil, ErrClosed
 	}
@@ -390,6 +401,10 @@ func (s *Service) getAsync(key uint64) (*call, error) {
 	if !leader {
 		s.met.coalesced.Add(1)
 		return c, nil
+	}
+	c.enq = time.Now()
+	if s.opts.Tracer != nil {
+		c.sc = obs.SpanFromContext(ctx)
 	}
 
 	sh := s.shards[kernels.DestOf(key, len(s.shards))]

@@ -2,8 +2,11 @@ package kserve
 
 import (
 	"sort"
+	"strconv"
+	"time"
 
 	"dedukt/internal/kcount"
+	"dedukt/internal/obs"
 )
 
 // shard owns one partition of the spectrum — the keys whose exchange
@@ -47,9 +50,28 @@ func (sh *shard) run() {
 // serve resolves one micro-batch: probe, publish to the cache, retire the
 // singleflight slot, release the waiters — in that order, so a request
 // arriving after the flight slot clears finds the value in the cache.
+// Queue wait (admission → batch start) is attributed per call into the
+// stage histogram; sampled calls additionally get queue_wait spans and
+// one serve_batch span adopted from the first traced call's context, so
+// a joined trace shows which micro-batch a request rode in and how long
+// it sat in the shard queue first.
 func (sh *shard) serve(batch []*call) {
 	if hook := sh.svc.opts.testHookBeforeServe; hook != nil {
 		hook(sh.id, len(batch))
+	}
+	start := time.Now()
+	tracer := sh.svc.opts.Tracer
+	var batchParent obs.SpanContext
+	for _, c := range batch {
+		if !c.enq.IsZero() {
+			sh.svc.met.queueWait.Observe(start.Sub(c.enq).Seconds())
+			if tracer != nil && c.sc.Sampled {
+				tracer.RecordSpan(c.sc, "queue_wait", sh.tid(), c.enq, start.Sub(c.enq), nil)
+				if !batchParent.Valid() {
+					batchParent = c.sc
+				}
+			}
+		}
 	}
 	sh.met.batches.Add(1)
 	sh.met.served.Add(uint64(len(batch)))
@@ -66,4 +88,13 @@ func (sh *shard) serve(batch []*call) {
 		}
 		c.complete(v, nil)
 	}
+	dur := time.Since(start)
+	sh.svc.met.serveStage.Observe(dur.Seconds())
+	if tracer != nil && batchParent.Valid() {
+		tracer.RecordSpan(batchParent, "serve_batch", sh.tid(), start, dur,
+			map[string]string{"batch_size": strconv.Itoa(len(batch))})
+	}
 }
+
+// tid is the trace thread name this shard's spans land on.
+func (sh *shard) tid() string { return "shard " + strconv.Itoa(sh.id) }

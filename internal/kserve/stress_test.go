@@ -127,17 +127,17 @@ func TestBackpressure429(t *testing.T) {
 	ctx := context.Background()
 	k0, k1, k2, k3 := db.Entries[0], db.Entries[1], db.Entries[2], db.Entries[3]
 
-	c0, err := svc.getAsync(k0.Key)
+	c0, err := svc.getAsync(context.Background(), k0.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-entered // worker now blocked serving [k0]; queue empty
 
-	c1, err := svc.getAsync(k1.Key)
+	c1, err := svc.getAsync(context.Background(), k1.Key)
 	if err != nil {
 		t.Fatal(err) // occupies the single queue slot
 	}
-	if _, err := svc.getAsync(k2.Key); !errors.Is(err, ErrOverloaded) {
+	if _, err := svc.getAsync(context.Background(), k2.Key); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("saturated enqueue: %v, want ErrOverloaded", err)
 	}
 
@@ -193,14 +193,14 @@ func TestQueuedLookupsAnsweredOnClose(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c0, err := svc.getAsync(db.Entries[0].Key)
+	c0, err := svc.getAsync(context.Background(), db.Entries[0].Key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-entered
 	var queued []*call
 	for _, e := range db.Entries[1:20] {
-		c, err := svc.getAsync(e.Key)
+		c, err := svc.getAsync(context.Background(), e.Key)
 		if err != nil {
 			t.Fatal(err)
 		}

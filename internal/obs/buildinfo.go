@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the binary a metrics exposition or trace came from,
+// read from the Go build metadata — so bench rows, traces and scrapes are
+// attributable to a commit.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuild returns the running binary's build identity. Fields that the
+// build did not stamp (no VCS metadata in test binaries, for example) are
+// left empty.
+func ReadBuild() BuildInfo {
+	info := BuildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Path = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// RegisterBuildInfo exports the standard build_info gauge (value fixed at
+// 1, identity in the labels) into reg, named for the binary, and returns
+// the identity it stamped. Every serving binary calls this so /metrics
+// says which commit produced the numbers.
+func RegisterBuildInfo(reg *Registry, binary string) BuildInfo {
+	info := ReadBuild()
+	if reg == nil {
+		return info
+	}
+	labels := []Label{
+		L("binary", binary),
+		L("go_version", info.GoVersion),
+	}
+	if info.Version != "" {
+		labels = append(labels, L("version", info.Version))
+	}
+	if info.Revision != "" {
+		labels = append(labels, L("revision", info.Revision))
+	}
+	reg.Gauge("build_info", "Build identity of this binary (value is always 1).", labels...).Set(1)
+	return info
+}

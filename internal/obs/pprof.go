@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler returns the net/http/pprof surface on a private mux —
+// /debug/pprof/ index, cmdline, profile, symbol, trace, and the named
+// runtime profiles — without touching http.DefaultServeMux, so a binary
+// only exposes profiling when it explicitly mounts this handler.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServePprof starts the opt-in profiling listener behind the -pprof-addr
+// flag: off (a no-op) when addr is empty, otherwise an HTTP server on its
+// own port serving PprofHandler in a background goroutine. Serving errors
+// are reported through logf (log.Printf-shaped) rather than killing the
+// process — profiling is diagnostics, never the service.
+func ServePprof(addr string, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logf("pprof listener: %v", err)
+		return
+	}
+	logf("pprof listening on %s", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, PprofHandler()); err != nil {
+			logf("pprof server: %v", err)
+		}
+	}()
+}

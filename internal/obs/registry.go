@@ -292,8 +292,12 @@ func escapeHelp(v string) string {
 }
 
 // WritePrometheus renders every registered metric in Prometheus text
-// exposition format (version 0.0.4), families sorted by name, series in
-// registration order.
+// exposition format (version 0.0.4), families sorted by name, series
+// sorted by rendered label set. Both orders are fully deterministic —
+// registration order can differ between otherwise-identical processes
+// (lazy get-or-create races, conditional features), and a scrape diff or
+// golden-file test must not flap on it (pinned by
+// TestWritePrometheusGolden).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
@@ -316,7 +320,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		// Series instruments are written under the family lock (lazy init,
 		// GaugeFunc replacement), so render under it too.
 		f.mu.Lock()
-		for _, s := range f.order {
+		ordered := append([]*series(nil), f.order...)
+		sort.Slice(ordered, func(a, b int) bool { return ordered[a].labels < ordered[b].labels })
+		for _, s := range ordered {
 			writeSeries(&sb, f, s)
 		}
 		f.mu.Unlock()

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -215,4 +217,101 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}()
 	ExpBuckets(0, 2, 3)
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte: families
+// sorted by name, series sorted by label set — so two scrapes (or two
+// processes that happened to register lazily in different orders) always
+// diff clean. Registration order here is deliberately scrambled.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_requests_total", "Requests.", L("shard", "2")).Add(3)
+	reg.Histogram("mm_latency_seconds", "Latency.", []float64{0.001, 0.01}, L("stage", "upstream")).Observe(0.005)
+	reg.Counter("zz_requests_total", "Requests.", L("shard", "0")).Add(1)
+	reg.Gauge("aa_up", "Up.").Set(1)
+	reg.Histogram("mm_latency_seconds", "Latency.", []float64{0.001, 0.01}, L("stage", "route")).Observe(0.0005)
+	reg.Counter("zz_requests_total", "Requests.", L("shard", "1")).Add(2)
+	reg.Gauge("kk_info", "Identity.", L("binary", "kproxy"), L("go_version", "go1.22")).Set(1)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Fatalf("exposition drifted from golden file (re-run with -update if intended):\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	// Scrambled re-registration into a fresh registry must render
+	// identically: order is a function of names and labels only.
+	reg2 := NewRegistry()
+	reg2.Gauge("kk_info", "Identity.", L("binary", "kproxy"), L("go_version", "go1.22")).Set(1)
+	reg2.Histogram("mm_latency_seconds", "Latency.", []float64{0.001, 0.01}, L("stage", "route")).Observe(0.0005)
+	reg2.Counter("zz_requests_total", "Requests.", L("shard", "1")).Add(2)
+	reg2.Counter("zz_requests_total", "Requests.", L("shard", "0")).Add(1)
+	reg2.Gauge("aa_up", "Up.").Set(1)
+	reg2.Counter("zz_requests_total", "Requests.", L("shard", "2")).Add(3)
+	reg2.Histogram("mm_latency_seconds", "Latency.", []float64{0.001, 0.01}, L("stage", "upstream")).Observe(0.005)
+	var sb2 strings.Builder
+	if err := reg2.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != sb.String() {
+		t.Fatalf("registration order leaked into the exposition:\nfirst:\n%s\nsecond:\n%s", sb.String(), sb2.String())
+	}
+}
+
+// TestHistogramConcurrentObserveQuantile races Observe against Quantile
+// and Snapshot (run with -race): the router reads Quantile on the request
+// path to derive hedge deadlines while winners observe into the same
+// histogram, so this pairing must be data-race free and the quantile must
+// always land inside the bucket range.
+func TestHistogramConcurrentObserveQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", ExpBuckets(0.001, 2, 10))
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			v := 0.001 * float64(w+1)
+			for i := 0; i < 5000; i++ {
+				h.Observe(v)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if q := h.Quantile(0.99); q < 0 || q > 0.001*512 {
+					t.Errorf("concurrent p99 = %v outside bucket range", q)
+					return
+				}
+				h.Snapshot()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := h.Count(); got != 4*5000 {
+		t.Fatalf("Count = %d, want %d", got, 4*5000)
+	}
 }

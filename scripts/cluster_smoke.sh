@@ -9,9 +9,17 @@
 # reports zero request errors and zero per-key degradation markers, and the
 # proxy's metrics show hedges fired and the killed replica down.
 #
-# Artifacts (kload summary, proxy metrics, process logs) go to
-# CLUSTER_SMOKE_OUT (default: a temp dir removed on exit) so CI can upload
-# them. Run via `make cluster-smoke`; part of `make ci`.
+# The burst runs with distributed tracing on: kload samples 1-in-20
+# requests, forwards W3C traceparent headers, and the proxy and replicas
+# continue those traces. The per-process dumps are collected over
+# /debug/trace, joined with `kmertools trace-join`, and the joined trace
+# must show at least one trace ID crossing kload -> kproxy -> both shard-0
+# replicas with the hedged attempt marked winner. kload also enforces a
+# (generous) 2s:p99 SLO so the error-budget accounting path is exercised.
+#
+# Artifacts (kload summary, proxy metrics, process logs, joined trace) go
+# to CLUSTER_SMOKE_OUT (default: a temp dir removed on exit) so CI can
+# upload them. Run via `make cluster-smoke`; part of `make ci`.
 set -eu
 
 keep=1
@@ -65,10 +73,15 @@ go build -o "$bin/kproxy" ./cmd/kproxy || fail "go build ./cmd/kproxy"
 go build -o "$bin/kload" ./cmd/kload || fail "go build ./cmd/kload"
 
 echo "cluster-smoke: starting 2 shards x 2 replicas (one 50ms straggler)"
+# -trace-out (with the default -trace-sample 0) turns tracing on in
+# continuation-only mode: the replica records spans for requests arriving
+# with a sampled traceparent but never roots traces of its own, so the
+# sampling decision stays with kload. Dumps are fetched live over
+# /debug/trace; the exit files land in $bin and are discarded.
 start_replica() { # name shard extra...
     name=$1; shard=$2; shift 2
     "$bin/kserve" -kcd "$bin/smoke.kcd" -addr 127.0.0.1:0 -shard "$shard" \
-        -replica-id "$name" "$@" 2> "$out/$name.log" &
+        -replica-id "$name" -trace-out "$bin/$name.exit-trace.json" "$@" 2> "$out/$name.log" &
     eval "${name}_pid=$!"
     pids="$pids $!"
     addr=$(wait_addr "$out/$name.log" "$!") || fail "$name never announced its address"
@@ -81,6 +94,7 @@ start_replica r1a 1/2
 start_replica r1b 1/2               # victim: killed mid-burst
 
 "$bin/kproxy" -addr 127.0.0.1:0 -probe-interval 100ms -hedge-max 5ms \
+    -trace-out "$bin/kproxy.exit-trace.json" \
     -replica "$r0a_addr" -replica "$r0b_addr" -replica "$r1a_addr" -replica "$r1b_addr" \
     2> "$out/kproxy.log" &
 proxy_pid=$!
@@ -102,8 +116,9 @@ done
 curl -sf "http://$PADDR/kmer/$KMER" | jq -e ".count == $COUNT" >/dev/null \
     || fail "proxied GET /kmer/$KMER did not report count $COUNT"
 
-echo "cluster-smoke: >=100k-lookup burst with a mid-run replica kill"
+echo "cluster-smoke: >=100k-lookup burst with a mid-run replica kill (traced, SLO 2s:p99)"
 "$bin/kload" -q -target "http://$PADDR" -n 1800 -batch 64 -c 8 -warmup 100 \
+    -trace-sample 20 -trace-out "$out/trace_kload.json" -slo 2s:p99 \
     > "$out/kload.json" 2> "$out/kload.log" &
 load_pid=$!
 sleep 1
@@ -119,11 +134,47 @@ jq -e '.lookups >= 100000' "$out/kload.json" >/dev/null \
     || fail "kload completed $(jq .lookups "$out/kload.json") lookups, want >= 100000"
 echo "cluster-smoke: $(jq -r .lookups "$out/kload.json") lookups, 0 errors, p99 $(jq -r .latency.p99_us "$out/kload.json")us"
 
+# The SLO accounting must be present, met (2s:p99 is deliberately
+# generous), and carry the build stamp.
+jq -e '.slo.met == true' "$out/kload.json" >/dev/null \
+    || fail "SLO 2s:p99 not met: $(jq -c .slo "$out/kload.json")"
+jq -e '.build.go_version != ""' "$out/kload.json" >/dev/null \
+    || fail "kload summary is missing build info"
+echo "cluster-smoke: SLO $(jq -r .slo.objective "$out/kload.json") met, burn rate $(jq -r .slo.budget_burn_rate "$out/kload.json")"
+
 # The straggler forced hedging: the proxy must have fired hedged requests.
 curl -sf "http://$PADDR/metrics" > "$out/kproxy_metrics.prom" || fail "kproxy /metrics"
 hedges=$(awk '$1 == "kcluster_hedges_total" {print $2}' "$out/kproxy_metrics.prom")
 [ -n "$hedges" ] && [ "$hedges" -gt 0 ] 2>/dev/null \
     || fail "kcluster_hedges_total = '$hedges', want > 0 under a 50ms straggler"
+grep -q '^build_info{' "$out/kproxy_metrics.prom" \
+    || fail "kproxy /metrics is missing build_info"
+grep -q '^kcluster_stage_seconds_bucket{' "$out/kproxy_metrics.prom" \
+    || fail "kproxy /metrics is missing kcluster_stage_seconds"
+
+echo "cluster-smoke: joining per-process trace dumps"
+curl -sf "http://$PADDR/debug/trace" > "$out/trace_kproxy.json" || fail "kproxy /debug/trace"
+curl -sf "http://$r0a_addr/debug/trace" > "$out/trace_r0a.json" || fail "r0a /debug/trace"
+curl -sf "http://$r0b_addr/debug/trace" > "$out/trace_r0b.json" || fail "r0b /debug/trace"
+go run ./cmd/kmertools trace-join -o "$out/trace_joined.json" \
+    "$out/trace_kload.json" "$out/trace_kproxy.json" "$out/trace_r0a.json" "$out/trace_r0b.json" \
+    2>> "$out/kload.log" || fail "kmertools trace-join"
+
+# At least one sampled request must appear as ONE trace ID crossing every
+# process tier: the kload root, the kproxy routing spans, and — because the
+# straggler forces a hedge to the other shard-0 replica — BOTH r0a and r0b.
+jq -e '[.traceEvents[] | select(.ph == "X") | {t: .args.trace, p: .args.proc}]
+       | group_by(.t) | map([.[].p] | unique)
+       | map(select(contains(["kload", "kproxy", "r0a", "r0b"]))) | length >= 1' \
+    "$out/trace_joined.json" >/dev/null \
+    || fail "no joined trace spans kload+kproxy+r0a+r0b: $(jq -c '[.traceEvents[] | select(.ph == "X") | {t: .args.trace, p: .args.proc}] | group_by(.t) | map([.[].p] | unique)' "$out/trace_joined.json")"
+
+# The hedged attempt that rescued a straggled sub-batch must be annotated
+# as the winner on the proxy's upstream span.
+jq -e '[.traceEvents[] | select(.ph == "X" and .args.hedged == "true" and .args.outcome == "winner")] | length >= 1' \
+    "$out/trace_joined.json" >/dev/null \
+    || fail "no hedged upstream attempt marked winner in the joined trace"
+echo "cluster-smoke: joined trace has $(jq '[.traceEvents[] | select(.ph == "X")] | length' "$out/trace_joined.json") spans across $(jq '[.traceEvents[] | select(.ph == "M" and .name == "process_name")] | length' "$out/trace_joined.json") processes"
 
 # The killed replica must be marked down in the cluster view.
 i=0
