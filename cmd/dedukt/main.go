@@ -64,6 +64,7 @@ func main() {
 		encoding  = flag.String("encoding", "random", "base encoding: random (paper) or lex")
 		canonical = flag.Bool("canonical", false, "count canonical k-mers (kmer mode only)")
 		gpudirect = flag.Bool("gpudirect", false, "model GPUDirect transfers (skip host staging)")
+		exchange  = flag.String("exchange", "flat", "exchange strategy: flat (direct P×P Alltoallv) or hier (intra-node gather → leader Alltoallv → intra-node scatter)")
 		overlap   = flag.Bool("overlap", false, "overlap each round's exchange with the next round's parse (nonblocking collectives; needs -round-bases for multi-round input)")
 		top       = flag.Int("top", 5, "print the N most frequent k-mers")
 		histMax   = flag.Int("hist", 10, "print histogram classes up to this frequency")
@@ -139,6 +140,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	exch, err := pipeline.ParseExchange(*exchange)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var layout cluster.Layout
 	switch *engine {
@@ -197,6 +202,7 @@ func main() {
 		Window:     *window,
 		Ord:        ord,
 		Canonical:  *canonical,
+		Exchange:   exch,
 		GPUDirect:  *gpudirect,
 		Overlap:    *overlap,
 		KeepTables: *outKCD != "" || *serve != "",
@@ -419,6 +425,7 @@ type jsonReport struct {
 	M          int               `json:"m,omitempty"`
 	Window     int               `json:"window,omitempty"`
 	Mode       string            `json:"mode"`
+	Exchange   string            `json:"exchange"`
 	Nodes      int               `json:"nodes"`
 	Ranks      int               `json:"ranks"`
 	Rounds     int               `json:"rounds"`
@@ -471,7 +478,8 @@ type jsonKmer struct {
 func reportJSON(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top int) error {
 	rep := jsonReport{
 		Run: res.Name, K: cfg.K, Mode: res.Mode.String(),
-		Nodes: res.Nodes, Ranks: res.Ranks, Rounds: res.Rounds,
+		Exchange: cfg.Exchange.String(),
+		Nodes:    res.Nodes, Ranks: res.Ranks, Rounds: res.Rounds,
 		ParseSec: res.Modeled.Parse.Seconds(), ExchSec: res.Modeled.Exchange.Seconds(),
 		CountSec: res.Modeled.Count.Seconds(), TotalSec: res.Modeled.Total().Seconds(),
 		Items: res.ItemsExchanged, Payload: res.PayloadBytes, Fabric: res.Volume.FabricBytes,
@@ -614,7 +622,7 @@ func report(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top, histMax
 	if cfg.Mode == pipeline.SupermerMode {
 		fmt.Fprintf(w, ", m=%d, window=%d, ordering=%s", cfg.M, cfg.Window, cfg.Ord.Name())
 	}
-	fmt.Fprintf(w, ", %d nodes × %d ranks\n\n", res.Nodes, res.Ranks/res.Nodes)
+	fmt.Fprintf(w, ", %d nodes × %d ranks, %s exchange\n\n", res.Nodes, res.Ranks/res.Nodes, cfg.Exchange)
 
 	t := stats.NewTable("phase", "Summit-projected time")
 	t.Row("parse & process", res.Modeled.Parse)

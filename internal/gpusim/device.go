@@ -20,6 +20,12 @@ type Device struct {
 	// reg, when set via Observe, receives per-kernel efficiency counters
 	// after every launch.
 	reg *obs.Registry
+	// scratch pools per-worker launch state (lane recorders and fold
+	// buffers) across launches. Multi-round pipelines launch the same
+	// kernels dozens of times; without the pool every launch re-grows each
+	// lane's access log from nil, which dominated the streamed pipeline's
+	// allocation profile.
+	scratch sync.Pool
 }
 
 // contentionBuckets is the sketch width. Counter-style hot addresses (a few
@@ -180,14 +186,10 @@ func (d *Device) Launch(spec LaunchSpec, body func(tid int, ctx *Ctx)) (KernelSt
 					errs[slot] = fmt.Errorf("gpusim: kernel %q panicked: %v", spec.Name, p)
 				}
 			}()
-			lanes := make([]Ctx, ws)
-			// Per-worker fold scratch, reused across every warp this worker
-			// replays (foldWarp was the second-largest allocation site in the
-			// pipeline hot loop when these lived inside it).
-			fs := foldScratch{
-				sectors: make([]uint64, 0, ws*2),
-				atomics: make([]uint64, 0, ws),
-			}
+			sc := d.getScratch(ws)
+			defer d.scratch.Put(sc)
+			lanes := sc.lanes
+			fs := &sc.fs
 			for {
 				warp := int(next.Add(1)) - 1
 				if warp >= nWarps {
@@ -207,7 +209,7 @@ func (d *Device) Launch(spec LaunchSpec, body func(tid int, ctx *Ctx)) (KernelSt
 					lane.tid = tid
 					body(tid, lane)
 				}
-				d.foldWarp(&partials[slot], lanes[:hi-lo], &fs)
+				d.foldWarp(&partials[slot], lanes[:hi-lo], fs)
 			}
 		}(w)
 	}
@@ -246,6 +248,30 @@ func (d *Device) ResetContention() {
 type foldScratch struct {
 	sectors []uint64
 	atomics []uint64
+}
+
+// workerScratch is one launch worker's pooled state: the warp's lane
+// recorders (whose access logs keep their grown capacity between launches)
+// and the fold buffers.
+type workerScratch struct {
+	lanes []Ctx
+	fs    foldScratch
+}
+
+// getScratch takes a worker scratch from the pool, allocating a fresh one
+// on first use (or if the warp size ever changed, which it cannot for one
+// device).
+func (d *Device) getScratch(ws int) *workerScratch {
+	if sc, ok := d.scratch.Get().(*workerScratch); ok && len(sc.lanes) == ws {
+		return sc
+	}
+	return &workerScratch{
+		lanes: make([]Ctx, ws),
+		fs: foldScratch{
+			sectors: make([]uint64, 0, ws*2),
+			atomics: make([]uint64, 0, ws),
+		},
+	}
 }
 
 // foldWarp applies lockstep coalescing to one warp's recorded lanes and

@@ -50,6 +50,23 @@ func DestOf(key uint64, nProc int) int {
 	return int(hash.Mix64Seeded(key, DestSeed) % uint64(nProc))
 }
 
+// FlatExchangeMessages is the fabric message count of one flat P×P payload
+// Alltoallv round: every rank addresses every rank.
+func FlatExchangeMessages(p int) int { return p * p }
+
+// HierExchangeMessages is the fabric message count of one two-stage
+// hierarchical exchange round: intra-node gather and scatter ride the
+// NVLink tier (no fabric messages), so the fabric only carries the L×L
+// leader Alltoallv where L = ceil(p / ranksPerNode) — a ragged last node
+// still fields a leader. ranksPerNode <= 1 degenerates to the flat count.
+func HierExchangeMessages(p, ranksPerNode int) int {
+	if ranksPerNode <= 1 {
+		return FlatExchangeMessages(p)
+	}
+	l := (p + ranksPerNode - 1) / ranksPerNode
+	return l * l
+}
+
 // WorkMeter accumulates the scalar cost of CPU-side execution with the same
 // constants the GPU kernels use; internal/cluster.CPUModel converts it to
 // Power9 seconds.

@@ -720,3 +720,24 @@ func TestAppendFrames(t *testing.T) {
 		t.Fatalf("empty byte arena frame: %d %v", items, err)
 	}
 }
+
+// TestExchangeMessageCounts pins the fabric message arithmetic the
+// hierarchical exchange's metric assertions build on.
+func TestExchangeMessageCounts(t *testing.T) {
+	if got := FlatExchangeMessages(12); got != 144 {
+		t.Fatalf("FlatExchangeMessages(12) = %d, want 144", got)
+	}
+	cases := []struct{ p, rpn, want int }{
+		{12, 6, 4}, // 2 full nodes
+		{12, 4, 9}, // 3 full nodes
+		{7, 3, 9},  // ragged: nodes of 3, 3, 1 still field 3 leaders
+		{6, 1, 36}, // one rank per node degenerates to flat
+		{6, 0, 36}, // unset topology likewise
+		{5, 8, 1},  // single node: only the leader's self-message
+	}
+	for _, c := range cases {
+		if got := HierExchangeMessages(c.p, c.rpn); got != c.want {
+			t.Fatalf("HierExchangeMessages(%d, %d) = %d, want %d", c.p, c.rpn, got, c.want)
+		}
+	}
+}

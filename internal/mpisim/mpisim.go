@@ -68,6 +68,23 @@ type Options struct {
 	// instantaneous wire (the default). The sleep happens after the barrier
 	// waits and therefore never trips Deadline.
 	WireTime func(sentBytes int) time.Duration
+	// WireMsg, when non-nil, adds a per-message α component to the emulated
+	// wire: a payload collective additionally waits WireMsg(m), where m is
+	// the number of distinct off-node destinations this rank shipped payload
+	// to. It composes with WireTime (the β/bandwidth component) under the
+	// same clock-from-initiation rule. A flat P×P Alltoallv pays m ≈ P−1 per
+	// rank; a hierarchical exchange routes everything through node leaders
+	// and pays m = leaders−1 — exactly the message-count reduction the
+	// two-stage exchange exists to buy.
+	WireMsg func(messages int) time.Duration
+	// RanksPerNode, when > 1, makes the emulated wire topology-aware: ranks
+	// are grouped into nodes of RanksPerNode consecutive ranks (the last
+	// node may be smaller) and payload between co-located ranks is credited
+	// as intra-node traffic — the NVLink/shared-memory tier — paying no
+	// WireTime and counting no WireMsg messages, mirroring how
+	// NetModel.CollectiveTime excludes intra-node bytes from fabric time.
+	// 0 or 1 charges every off-rank byte (the legacy flat accounting).
+	RanksPerNode int
 }
 
 // Comm is one rank's handle on the communicator. It is owned by the rank's
@@ -94,6 +111,8 @@ type world struct {
 	deadline time.Duration
 	obs      *obs.Recorder
 	wireTime func(sentBytes int) time.Duration
+	wireMsg  func(messages int) time.Duration
+	topo     Topology
 	tr       *traceLog
 
 	mu      sync.Mutex
@@ -189,6 +208,7 @@ func RunRanks(size int, opt Options, body func(c *Comm) error) (trace []TraceEnt
 	}
 	w := &world{
 		size: size, deadline: opt.Deadline, obs: opt.Obs, wireTime: opt.WireTime,
+		wireMsg: opt.WireMsg, topo: Topology{RanksPerNode: opt.RanksPerNode},
 		tr: &traceLog{}, slots: make([]any, size), dead: make([]bool, size),
 	}
 	w.cond = sync.NewCond(&w.mu)
@@ -295,7 +315,8 @@ func (c *Comm) Shrink() (survivors []int, err error) {
 			}
 			nw := &world{
 				size: len(alive), deadline: w.deadline, obs: w.obs,
-				wireTime: w.wireTime, tr: w.tr,
+				wireTime: w.wireTime, wireMsg: w.wireMsg, topo: w.topo,
+				tr:    w.tr,
 				slots: make([]any, len(alive)), dead: make([]bool, len(alive)),
 			}
 			nw.cond = sync.NewCond(&nw.mu)
@@ -495,16 +516,27 @@ func (c *Comm) AlltoallvBytes(send [][]byte) ([][]byte, error) {
 }
 
 // wire pays whatever remains of the emulated wall-level wire time for a
-// payload this rank sends off-rank (self-delivery is a local copy and stays
-// free). The clock starts at `posted` — the moment the collective was
-// initiated — because the emulated fabric moves data without the CPU, like
-// RDMA: wall time the caller spent computing (or starved of the scheduler)
-// since initiation already counts toward the transfer.
-func (c *Comm) wire(sentBytes int, posted time.Time) {
-	if c.world.wireTime == nil || sentBytes == 0 {
+// payload this rank sends off-node: WireTime(bytes) for the bandwidth
+// component plus WireMsg(msgs) for the per-destination α component
+// (self-delivery — and, with Options.RanksPerNode set, delivery to
+// co-located ranks — is an intra-node copy and stays free). The clock
+// starts at `posted` — the moment the collective was initiated — because
+// the emulated fabric moves data without the CPU, like RDMA: wall time the
+// caller spent computing (or starved of the scheduler) since initiation
+// already counts toward the transfer.
+func (c *Comm) wire(sentBytes, msgs int, posted time.Time) {
+	w := c.world
+	if (w.wireTime == nil && w.wireMsg == nil) || sentBytes == 0 {
 		return // nothing left the node: the fabric (and its latency floor) is not involved
 	}
-	if d := c.world.wireTime(sentBytes) - time.Since(posted); d > 0 {
+	var d time.Duration
+	if w.wireTime != nil {
+		d += w.wireTime(sentBytes)
+	}
+	if w.wireMsg != nil && msgs > 0 {
+		d += w.wireMsg(msgs)
+	}
+	if d -= time.Since(posted); d > 0 {
 		time.Sleep(d)
 	}
 }
@@ -512,24 +544,34 @@ func (c *Comm) wire(sentBytes int, posted time.Time) {
 // wireClock timestamps a payload collective's initiation; it is zero-cost
 // when no wire model is configured.
 func (c *Comm) wireClock() (t time.Time) {
-	if c.world.wireTime != nil {
+	if c.world.wireTime != nil || c.world.wireMsg != nil {
 		t = time.Now()
 	}
 	return t
 }
 
-func (c *Comm) alltoallvBytes(send [][]byte, posted time.Time) ([][]byte, error) {
-	sent := 0
+// sentOffNode tallies the bytes and distinct destinations of the rows a
+// rank ships across the fabric: rows to itself — and, under a node-aware
+// topology, to co-located ranks — are intra-node copies and count nothing.
+func sentOffNode[T any](c *Comm, send [][]T, width int) (sent, msgs int) {
+	topo := c.world.topo
 	for i, p := range send {
-		if i != c.rank {
-			sent += len(p)
+		if len(p) == 0 || i == c.rank || topo.SameNode(i, c.rank) {
+			continue
 		}
+		sent += width * len(p)
+		msgs++
 	}
+	return sent, msgs
+}
+
+func (c *Comm) alltoallvBytes(send [][]byte, posted time.Time) ([][]byte, error) {
+	sent, msgs := sentOffNode(c, send, 1)
 	all, err := exchange(c, send)
 	if err != nil {
 		return nil, err
 	}
-	c.wire(sent, posted)
+	c.wire(sent, msgs, posted)
 	recv := make([][]byte, c.Size())
 	for i, row := range all {
 		recv[i] = row[c.rank]
@@ -550,17 +592,12 @@ func (c *Comm) AlltoallvUint64(send [][]uint64) ([][]uint64, error) {
 }
 
 func (c *Comm) alltoallvUint64(send [][]uint64, posted time.Time) ([][]uint64, error) {
-	sent := 0
-	for i, p := range send {
-		if i != c.rank {
-			sent += 8 * len(p)
-		}
-	}
+	sent, msgs := sentOffNode(c, send, 8)
 	all, err := exchange(c, send)
 	if err != nil {
 		return nil, err
 	}
-	c.wire(sent, posted)
+	c.wire(sent, msgs, posted)
 	recv := make([][]uint64, c.Size())
 	for i, row := range all {
 		recv[i] = row[c.rank]

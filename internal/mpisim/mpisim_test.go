@@ -459,11 +459,43 @@ func TestNetModelLatencyTerm(t *testing.T) {
 	m := make([][]uint64, 9)
 	for i := range m {
 		m[i] = make([]uint64, 9)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = 1 // negligible bytes: the fabric round-trips dominate
+			}
+		}
 	}
 	got := nm.CollectiveTime(m)
 	want := time.Duration(100*8) * time.Microsecond
 	if got < want-time.Microsecond || got > want+time.Millisecond {
 		t.Fatalf("latency-only time %v, want ≈%v", got, want)
+	}
+	// Only ranks that touch the fabric pay latency rounds: a leader-only
+	// exchange among 3 of the 9 ranks pays α(3−1), and a collective that
+	// moves no fabric bytes (empty, or purely intra-node) pays nothing.
+	leaders := make([][]uint64, 9)
+	for i := range leaders {
+		leaders[i] = make([]uint64, 9)
+	}
+	leaders[0][3], leaders[3][6], leaders[6][0] = 1, 1, 1
+	if got := nm.CollectiveTime(leaders); got < 199*time.Microsecond || got > 201*time.Microsecond {
+		t.Fatalf("leader exchange latency %v, want ≈200µs", got)
+	}
+	if got := nm.CollectiveTime(make([][]uint64, 9)); got != 0 {
+		t.Fatalf("empty collective cost %v, want 0", got)
+	}
+	intra := NetModel{RanksPerNode: 3, InjectionGBs: 1000, LatencyUs: 100}
+	node := make([][]uint64, 9)
+	for i := range node {
+		node[i] = make([]uint64, 9)
+		for j := range node[i] {
+			if i/3 == j/3 && i != j {
+				node[i][j] = 1 << 20
+			}
+		}
+	}
+	if got := intra.CollectiveTime(node); got != 0 {
+		t.Fatalf("intra-node collective cost %v, want 0", got)
 	}
 }
 

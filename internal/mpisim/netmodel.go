@@ -60,9 +60,18 @@ func (n NetModel) NodeOf(r int) int { return r / n.RanksPerNode }
 // Nodes returns the node count for a world of size p.
 func (n NetModel) Nodes(p int) int { return (p + n.RanksPerNode - 1) / n.RanksPerNode }
 
+// Topology returns the node grouping the model describes, for the
+// wall-level wire emulation and the hierarchical exchange.
+func (n NetModel) Topology() Topology { return Topology{RanksPerNode: n.RanksPerNode} }
+
 // CollectiveTime evaluates one traffic matrix. bytes[i][j] is the payload
 // rank i sent to rank j; entries between co-located ranks are excluded from
-// fabric traffic.
+// fabric traffic. The latency term charges one α per pairwise exchange
+// round among the ranks that actually touch the fabric: a flat P×P
+// Alltoallv with payload everywhere pays α(P−1), a leader-only exchange
+// pays α(L−1), and a purely intra-node collective pays nothing — which is
+// exactly the message-count term a hierarchical exchange trades bandwidth
+// slack for.
 func (n NetModel) CollectiveTime(bytes [][]uint64) time.Duration {
 	if err := n.Validate(); err != nil {
 		panic(err)
@@ -74,15 +83,18 @@ func (n NetModel) CollectiveTime(bytes [][]uint64) time.Duration {
 	nodes := n.Nodes(p)
 	out := make([]uint64, nodes)
 	in := make([]uint64, nodes)
+	active := make([]bool, p) // ranks with any fabric in/out traffic
 	for i, row := range bytes {
 		ni := n.NodeOf(i)
 		for j, b := range row {
 			nj := n.NodeOf(j)
-			if ni == nj {
+			if ni == nj || b == 0 {
 				continue // intra-node: not fabric traffic
 			}
 			out[ni] += b
 			in[nj] += b
+			active[i] = true
+			active[j] = true
 		}
 	}
 	var worst uint64
@@ -94,8 +106,17 @@ func (n NetModel) CollectiveTime(bytes [][]uint64) time.Duration {
 			worst = in[i]
 		}
 	}
+	fabricRanks := 0
+	for _, a := range active {
+		if a {
+			fabricRanks++
+		}
+	}
 	bw := float64(worst) / (n.effectiveGBs() * 1e9)
-	lat := n.LatencyUs * 1e-6 * float64(p-1)
+	var lat float64
+	if fabricRanks > 1 {
+		lat = n.LatencyUs * 1e-6 * float64(fabricRanks-1)
+	}
 	return time.Duration((bw + lat) * float64(time.Second))
 }
 

@@ -27,13 +27,16 @@ import (
 // Phase names for the pipeline's per-round spans. Components may record
 // additional phases; these are the canonical set the report understands.
 const (
-	PhaseParse    = "parse"      // parse & process (kernel or scalar loop)
-	PhaseStageH2D = "stage_h2d"  // host→device staging of the round's reads
-	PhaseExchange = "exchange"   // announce + payload Alltoallv (all attempts)
-	PhaseRetry    = "retry"      // one retry attempt inside an exchange
-	PhaseCount    = "count"      // table insertion
-	PhaseCkpt     = "checkpoint" // persisting a round checkpoint slice
-	PhaseRecovery = "recovery"   // shrink reconfiguration + state reload
+	PhaseParse    = "parse"           // parse & process (kernel or scalar loop)
+	PhaseStageH2D = "stage_h2d"       // host→device staging of the round's reads
+	PhaseExchange = "exchange"        // announce + payload Alltoallv (all attempts)
+	PhaseGather   = "gather"          // hierarchical exchange: intra-node gather onto the node leader
+	PhaseLeader   = "leader_alltoall" // hierarchical exchange: inter-node Alltoallv between leaders
+	PhaseScatter  = "scatter"         // hierarchical exchange: intra-node scatter from the leader
+	PhaseRetry    = "retry"           // one retry attempt inside an exchange
+	PhaseCount    = "count"           // table insertion
+	PhaseCkpt     = "checkpoint"      // persisting a round checkpoint slice
+	PhaseRecovery = "recovery"        // shrink reconfiguration + state reload
 )
 
 // Instant event names for faults and recovery milestones.

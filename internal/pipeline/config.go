@@ -51,6 +51,47 @@ func (m Mode) String() string {
 	}
 }
 
+// Exchange selects the exchange strategy (see internal/pipeline/exchange.go
+// and exchange_hier.go). Strategies are bit-identical in results; they
+// differ in how attempt-0 payload frames travel and therefore in fabric
+// message count and modeled/emulated exchange time.
+type Exchange int
+
+const (
+	// ExchangeFlat is the paper's baseline: one P×P payload Alltoallv per
+	// round.
+	ExchangeFlat Exchange = iota
+	// ExchangeHier is the topology-aware two-stage exchange: intra-node
+	// gather onto node leaders (the NVLink tier), one
+	// ceil(P/RanksPerNode)² Alltoallv between leaders, intra-node scatter.
+	// A world size not divisible by RanksPerNode is handled as a ragged
+	// last node.
+	ExchangeHier
+)
+
+func (e Exchange) String() string {
+	switch e {
+	case ExchangeFlat:
+		return "flat"
+	case ExchangeHier:
+		return "hier"
+	default:
+		return fmt.Sprintf("Exchange(%d)", int(e))
+	}
+}
+
+// ParseExchange parses an -exchange flag value.
+func ParseExchange(s string) (Exchange, error) {
+	switch s {
+	case "flat":
+		return ExchangeFlat, nil
+	case "hier":
+		return ExchangeHier, nil
+	default:
+		return 0, fmt.Errorf("pipeline: unknown exchange strategy %q (want flat or hier)", s)
+	}
+}
+
 // Config parameterizes one pipeline run.
 type Config struct {
 	// Layout selects the machine (nodes, ranks, GPU or CPU engine).
@@ -68,8 +109,14 @@ type Config struct {
 	Window int
 	// Ord is the minimizer ordering; nil defaults to minimizer.Value{}.
 	Ord minimizer.Ordering
+	// Exchange selects the exchange strategy: ExchangeFlat (default, the
+	// paper's P×P Alltoallv) or ExchangeHier (two-stage, node-leader
+	// routed). Results are bit-identical either way.
+	Exchange Exchange
 	// GPUDirect, when true, models GPUDirect communication (§III-B.2):
-	// payloads move NIC↔GPU directly and the host staging legs are skipped.
+	// payloads move NIC↔GPU directly and the host staging legs are skipped
+	// entirely — no stage_h2d spans appear in traces and the modeled
+	// staging time drops to zero.
 	GPUDirect bool
 	// Overlap, when true, runs each rank's round loop as a double-buffered
 	// pipeline: round r's exchange is posted with nonblocking collectives
@@ -157,6 +204,14 @@ type Config struct {
 	// clock, not just in the modeled accounting. nil (the default) keeps
 	// the wire instantaneous.
 	WireTime func(sentBytes int) time.Duration
+	// WireMsg, when non-nil, adds a per-message α component to the
+	// emulated wire: a payload collective additionally waits WireMsg(m),
+	// m being the number of off-node destinations the rank shipped payload
+	// to. Together with the wire's node-aware byte crediting (intra-node
+	// payload is free, see mpisim.Options.RanksPerNode) this is what makes
+	// the hierarchical exchange's P²→(P/RanksPerNode)² message-count
+	// reduction visible in wall clock, not just in the modeled accounting.
+	WireMsg func(messages int) time.Duration
 	// Obs, when non-nil, records per-rank per-round phase spans, fault
 	// instants, and run metrics (see internal/obs). nil disables
 	// observability at zero cost to the hot paths.
@@ -245,6 +300,17 @@ func (c Config) Validate() error {
 	}
 	if c.MaxRetries < -1 {
 		return fmt.Errorf("pipeline: MaxRetries %d below -1", c.MaxRetries)
+	}
+	switch c.Exchange {
+	case ExchangeFlat:
+	case ExchangeHier:
+		// A world size not divisible by Net.RanksPerNode is fine: the
+		// hierarchical strategy groups ranks by ceiling division, so the
+		// trailing node is simply smaller and its first rank still leads
+		// it. (Shrink recovery produces such worlds mid-run regardless of
+		// the configured layout, so raggedness must work anyway.)
+	default:
+		return fmt.Errorf("pipeline: unknown exchange strategy %v", c.Exchange)
 	}
 	if c.ExchangeDeadline < 0 {
 		return fmt.Errorf("pipeline: negative ExchangeDeadline %v", c.ExchangeDeadline)

@@ -61,7 +61,7 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	rec := cfg.Obs
 	rank := seat.old
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
-	ex := &exchanger{c: c, rank: rank, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
+	ex := newExchanger(&cfg, c, rank, inj, out)
 	var states [2]cpuRoundState
 
 	// Round-start faults fire once per executed round, before its parse.

@@ -33,6 +33,13 @@ import (
 // allocations instead: receivers may retain verified views of earlier
 // attempts, so the arena must never be rewritten while a round is live.
 //
+// HOW attempt-0 frames travel is pluggable (exchangeStrategy): the flat
+// strategy ships the P×P Alltoallv directly; the hierarchical strategy
+// routes off-node frames through node leaders over the NVLink tier. The
+// announcement, CRC verification, retry, settle and degrade machinery is
+// shared — strategies only move opaque frames — which is what keeps every
+// strategy bit-identical under the fault × overlap × shrink matrix.
+//
 // When a recorder is configured, injected drops/corruptions surface as
 // instant events, each retry attempt gets its own span nested inside the
 // exchange span, and a degraded round emits a degraded_round instant.
@@ -47,7 +54,85 @@ type exchanger struct {
 	retries int
 	out     *rankOutcome
 	rec     *obs.Recorder
-	slots   [2]exchangeSlot
+	strat   exchangeStrategy
+	// msgs counts the fabric messages posted by attempt-0 payload
+	// exchanges (pipeline_exchange_messages_total); nil without a recorder.
+	msgs  *obs.Counter
+	slots [2]exchangeSlot
+}
+
+// exchangeStrategy is the pluggable attempt-0 shipping layer of the
+// exchange. post* runs inside the exchanger's post half and must post the
+// count announcement onto p.ann plus whatever payload collectives the
+// strategy needs; it may issue blocking intra-node collectives first — the
+// round loop guarantees no nonblocking requests are pending at any post
+// site, in both schedules. finish* waits for those collectives and returns
+// the attempt-0 frames indexed by (current-communicator) source rank, nil
+// marking a frame lost in flight — the shared verifier treats every
+// returned frame exactly as a flat Alltoallv row, and retries always use
+// the flat blocking path (the rare path optimizes for simplicity, and its
+// frames are freshly framed from the retained send buffers either way).
+type exchangeStrategy interface {
+	// name labels the strategy in metrics ("flat", "hier").
+	name() string
+	postWords(p *pendingExchange, counts []int, framed [][]uint64)
+	postBytes(p *pendingExchange, counts []int, framed [][]byte)
+	finishWords(p *pendingExchange) ([][]uint64, error)
+	finishBytes(p *pendingExchange) ([][]byte, error)
+	// messages is the fabric message count of one round's attempt-0
+	// payload exchange: P² flat, ceil(P/RanksPerNode)² hierarchical.
+	messages() int
+}
+
+// newExchanger builds the configured strategy's exchanger for one rank
+// body. It is re-created after a shrink recovery (the rank bodies are
+// re-entered with the shrunk communicator), so the hierarchical topology
+// always reflects the current world size.
+func newExchanger(cfg *Config, c *mpisim.Comm, rank int, inj *fault.Injector, out *rankOutcome) *exchanger {
+	e := &exchanger{
+		c: c, rank: rank, inj: inj,
+		retries: cfg.maxRetries(), out: out, rec: cfg.Obs,
+	}
+	switch cfg.Exchange {
+	case ExchangeHier:
+		e.strat = &hierStrategy{e: e, topo: cfg.Layout.Net.Topology()}
+	default:
+		e.strat = &flatStrategy{e: e}
+	}
+	if reg := cfg.Obs.Registry(); reg != nil {
+		e.msgs = reg.Counter("pipeline_exchange_messages_total",
+			"Fabric point-to-point messages comprised by attempt-0 payload exchanges (P² flat, (P/RanksPerNode)² hierarchical).",
+			obs.L("strategy", e.strat.name()))
+	}
+	return e
+}
+
+// flatStrategy ships attempt-0 frames with the direct P×P nonblocking
+// Alltoallv — the paper's baseline exchange.
+type flatStrategy struct{ e *exchanger }
+
+func (s *flatStrategy) name() string { return "flat" }
+
+func (s *flatStrategy) postWords(p *pendingExchange, counts []int, framed [][]uint64) {
+	p.ann = s.e.c.IAlltoall(counts)
+	p.wordsReq = s.e.c.IAlltoallvUint64(framed)
+}
+
+func (s *flatStrategy) postBytes(p *pendingExchange, counts []int, framed [][]byte) {
+	p.ann = s.e.c.IAlltoall(counts)
+	p.bytesReq = s.e.c.IAlltoallvBytes(framed)
+}
+
+func (s *flatStrategy) finishWords(p *pendingExchange) ([][]uint64, error) {
+	return p.wordsReq.Wait()
+}
+
+func (s *flatStrategy) finishBytes(p *pendingExchange) ([][]byte, error) {
+	return p.bytesReq.Wait()
+}
+
+func (s *flatStrategy) messages() int {
+	return kernels.FlatExchangeMessages(s.e.c.Size())
 }
 
 // exchangeSlot is one parity's pooled round state.
@@ -67,10 +152,18 @@ type pendingExchange struct {
 	round int
 	// sp is the round's exchange span: opened at post, ended by the caller
 	// after finish (or by finish itself on error).
-	sp        obs.SpanHandle
-	ann       *mpisim.Request[[]int]
-	wordsReq  *mpisim.Request[[][]uint64]
-	bytesReq  *mpisim.Request[[][]byte]
+	sp       obs.SpanHandle
+	ann      *mpisim.Request[[]int]
+	wordsReq *mpisim.Request[[][]uint64]
+	bytesReq *mpisim.Request[[][]byte]
+	// leaderWordsReq/leaderBytesReq carry the hierarchical strategy's
+	// inter-node leader Alltoallv (nil under flat).
+	leaderWordsReq *mpisim.Request[[][]uint64]
+	leaderBytesReq *mpisim.Request[[][]byte]
+	// postErr records a failure of a strategy's blocking post stage (the
+	// intra-node gather); it surfaces when the round is finished.
+	postErr   error
+	hier      *hierSlot
 	sendWords [][]uint64
 	sendWire  [][]byte
 	wire      kernels.SupermerWire
@@ -107,13 +200,14 @@ func stripMore(expect []int) (anyMore bool) {
 	return anyMore
 }
 
-// postWords posts the k-mer mode round exchange: the count announcement
-// (IAlltoall — the vector is copied at post time, so the pooled slot is
-// immediately reusable) followed by the attempt-0 framed payloads
-// (IAlltoallvUint64). The frames are packed into the slot's pooled arena,
-// presized so no append can reallocate mid-loop. send must stay unmutated
-// until finishWords returns (it is also the retry source). more announces
-// that this rank's input continues past this round (see moreFlag).
+// postWords posts the k-mer mode round exchange: the attempt-0 frames are
+// packed into the slot's pooled arena (presized so no append can
+// reallocate mid-loop) and handed to the strategy, which posts the count
+// announcement (IAlltoall — the vector is copied at post time, so the
+// pooled slot is immediately reusable) and ships the frames. send must
+// stay unmutated until finishWords returns (it is also the retry source).
+// more announces that this rank's input continues past this round (see
+// moreFlag).
 func (e *exchanger) postWords(round int, send [][]uint64, more bool) *pendingExchange {
 	rank := e.rank
 	slot := &e.slots[round%2]
@@ -129,7 +223,6 @@ func (e *exchanger) postWords(round int, send [][]uint64, more bool) *pendingExc
 		}
 		total += 1 + len(part)
 	}
-	p.ann = e.c.IAlltoall(slot.counts)
 
 	if cap(slot.arenaW) < total {
 		slot.arenaW = make([]uint64, 0, total)
@@ -156,8 +249,18 @@ func (e *exchanger) postWords(round int, send [][]uint64, more bool) *pendingExc
 		}
 	}
 	slot.arenaW = arena[:0]
-	p.wordsReq = e.c.IAlltoallvUint64(framed)
+	e.strat.postWords(p, slot.counts, framed)
+	e.countMessages()
 	return p
+}
+
+// countMessages credits the round's fabric message count once per world —
+// rank 0 of the current communicator adds the whole round's tally, so the
+// counter reads as messages-per-run, not per-rank shares.
+func (e *exchanger) countMessages() {
+	if e.msgs != nil && e.c.Rank() == 0 {
+		e.msgs.Add(uint64(e.strat.messages()))
+	}
 }
 
 // postWire is postWords for supermer-mode wire payloads.
@@ -177,7 +280,6 @@ func (e *exchanger) postWire(round int, wire kernels.SupermerWire, send [][]byte
 		}
 		total += byteFrameOverhead + len(part)
 	}
-	p.ann = e.c.IAlltoall(slot.counts)
 
 	if cap(slot.arenaB) < total {
 		slot.arenaB = make([]byte, 0, total)
@@ -203,7 +305,8 @@ func (e *exchanger) postWire(round int, wire kernels.SupermerWire, send [][]byte
 		}
 	}
 	slot.arenaB = arena[:0]
-	p.bytesReq = e.c.IAlltoallvBytes(framed)
+	e.strat.postBytes(p, slot.counts, framed)
+	e.countMessages()
 	return p
 }
 
@@ -222,6 +325,10 @@ const byteFrameOverhead = 16
 func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, bool, error) {
 	rank := e.rank
 	slot := p.slot
+	if p.postErr != nil {
+		p.sp.End(0, 0)
+		return nil, false, p.postErr
+	}
 	expect, err := p.ann.Wait()
 	if err != nil {
 		p.sp.End(0, 0)
@@ -242,7 +349,7 @@ func (e *exchanger) finishWords(p *pendingExchange) ([][]uint64, bool, error) {
 		sp := e.beginAttempt(rank, p.round, attempt)
 		var recv [][]uint64
 		if attempt == 0 {
-			recv, err = p.wordsReq.Wait()
+			recv, err = e.strat.finishWords(p)
 		} else {
 			framed := slot.framedW[:n]
 			for d, part := range p.sendWords {
@@ -303,6 +410,10 @@ func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, bool, error) {
 	rank := e.rank
 	slot := p.slot
 	wire := p.wire
+	if p.postErr != nil {
+		p.sp.End(0, 0)
+		return nil, false, p.postErr
+	}
 	expect, err := p.ann.Wait()
 	if err != nil {
 		p.sp.End(0, 0)
@@ -324,7 +435,7 @@ func (e *exchanger) finishWire(p *pendingExchange) ([][]byte, bool, error) {
 		sp := e.beginAttempt(rank, p.round, attempt)
 		var recv [][]byte
 		if attempt == 0 {
-			recv, err = p.bytesReq.Wait()
+			recv, err = e.strat.finishBytes(p)
 		} else {
 			framed := slot.framedB[:n]
 			for d, part := range p.sendWire {

@@ -85,9 +85,12 @@ func TestAllVariantsMatchOracle(t *testing.T) {
 	layouts := map[string]cluster.Layout{
 		"gpu": smallGPULayout(2), // 12 ranks
 		"cpu": func() cluster.Layout {
-			l := cluster.SummitCPU(1)
-			l.RanksPerNode = 8 // keep the test world small
-			l.Net.RanksPerNode = 8
+			// Two nodes: a single-node world has no fabric traffic, so its
+			// modeled exchange time is legitimately zero and the phase
+			// breakdown assertion below would be vacuous.
+			l := cluster.SummitCPU(2)
+			l.RanksPerNode = 4 // keep the test world small
+			l.Net.RanksPerNode = 4
 			return l
 		}(),
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package pipeline
+
+// raceDetectorEnabled mirrors the -race build tag so allocation-budget
+// tests can skip themselves: the race runtime allocates per goroutine and
+// per sync operation, which swamps the budgets those tests pin.
+const raceDetectorEnabled = true

@@ -54,85 +54,94 @@ func TestKillResumeShrinkEquivalence(t *testing.T) {
 			layout = smallCPULayout()
 		}
 		for _, overlap := range []bool{false, true} {
-			name := mx.eng + "/" + mx.mode.String() + "/overlap=" + map[bool]string{false: "off", true: "on"}[overlap]
-			t.Run(name, func(t *testing.T) {
-				base := Default(layout, mx.mode)
-				base.Overlap = overlap
-				base.RoundBases = 350 // many rounds: kills and checkpoints mid-run
-				want, err := RunStream(base, fastq.NewSliceSource(reads))
-				if err != nil {
-					t.Fatal(err)
-				}
-				if want.Rounds < 7 {
-					t.Fatalf("only %d rounds; the kill round would not be reached", want.Rounds)
-				}
-				checkAgainstOracle(t, base, reads, want)
-
-				// Path 1: kill with NoShrink — the run fails, the
-				// checkpoint resumes it offline, bit-identical.
-				dir := t.TempDir()
-				faulted := ckptConfig(base, dir, reads, 2, true)
-				faulted.Fault = fault.Config{FatalKill: true, FatalRank: 1, FatalRound: 5}
-				_, err = RunStream(faulted, fastq.NewSliceSource(reads))
-				if !errors.Is(err, fault.ErrKilled) {
-					t.Fatalf("NoShrink kill: want ErrKilled, got %v", err)
-				}
-				resumed := ckptConfig(base, dir, reads, 2, true)
-				got, err := ResumeStream(resumed)
-				if err != nil {
-					t.Fatal(err)
-				}
-				sameCounts(t, want, got)
-				if got.Incomplete {
-					t.Fatal("resumed run flagged incomplete")
-				}
-				if !got.Resumed {
-					t.Fatal("Resumed not set on a ResumeStream result")
-				}
-				if got.Rounds != want.Rounds {
-					t.Fatalf("resumed Rounds = %d, unfaulted %d", got.Rounds, want.Rounds)
-				}
-				if got.InputReads != want.InputReads || got.InputBases != want.InputBases {
-					t.Fatalf("resumed input tally %d/%d, unfaulted %d/%d",
-						got.InputReads, got.InputBases, want.InputReads, want.InputBases)
-				}
-
-				// Path 2: same kill with shrink recovery enabled — the
-				// run completes in one go, survivors absorbing rank 1.
-				rec := obs.NewRecorder(layout.Ranks())
-				shrunk := ckptConfig(base, t.TempDir(), reads, 2, false)
-				shrunk.Fault = faulted.Fault
-				shrunk.Obs = rec
-				got2, err := RunStream(shrunk, fastq.NewSliceSource(reads))
-				if err != nil {
-					t.Fatal(err)
-				}
-				sameCounts(t, want, got2)
-				if got2.Incomplete {
-					t.Fatal("shrink-recovered run flagged incomplete")
-				}
-				if !got2.Recovered {
-					t.Fatal("Recovered not set after shrink recovery")
-				}
-				if len(got2.DeadRanks) != 1 || got2.DeadRanks[0] != 1 {
-					t.Fatalf("DeadRanks = %v, want [1]", got2.DeadRanks)
-				}
-				if got2.Checkpoints == 0 {
-					t.Fatal("no checkpoints recorded before the kill")
-				}
-				shrinks, ckpts := 0, 0
-				for _, in := range rec.Instants() {
-					switch in.Name {
-					case obs.EvShrink:
-						shrinks++
-					case obs.EvCkpt:
-						ckpts++
+			for _, exch := range []Exchange{ExchangeFlat, ExchangeHier} {
+				name := mx.eng + "/" + mx.mode.String() + "/overlap=" + map[bool]string{false: "off", true: "on"}[overlap] + "/" + exch.String()
+				t.Run(name, func(t *testing.T) {
+					base := Default(layout, mx.mode)
+					base.Overlap = overlap
+					base.Exchange = exch
+					if exch == ExchangeHier {
+						// 3 fabric nodes of 2: the kill at rank 1 shrinks a
+						// node to a single member mid-run, and the recovered
+						// 5-rank world regroups ragged (2,2,1).
+						base.Layout.Net.RanksPerNode = 2
 					}
-				}
-				if shrinks == 0 || ckpts == 0 {
-					t.Fatalf("recovery instants missing: %d shrink, %d ckpt", shrinks, ckpts)
-				}
-			})
+					base.RoundBases = 350 // many rounds: kills and checkpoints mid-run
+					want, err := RunStream(base, fastq.NewSliceSource(reads))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want.Rounds < 7 {
+						t.Fatalf("only %d rounds; the kill round would not be reached", want.Rounds)
+					}
+					checkAgainstOracle(t, base, reads, want)
+
+					// Path 1: kill with NoShrink — the run fails, the
+					// checkpoint resumes it offline, bit-identical.
+					dir := t.TempDir()
+					faulted := ckptConfig(base, dir, reads, 2, true)
+					faulted.Fault = fault.Config{FatalKill: true, FatalRank: 1, FatalRound: 5}
+					_, err = RunStream(faulted, fastq.NewSliceSource(reads))
+					if !errors.Is(err, fault.ErrKilled) {
+						t.Fatalf("NoShrink kill: want ErrKilled, got %v", err)
+					}
+					resumed := ckptConfig(base, dir, reads, 2, true)
+					got, err := ResumeStream(resumed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameCounts(t, want, got)
+					if got.Incomplete {
+						t.Fatal("resumed run flagged incomplete")
+					}
+					if !got.Resumed {
+						t.Fatal("Resumed not set on a ResumeStream result")
+					}
+					if got.Rounds != want.Rounds {
+						t.Fatalf("resumed Rounds = %d, unfaulted %d", got.Rounds, want.Rounds)
+					}
+					if got.InputReads != want.InputReads || got.InputBases != want.InputBases {
+						t.Fatalf("resumed input tally %d/%d, unfaulted %d/%d",
+							got.InputReads, got.InputBases, want.InputReads, want.InputBases)
+					}
+
+					// Path 2: same kill with shrink recovery enabled — the
+					// run completes in one go, survivors absorbing rank 1.
+					rec := obs.NewRecorder(layout.Ranks())
+					shrunk := ckptConfig(base, t.TempDir(), reads, 2, false)
+					shrunk.Fault = faulted.Fault
+					shrunk.Obs = rec
+					got2, err := RunStream(shrunk, fastq.NewSliceSource(reads))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameCounts(t, want, got2)
+					if got2.Incomplete {
+						t.Fatal("shrink-recovered run flagged incomplete")
+					}
+					if !got2.Recovered {
+						t.Fatal("Recovered not set after shrink recovery")
+					}
+					if len(got2.DeadRanks) != 1 || got2.DeadRanks[0] != 1 {
+						t.Fatalf("DeadRanks = %v, want [1]", got2.DeadRanks)
+					}
+					if got2.Checkpoints == 0 {
+						t.Fatal("no checkpoints recorded before the kill")
+					}
+					shrinks, ckpts := 0, 0
+					for _, in := range rec.Instants() {
+						switch in.Name {
+						case obs.EvShrink:
+							shrinks++
+						case obs.EvCkpt:
+							ckpts++
+						}
+					}
+					if shrinks == 0 || ckpts == 0 {
+						t.Fatalf("recovery instants missing: %d shrink, %d ckpt", shrinks, ckpts)
+					}
+				})
+			}
 		}
 	}
 }

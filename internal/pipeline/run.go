@@ -121,7 +121,12 @@ func runWorld(cfg Config, destMap []uint16, sources []chunkSource, bloomBases []
 	}
 
 	start := time.Now()
-	trace, errs, err := mpisim.RunRanks(len(seats), mpisim.Options{Deadline: cfg.ExchangeDeadline, Obs: cfg.Obs, WireTime: cfg.WireTime}, func(c *mpisim.Comm) error {
+	opt := mpisim.Options{
+		Deadline: cfg.ExchangeDeadline, Obs: cfg.Obs,
+		WireTime: cfg.WireTime, WireMsg: cfg.WireMsg,
+		RanksPerNode: cfg.Layout.Net.RanksPerNode,
+	}
+	trace, errs, err := mpisim.RunRanks(len(seats), opt, func(c *mpisim.Comm) error {
 		// The seat and source are bound to the starting slot; both stay
 		// with this goroutine when a shrink renumbers the communicator.
 		seat := seats[c.Rank()]
@@ -291,7 +296,7 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		return err
 	}
 	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
-	ex := &exchanger{c: c, rank: rank, inj: inj, retries: cfg.maxRetries(), out: out, rec: rec}
+	ex := newExchanger(&cfg, c, rank, inj, out)
 	var states [2]gpuRoundState
 
 	// Round-start faults fire once per executed round, before its parse.
@@ -308,21 +313,23 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		if err != nil {
 			return false, err
 		}
-		sp := rec.Begin(rank, r, obs.PhaseStageH2D)
 		st.buf.Reset()
 		for _, rd := range recs {
 			st.buf.AppendRead(rd.Seq)
 		}
 		data := st.buf.Data()
-		h2dIn := dev.Config().TransferTime(int64(len(data)))
-		// The input staging leg is charged to the stage phase (once — the
-		// span below records the same duration), with or without GPUDirect:
-		// the bases must reach the device either way; GPUDirect only skips
-		// the exchange's host legs.
-		out.stage += h2dIn
-		sp.End(h2dIn, uint64(len(data)))
+		if !cfg.GPUDirect {
+			// The input bases bounce through a pinned host staging buffer
+			// before the kernel sees them. Under GPUDirect the reads stream
+			// straight into device memory, so the leg vanishes entirely —
+			// no stage_h2d span, no modeled staging time.
+			sp := rec.Begin(rank, r, obs.PhaseStageH2D)
+			h2dIn := dev.Config().TransferTime(int64(len(data)))
+			out.stage += h2dIn
+			sp.End(h2dIn, uint64(len(data)))
+		}
 
-		sp = rec.Begin(rank, r, obs.PhaseParse)
+		sp := rec.Begin(rank, r, obs.PhaseParse)
 		var parseSt gpusim.KernelStats
 		// Destinations are always the ORIGINAL world: the key→rank map
 		// never changes across shrinks (checkpointed slices stay valid);

@@ -80,25 +80,30 @@ func TestStreamMatchesInMemory(t *testing.T) {
 		mode    Mode
 		overlap bool
 		faulted bool
+		exch    Exchange
 	}
 	var cases []tcase
 	for _, engine := range []string{"gpu", "cpu"} {
 		for _, mode := range []Mode{KmerMode, SupermerMode} {
 			for _, overlap := range []bool{false, true} {
 				for _, faulted := range []bool{false, true} {
-					cases = append(cases, tcase{engine, mode, overlap, faulted})
+					for _, exch := range []Exchange{ExchangeFlat, ExchangeHier} {
+						cases = append(cases, tcase{engine, mode, overlap, faulted, exch})
+					}
 				}
 			}
 		}
 	}
 	for i, tc := range cases {
-		name := fmt.Sprintf("%s/%s/overlap=%v/faulted=%v", tc.engine, tc.mode, tc.overlap, tc.faulted)
+		name := fmt.Sprintf("%s/%s/overlap=%v/faulted=%v/%s", tc.engine, tc.mode, tc.overlap, tc.faulted, tc.exch)
 		// Per-case randomized operating point and dataset.
 		k := []int{15, 17, 21}[rng.Intn(3)]
 		m := []int{5, 7}[rng.Intn(2)]
 		window := []int{9, 15}[rng.Intn(2)]
 		reads := testReads(t, 6_000+rng.Intn(4_000), 3+rng.Float64()*2)
-		fromFiles := i%2 == 0
+		// Alternate at stride 2 so both exchange strategies (the innermost
+		// dimension) see both file-backed and in-memory sources.
+		fromFiles := i%4 < 2
 		t.Run(name, func(t *testing.T) {
 			layout := smallGPULayout(1)
 			if tc.engine == "cpu" {
@@ -107,6 +112,12 @@ func TestStreamMatchesInMemory(t *testing.T) {
 			cfg := Default(layout, tc.mode)
 			cfg.K, cfg.M, cfg.Window = k, m, window
 			cfg.Overlap = tc.overlap
+			cfg.Exchange = tc.exch
+			if tc.exch == ExchangeHier {
+				// Group the 6 test ranks into 3 fabric nodes of 2 so the
+				// hierarchical strategy actually has leaders to route through.
+				cfg.Layout.Net.RanksPerNode = 2
+			}
 			if tc.faulted {
 				cfg.Fault = fault.Config{
 					Seed: uint64(100 + i), Delay: 0.02, DelayFor: 100 * time.Microsecond,
@@ -418,5 +429,48 @@ func TestStreamBoundedMemory(t *testing.T) {
 		float64(used)/(1<<20), float64(budget)/(1<<20), res.Rounds, res.InputBases)
 	if used > budget+slack {
 		t.Fatalf("peak live heap %d bytes over baseline exceeds budget %d + slack %d", used, budget, slack)
+	}
+}
+
+// TestStreamLoopAllocs pins the streamed round loop's marginal allocation
+// cost, the streaming twin of TestRoundLoopAllocs: shrinking the memory
+// budget multiplies the rounds the same input takes, and each extra round
+// may only cost pooled-loop overhead — not re-grown kernel scratch or
+// per-item framing garbage (the regression that once put the streamed
+// benchmark at ~9× the in-memory allocation count).
+func TestStreamLoopAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("alloc counts are inflated by the race detector")
+	}
+	reads := testReads(t, 20_000, 8)
+	run := func(basesPerRank int) (rounds int) {
+		cfg := Default(smallGPULayout(1), SupermerMode)
+		cfg.MemBudgetBytes = int64(cfg.Layout.Ranks() * streamBytesPerBase * basesPerRank)
+		res, err := RunStream(cfg, fastq.NewSliceSource(reads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rounds
+	}
+	measure := func(basesPerRank int) (float64, int) {
+		var rounds int
+		allocs := testing.AllocsPerRun(3, func() {
+			rounds = run(basesPerRank)
+		})
+		return allocs, rounds
+	}
+	aFew, rFew := measure(12_000)
+	aMany, rMany := measure(3_000)
+	if rMany <= rFew || rFew < 2 {
+		t.Fatalf("want rMany > rFew >= 2, got %d and %d rounds", rMany, rFew)
+	}
+	perRound := (aMany - aFew) / float64(rMany-rFew)
+	t.Logf("rounds %d -> %d, allocs %.0f -> %.0f, marginal %.1f allocs/round", rFew, rMany, aFew, aMany, perRound)
+	// Measured ~400 allocs/round (the in-memory loop's overhead plus the
+	// producer's per-chunk record headers); the budget leaves headroom for
+	// scheduler noise without readmitting per-item costs.
+	const budget = 1500
+	if perRound > budget {
+		t.Fatalf("marginal cost %.1f allocs/round exceeds budget %d", perRound, budget)
 	}
 }

@@ -74,7 +74,11 @@ otrace="$TRACE_SMOKE_OUT/overlap_trace.json"
 oreport="$TRACE_SMOKE_OUT/overlap_report.txt"
 ojson="$TRACE_SMOKE_OUT/overlap.json"
 sjson="$TRACE_SMOKE_OUT/serial.json"
-faults="-fault-seed 3 -fault-drop 0.05 -fault-corrupt 0.02"
+# The retry budget is raised above the default 2 so the run recovers
+# fully: at these drop/corrupt rates a round can need several attempts,
+# and an exhausted budget degrades the counts to a lower bound (exit 3),
+# which would break the count-equality asserts below.
+faults="-fault-seed 3 -fault-drop 0.05 -fault-corrupt 0.02 -max-retries 8"
 
 echo "trace-smoke: running a faulted overlapped pipeline"
 # shellcheck disable=SC2086
@@ -112,5 +116,45 @@ ocount=$(jq '[.total_kmers, .distinct_kmers]' "$ojson")
 scount=$(jq '[.total_kmers, .distinct_kmers]' "$sjson")
 [ "$ocount" = "$scount" ] \
     || fail "overlap counts $ocount differ from serial counts $scount"
+
+# --- hierarchical exchange + GPUDirect: the same faulted multi-round run
+# through the two-stage exchange with staging elided must (a) record NO
+# stage_h2d spans, (b) stage every round through the gather →
+# leader_alltoall → scatter span triple, (c) count exactly what the flat
+# serial run counts, and (d) report the collapsed fabric message count:
+# 12 ranks at 6 per node is 2 leaders, so each round is 2² = 4 leader
+# messages instead of 12² = 144.
+htrace="$TRACE_SMOKE_OUT/hier_trace.json"
+hmetrics="$TRACE_SMOKE_OUT/hier_metrics.prom"
+hjson="$TRACE_SMOKE_OUT/hier.json"
+
+echo "trace-smoke: running a faulted hierarchical + gpudirect pipeline"
+# shellcheck disable=SC2086
+go run ./cmd/dedukt -nodes 2 -hist 0 -top 0 -round-bases 8000 \
+    -exchange hier -gpudirect \
+    $faults -json -trace-out "$htrace" -metrics-out "$hmetrics" \
+    > "$hjson" 2>/dev/null || fail "dedukt hierarchical run"
+
+echo "trace-smoke: validating $htrace"
+jq -e . "$htrace" >/dev/null || fail "hier trace is not valid JSON"
+jq -e '[.traceEvents[] | select(.ph == "X" and .name == "stage_h2d")] | length == 0' \
+    "$htrace" >/dev/null || fail "gpudirect trace still has stage_h2d spans"
+for phase in gather leader_alltoall scatter; do
+    jq -e --arg p "$phase" \
+        '[.traceEvents[] | select(.ph == "X" and .name == $p)] | length > 0' \
+        "$htrace" >/dev/null || fail "hier trace has no $phase spans"
+done
+
+echo "trace-smoke: validating hierarchical counts and message metric"
+jq -e '.exchange == "hier"' "$hjson" >/dev/null \
+    || fail "hier JSON report does not record the strategy"
+hcount=$(jq '[.total_kmers, .distinct_kmers]' "$hjson")
+[ "$hcount" = "$scount" ] \
+    || fail "hier counts $hcount differ from flat serial counts $scount"
+rounds=$(jq '.rounds' "$hjson")
+want_msgs=$((4 * rounds))
+got_msgs=$(awk '/^pipeline_exchange_messages_total\{strategy="hier"\}/ {print $2}' "$hmetrics")
+[ "$got_msgs" = "$want_msgs" ] \
+    || fail "hier message metric $got_msgs, want $want_msgs (4 per round x $rounds rounds)"
 
 echo "trace-smoke: PASS"
