@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke cluster-smoke trace-smoke stream-smoke recover-smoke experiments examples lint ci clean
+.PHONY: all build test race fuzz fuzz-seeds bench bench-serve bench-pipeline serve-smoke cluster-smoke trace-smoke stream-smoke recover-smoke spill-smoke experiments examples lint ci clean
 
 all: build test
 
 # The full gate CI runs: build, formatting/vet lint, race-enabled tests,
 # every fuzz target over its seed corpus, and the serving-, cluster-,
-# tracing-, streaming- and recovery-layer smoke tests.
-ci: build lint race fuzz-seeds serve-smoke cluster-smoke trace-smoke stream-smoke recover-smoke
+# tracing-, streaming-, recovery- and spill-layer smoke tests.
+ci: build lint race fuzz-seeds serve-smoke cluster-smoke trace-smoke stream-smoke recover-smoke spill-smoke
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,12 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzWireRoundTrip -fuzztime 30s ./internal/kernels/
 	$(GO) test -run xxx -fuzz FuzzWireCorruptInput -fuzztime 30s ./internal/kernels/
 	$(GO) test -run xxx -fuzz FuzzTraceparent -fuzztime 30s ./internal/obs/
+	$(GO) test -run xxx -fuzz FuzzSpillBin -fuzztime 30s ./internal/pipeline/
 
 # Run every fuzz target over its checked-in seed corpus only (fast,
 # deterministic — what `ci` uses).
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/fastq/ ./internal/minimizer/ ./internal/kernels/ ./internal/obs/
+	$(GO) test -run 'Fuzz' ./internal/fastq/ ./internal/minimizer/ ./internal/kernels/ ./internal/obs/ ./internal/pipeline/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -88,6 +89,14 @@ stream-smoke:
 # RECOVER_SMOKE_OUT so CI can upload them.
 recover-smoke:
 	sh scripts/recover_smoke.sh
+
+# End-to-end smoke test of out-of-core counting: a spilled two-pass run
+# over 16 disk bins (alone and combined with -stream), asserted
+# bit-identical (via jq) to the in-memory spectrum, with spill spans in
+# the trace, spill series in the metrics, and no bin files left behind.
+# Artifacts land in SPILL_SMOKE_OUT so CI can upload them.
+spill-smoke:
+	sh scripts/spill_smoke.sh
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

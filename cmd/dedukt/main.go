@@ -73,6 +73,8 @@ func main() {
 		roundB    = flag.Int("round-bases", 0, "cap the bases a rank processes per round, forcing multi-round operation (0 = one round)")
 		stream    = flag.Bool("stream", false, "stream -in files through the pipeline without preloading them (bounded memory; requires -in)")
 		memBudget = flag.String("mem-budget", "", "streaming working-set budget, e.g. 64M or 2G (default 256M; implies multi-round ingestion)")
+		spillDir  = flag.String("spill-dir", "", "count out-of-core: spill received items into minimizer-partitioned bins under this directory (pass 1), then count one bin at a time (pass 2); bit-identical to in-memory counting")
+		spillBins = flag.Int("spill-bins", 0, "disk bins per rank when -spill-dir is set (default 32)")
 		ckptDir   = flag.String("ckpt-dir", "", "checkpoint the run into this directory every -ckpt-rounds rounds (requires -stream); enables -resume and shrink recovery")
 		ckptEvery = flag.Int("ckpt-rounds", 4, "rounds between checkpoints when -ckpt-dir is set")
 		noShrink  = flag.Bool("no-shrink", false, "disable in-place shrink recovery after a rank death (the run fails instead; resume it with -resume)")
@@ -161,6 +163,12 @@ func main() {
 	if *ckptDir != "" && !*stream {
 		log.Fatal("-ckpt-dir requires -stream (checkpointing rides the streaming cursor protocol)")
 	}
+	if *spillDir != "" && (*outKCD != "" || *serve != "") {
+		log.Fatal("-spill-dir cannot be combined with -okcd or -serve (they keep the full per-rank tables spilling exists to avoid)")
+	}
+	if *spillBins != 0 && *spillDir == "" {
+		log.Fatal("-spill-bins requires -spill-dir")
+	}
 	var ckpt pipeline.CkptConfig
 	if *ckptDir != "" {
 		paths := splitPaths(*inPath)
@@ -215,6 +223,7 @@ func main() {
 			Corrupt:  *faultCorrupt,
 		},
 		Ckpt:             ckpt,
+		Spill:            pipeline.SpillConfig{Dir: *spillDir, Bins: *spillBins},
 		RoundBases:       *roundB,
 		MaxRetries:       *maxRetries,
 		ExchangeDeadline: *deadline,
@@ -443,6 +452,8 @@ type jsonReport struct {
 	Imbalance  float64           `json:"load_imbalance"`
 	Streamed   bool              `json:"streamed,omitempty"`
 	MemBudget  int64             `json:"mem_budget_bytes,omitempty"`
+	Spilled    bool              `json:"spilled,omitempty"`
+	SpillBins  int               `json:"spill_bins,omitempty"`
 	InputReads uint64            `json:"input_reads,omitempty"`
 	InputBases uint64            `json:"input_bases,omitempty"`
 	Histogram  map[uint32]uint64 `json:"histogram"`
@@ -497,6 +508,10 @@ func reportJSON(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top int)
 	if res.Streamed {
 		rep.Streamed = true
 		rep.MemBudget = res.MemBudget
+	}
+	if res.Spilled {
+		rep.Spilled = true
+		rep.SpillBins = res.SpillBins
 	}
 	rep.InputReads, rep.InputBases = res.InputReads, res.InputBases
 	rep.Incomplete = res.Incomplete
@@ -641,6 +656,9 @@ func report(w io.Writer, cfg pipeline.Config, res *pipeline.Result, top, histMax
 	if res.Streamed {
 		fmt.Fprintf(w, "streamed:  %s reads (%s bases) in %d bounded rounds under a %s working-set budget\n",
 			stats.Count(res.InputReads), stats.Count(res.InputBases), res.Rounds, stats.Bytes(uint64(res.MemBudget)))
+	}
+	if res.Spilled {
+		fmt.Fprintf(w, "spilled:   counted out-of-core in two passes over %d disk bins per rank\n", res.SpillBins)
 	}
 	if res.Checkpoints > 0 {
 		fmt.Fprintf(w, "checkpoint: %d rounds persisted\n", res.Checkpoints)

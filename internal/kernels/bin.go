@@ -1,0 +1,17 @@
+package kernels
+
+import "dedukt/internal/hash"
+
+// SpillBinSeed salts the spill-bin hash so bin assignment is independent
+// of both the destination-rank hash (DestSeed) and any table slot hash:
+// a pathological key set that skews one cannot systematically skew the
+// others. ASCII "spil".
+const SpillBinSeed = 0x7370696c
+
+// SpillBinOf maps a packed k-mer key to its out-of-core spill bin on the
+// owning rank (DESIGN.md §16). Like DestOf it is a pure function of the
+// key, so the bins partition the key space: pass 2 can count one bin at
+// a time and merge the spectra without cross-bin reconciliation.
+func SpillBinOf(key uint64, bins int) int {
+	return int(hash.Mix64Seeded(key, SpillBinSeed) % uint64(bins))
+}

@@ -1,0 +1,22 @@
+package minimizer
+
+import (
+	"dedukt/internal/dna"
+	"dedukt/internal/hash"
+)
+
+// spillBinSeed matches kernels.SpillBinSeed ("spil"): supermer-mode and
+// kmer-mode spill use the same salt family but hash different inputs
+// (minimizer rank vs. k-mer key), so the constants coinciding is
+// harmless. Duplicated here because minimizer cannot import kernels.
+const spillBinSeed = 0x7370696c
+
+// SpillBinOf maps a minimizer to its out-of-core spill bin (DESIGN.md
+// §16). Binning hashes the ordering's rank rather than the raw m-mer so
+// the partition follows the run's minimizer ordering — the Gerbil/KMC
+// idea of minimizer-partitioned disk bins. Every k-mer of a supermer
+// shares the supermer's minimizer, so binning whole supermer images by
+// minimizer keeps each distinct k-mer key in exactly one bin.
+func SpillBinOf(min dna.Kmer, m int, ord Ordering, bins int) int {
+	return int(hash.Mix64Seeded(ord.Rank(min, m), spillBinSeed) % uint64(bins))
+}

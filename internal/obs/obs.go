@@ -37,6 +37,8 @@ const (
 	PhaseCount    = "count"           // table insertion
 	PhaseCkpt     = "checkpoint"      // persisting a round checkpoint slice
 	PhaseRecovery = "recovery"        // shrink reconfiguration + state reload
+	PhaseSpill    = "spill_write"     // out-of-core pass 1: appending received items to disk bins
+	PhaseBinCount = "bin_count"       // out-of-core pass 2: counting one spill bin
 )
 
 // Instant event names for faults and recovery milestones.

@@ -220,6 +220,39 @@ type Config struct {
 	// (DESIGN.md §12). Streaming runs only; the zero value disables both,
 	// leaving PR 1's degrade-to-Incomplete as the terminal fault state.
 	Ckpt CkptConfig
+	// Spill configures two-pass out-of-core counting (DESIGN.md §16):
+	// pass 1 appends each rank's received items to minimizer-partitioned
+	// disk bins instead of one full-spectrum table; pass 2 counts one bin
+	// at a time into a bounded working-set table and merges the bin
+	// spectra bit-identically. The zero value keeps counting in memory.
+	Spill SpillConfig
+}
+
+// SpillConfig parameterizes the out-of-core counting mode.
+type SpillConfig struct {
+	// Dir enables spilling: each rank writes its per-bin files
+	// (r####-b####.spill) into this directory during pass 1 and removes
+	// them after pass 2. The directory must not hold spill state from
+	// another run. Empty disables the subsystem.
+	Dir string
+	// Bins is the number of disk bins per rank (default 32, max 4096).
+	// More bins mean a smaller pass-2 working set and more open files.
+	Bins int
+}
+
+// defaultSpillBins balances pass-2 working-set size against per-rank
+// file count; maxSpillBins caps the open-file and staging-buffer cost.
+const (
+	defaultSpillBins = 32
+	maxSpillBins     = 4096
+)
+
+// bins returns the effective bin count.
+func (c SpillConfig) bins() int {
+	if c.Bins == 0 {
+		return defaultSpillBins
+	}
+	return c.Bins
 }
 
 // CkptConfig parameterizes the recovery subsystem of a streaming run.
@@ -320,6 +353,23 @@ func (c Config) Validate() error {
 	}
 	if c.Ckpt.Dir != "" && c.Ckpt.Reopen == nil {
 		return fmt.Errorf("pipeline: checkpointing requires Ckpt.Reopen (recovery re-feeds the source)")
+	}
+	if c.Spill.Bins < 0 || c.Spill.Bins > maxSpillBins {
+		return fmt.Errorf("pipeline: spill bins %d outside [0,%d]", c.Spill.Bins, maxSpillBins)
+	}
+	if c.Spill.Bins > 0 && c.Spill.Dir == "" {
+		return fmt.Errorf("pipeline: Spill.Bins set without Spill.Dir")
+	}
+	if c.Spill.Dir != "" {
+		if c.KeepTables {
+			return fmt.Errorf("pipeline: spill counting cannot keep per-rank tables (the full-spectrum table is exactly what spilling avoids)")
+		}
+		if c.Ckpt.Dir != "" {
+			return fmt.Errorf("pipeline: spill counting and checkpointing are mutually exclusive (checkpoints persist the in-memory spectrum slice spilling never builds)")
+		}
+		if c.FilterSingletons {
+			return fmt.Errorf("pipeline: spill counting cannot use the singleton Bloom filter (first sightings must survive until their bin is counted)")
+		}
 	}
 	return nil
 }
@@ -475,6 +525,11 @@ type Result struct {
 	// under (0 for in-memory runs).
 	Streamed  bool
 	MemBudget int64
+	// Spilled reports that counting ran the two-pass out-of-core path
+	// (Config.Spill); SpillBins echoes the per-rank bin count it used
+	// (0 for in-memory counting).
+	Spilled   bool
+	SpillBins int
 	// InputReads and InputBases count the ingested records and bases —
 	// for streamed runs the only place the input size is known, since
 	// the dataset is never materialized.

@@ -1,6 +1,9 @@
 package pipeline
 
 import (
+	"fmt"
+
+	"dedukt/internal/cluster"
 	"dedukt/internal/dna"
 	"dedukt/internal/fault"
 	"dedukt/internal/kcount"
@@ -30,7 +33,7 @@ type cpuRoundState struct {
 // ablation for one rank, metering abstract work with the same constants the
 // GPU kernels use and converting it to Power9 time via the layout's
 // CPUModel.
-func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, bloomBases int, seat *rankSeat, ck *ckptCtl, out *rankOutcome) error {
+func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, bloomBases int, seat *rankSeat, ck *ckptCtl, rsp *rankSpill, out *rankOutcome) error {
 	model := *cfg.Layout.CPU
 	seedLen := 0
 	for _, db := range seat.seed {
@@ -161,8 +164,28 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	}
 
 	// Count the received parts into the persistent per-rank table in place.
+	// In spill mode (pass 1) the verified parts are appended to the rank's
+	// disk bins instead and the insert is deferred to the per-bin pass.
 	count := func(r int) error {
 		st := &states[r%2]
+		if rsp != nil {
+			sp := rec.Begin(rank, r, obs.PhaseSpill)
+			var (
+				n   uint64
+				err error
+			)
+			if cfg.Mode == KmerMode {
+				n, err = rsp.spillWords(st.recvWords)
+			} else {
+				n, err = rsp.spillWire(wire, cfg.minimizerConfig(), st.recvWire)
+			}
+			if err != nil {
+				sp.End(0, 0)
+				return err
+			}
+			sp.End(0, n)
+			return nil
+		}
 		sp := rec.Begin(rank, r, obs.PhaseCount)
 		var (
 			cmeter kernels.WorkMeter
@@ -196,6 +219,9 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 		return err
 	}
 	out.rounds = rounds
+	if rsp != nil {
+		return cpuCountBins(cfg, model, rsp, rec, rank, out)
+	}
 	out.counted = table.TotalCount()
 	out.distinct = uint64(table.Len())
 	out.hist = table.Histogram()
@@ -203,6 +229,72 @@ func runCPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	if cfg.KeepTables {
 		out.table = table
 	}
+	return nil
+}
+
+// cpuCountBins is the CPU engine's spill pass 2: seal the rank's bins,
+// count each one into a fresh working-set table — sized for that bin
+// alone, never the whole spectrum slice — and fold the bin spectra into
+// the outcome. Bins partition the rank's key space, so the fold is
+// bit-identical to the single-table path.
+func cpuCountBins(cfg Config, model cluster.CPUModel, rsp *rankSpill, rec *obs.Recorder, rank int, out *rankOutcome) error {
+	acc := kcount.NewBinAccumulator(topKPerRank)
+	if err := rsp.seal(); err != nil {
+		return err
+	}
+	wire := kernels.SupermerWire{K: cfg.K, Window: cfg.Window}
+	stride := wire.Stride()
+	var words []uint64
+	for b := 0; b < rsp.ctl.bins; b++ {
+		// Pass-2 spans carry round -1: bin counting happens after the round
+		// loop, like recovery (the other round-free phase).
+		sp := rec.Begin(rank, -1, obs.PhaseBinCount)
+		bt := kcount.NewTable(1, cfg.Probing)
+		var (
+			binItems uint64
+			bmeter   kernels.WorkMeter
+		)
+		err := rsp.readBin(b, func(payload []byte, items int) error {
+			if cfg.Mode == KmerMode {
+				if len(payload) != 8*items {
+					return fmt.Errorf("spill record declares %d words for %d payload bytes: %w", items, len(payload), ErrSpillMismatch)
+				}
+				if cap(words) < items {
+					words = make([]uint64, items)
+				}
+				words = words[:items]
+				for i := range words {
+					words[i] = leUint64(payload[8*i:])
+				}
+				bmeter.Add(cpuCountKmers(cfg, bt, nil, [][]uint64{words}))
+			} else {
+				if len(payload) != items*stride {
+					return fmt.Errorf("spill record declares %d images for %d payload bytes (stride %d): %w", items, len(payload), stride, ErrSpillMismatch)
+				}
+				m, err := cpuCountSupermers(cfg, bt, nil, [][]byte{payload})
+				if err != nil {
+					return err
+				}
+				bmeter.Add(m)
+			}
+			binItems += uint64(items)
+			return nil
+		})
+		if err != nil {
+			sp.End(0, 0)
+			return err
+		}
+		countModeled := model.RankTimeLifted(bmeter.Ops, bmeter.Bytes, bmeter.Items, cfg.CPULoadLift)
+		out.count += countModeled
+		out.countOps += bmeter.Ops
+		acc.AddTable(bt)
+		sp.End(countModeled, binItems)
+	}
+	rsp.cleanup(!out.incomplete)
+	out.counted = acc.Total()
+	out.distinct = acc.Distinct()
+	out.hist = acc.Histogram()
+	out.top = acc.TopK()
 	return nil
 }
 

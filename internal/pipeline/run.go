@@ -72,13 +72,25 @@ func Run(cfg Config, reads []fastq.Record) (*Result, error) {
 		totalBases += uint64(bloomBases[r])
 		sources[r] = &sliceChunker{reads: part, maxBases: cfg.RoundBases}
 	}
-	res, err := runWorld(cfg, destMap, sources, bloomBases, nil, nil, nil)
+	spl, err := maybeSpill(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runWorld(cfg, destMap, sources, bloomBases, nil, nil, nil, spl)
 	if err != nil {
 		return nil, err
 	}
 	res.InputReads = uint64(len(reads))
 	res.InputBases = totalBases
 	return res, nil
+}
+
+// maybeSpill builds the shared out-of-core spill state when configured.
+func maybeSpill(cfg Config) (*spillCtl, error) {
+	if cfg.Spill.Dir == "" {
+		return nil, nil
+	}
+	return newSpillCtl(cfg)
 }
 
 // validateRun is the config validation shared by Run and RunStream.
@@ -106,7 +118,7 @@ func validateRun(cfg Config) error {
 // rv set, a rank death no longer fails the run — survivors shrink the
 // communicator, replay from the last checkpoint, and the dead ranks'
 // expected failures are absorbed below.
-func runWorld(cfg Config, destMap []uint16, sources []chunkSource, bloomBases []int, seats []*rankSeat, ck *ckptCtl, rv *recoverRT) (*Result, error) {
+func runWorld(cfg Config, destMap []uint16, sources []chunkSource, bloomBases []int, seats []*rankSeat, ck *ckptCtl, rv *recoverRT, spl *spillCtl) (*Result, error) {
 	nOrig := cfg.Layout.Ranks()
 	inj, err := fault.New(cfg.Fault, nOrig)
 	if err != nil {
@@ -137,12 +149,16 @@ func runWorld(cfg Config, destMap []uint16, sources []chunkSource, bloomBases []
 		if bloomBases != nil {
 			bases = bloomBases[c.Rank()]
 		}
+		var rsp *rankSpill
+		if spl != nil {
+			rsp = spl.rank(seat.old)
+		}
 		for {
 			var err error
 			if cfg.Layout.GPU != nil {
-				err = runGPURank(cfg, destMap, inj, c, src, seat, ck, out)
+				err = runGPURank(cfg, destMap, inj, c, src, seat, ck, rsp, out)
 			} else {
-				err = runCPURank(cfg, destMap, inj, c, src, bases, seat, ck, out)
+				err = runCPURank(cfg, destMap, inj, c, src, bases, seat, ck, rsp, out)
 			}
 			if err == nil {
 				return nil
@@ -284,7 +300,7 @@ func seedAtomicTable(seed []*kcount.Database, load float64, prob kcount.Probing)
 	return t, nil
 }
 
-func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, seat *rankSeat, ck *ckptCtl, out *rankOutcome) error {
+func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Comm, src chunkSource, seat *rankSeat, ck *ckptCtl, rsp *rankSpill, out *rankOutcome) error {
 	dev := gpusim.MustDevice(*cfg.Layout.GPU)
 	if cfg.Obs != nil {
 		dev.Observe(cfg.Obs.Registry())
@@ -427,9 +443,29 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	}
 
 	// Count: insert the round's received parts into this rank's table
-	// partition in place, growing it between rounds when needed.
+	// partition in place, growing it between rounds when needed. In spill
+	// mode (pass 1) the verified parts are appended to the rank's disk
+	// bins instead and the insert is deferred to the per-bin pass below.
 	count := func(r int) error {
 		st := &states[r%2]
+		if rsp != nil {
+			sp := rec.Begin(rank, r, obs.PhaseSpill)
+			var (
+				n   uint64
+				err error
+			)
+			if cfg.Mode == KmerMode {
+				n, err = rsp.spillWords(st.recvWords)
+			} else {
+				n, err = rsp.spillWire(wire, cfg.minimizerConfig(), st.recvWire)
+			}
+			if err != nil {
+				sp.End(0, 0)
+				return err
+			}
+			sp.End(0, n)
+			return nil
+		}
 		incoming := int(st.roundRecv)
 		sp := rec.Begin(rank, r, obs.PhaseCount)
 		var (
@@ -477,6 +513,9 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	}
 	out.rounds = rounds
 
+	if rsp != nil {
+		return gpuCountBins(cfg, dev, wire, rsp, rec, rank, out)
+	}
 	snap := table.Snapshot()
 	out.counted = snap.TotalCount()
 	out.distinct = uint64(snap.Len())
@@ -485,6 +524,84 @@ func runGPURank(cfg Config, destMap []uint16, inj *fault.Injector, c *mpisim.Com
 	if cfg.KeepTables {
 		out.table = snap
 	}
+	return nil
+}
+
+// gpuCountBins is the GPU engine's spill pass 2: seal the rank's bins,
+// then count each one into a fresh working-set table — sized for that
+// bin alone, never the whole spectrum slice — and fold the bin spectra
+// into the outcome. Bins partition the rank's key space, so the fold is
+// bit-identical to the single-table path.
+func gpuCountBins(cfg Config, dev *gpusim.Device, wire kernels.SupermerWire, rsp *rankSpill, rec *obs.Recorder, rank int, out *rankOutcome) error {
+	if err := rsp.seal(); err != nil {
+		return err
+	}
+	acc := kcount.NewBinAccumulator(topKPerRank)
+	stride := wire.Stride()
+	var words []uint64
+	for b := 0; b < rsp.ctl.bins; b++ {
+		// Pass-2 spans carry round -1: bin counting happens after the round
+		// loop, like recovery (the other round-free phase).
+		sp := rec.Begin(rank, -1, obs.PhaseBinCount)
+		bt := kcount.NewAtomicTable(1, cfg.tableLoad(), cfg.Probing)
+		var (
+			binItems   uint64
+			binModeled time.Duration
+		)
+		err := rsp.readBin(b, func(payload []byte, items int) error {
+			var (
+				countSt gpusim.KernelStats
+				err     error
+			)
+			if cfg.Mode == KmerMode {
+				if len(payload) != 8*items {
+					return fmt.Errorf("spill record declares %d words for %d payload bytes: %w", items, len(payload), ErrSpillMismatch)
+				}
+				if cap(words) < items {
+					words = make([]uint64, items)
+				}
+				words = words[:items]
+				for i := range words {
+					words[i] = leUint64(payload[8*i:])
+				}
+				bt, err = ensureCapacity(bt, items, cfg.tableLoad(), cfg.Probing)
+				if err != nil {
+					return err
+				}
+				countSt, err = kernels.CountKmers(dev, bt, [][]uint64{words})
+			} else {
+				if len(payload) != items*stride {
+					return fmt.Errorf("spill record declares %d images for %d payload bytes (stride %d): %w", items, len(payload), stride, ErrSpillMismatch)
+				}
+				bt, err = ensureCapacity(bt, items*cfg.Window, cfg.tableLoad(), cfg.Probing)
+				if err != nil {
+					return err
+				}
+				countSt, err = kernels.CountSupermers(dev, bt, wire, [][]byte{payload})
+			}
+			if err != nil {
+				return err
+			}
+			kt := dev.Config().KernelTime(&countSt)
+			out.count += kt
+			binModeled += kt
+			out.countOps += countSt.ComputeOps
+			out.countSt.Add(countSt)
+			binItems += uint64(items)
+			return nil
+		})
+		if err != nil {
+			sp.End(0, 0)
+			return err
+		}
+		acc.AddTable(bt.Snapshot())
+		sp.End(binModeled, binItems)
+	}
+	rsp.cleanup(!out.incomplete)
+	out.counted = acc.Total()
+	out.distinct = acc.Distinct()
+	out.hist = acc.Histogram()
+	out.top = acc.TopK()
 	return nil
 }
 
@@ -503,6 +620,8 @@ func aggregate(cfg Config, trace []mpisim.TraceEntry, outcomes []rankOutcome, wa
 		GPU:          cfg.Layout.GPU != nil,
 		Overlap:      cfg.Overlap,
 		Wall:         wall,
+		Spilled:      cfg.Spill.Dir != "",
+		SpillBins:    spillBinsOf(cfg),
 		Histogram:    kcount.Histogram{Counts: make(map[uint32]uint64)},
 		PerRankKmers: make([]uint64, len(outcomes)),
 	}

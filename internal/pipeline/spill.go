@@ -1,0 +1,475 @@
+package pipeline
+
+// Two-pass out-of-core counting (DESIGN.md §16): with Config.Spill set,
+// pass 1 runs the normal round loop but each rank appends its *received*
+// (verified) items into minimizer-partitioned, CRC-framed bin files under
+// Spill.Dir instead of growing one table holding its whole spectrum
+// slice; pass 2 streams one bin at a time into a small working-set table
+// and folds the bin spectra into the rank outcome. Because a key's bin is
+// a pure function of the key (kmer mode) or of its minimizer (supermer
+// mode — every k-mer of a supermer shares the supermer's minimizer), bins
+// partition each rank's key set and the merged result is bit-identical to
+// the in-memory path.
+//
+// The on-disk format mirrors internal/recover's hardening idioms: magic +
+// version + CRC-framed header, CRC per record, atomic tmp+rename sealing,
+// and structured sentinels — a damaged bin can fail a run, but it can
+// never silently count wrong data.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dedukt/internal/dna"
+	"dedukt/internal/kernels"
+	"dedukt/internal/minimizer"
+	"dedukt/internal/obs"
+)
+
+// Sentinel errors of the spill-bin reader; test with errors.Is. They
+// mirror internal/recover's vocabulary (ErrTruncated/ErrChecksum/
+// ErrMismatch) under spill-specific identities so callers can tell which
+// durable layer failed.
+var (
+	// ErrSpillTruncated marks a bin file that ended inside its declared
+	// structure (header or record cut short).
+	ErrSpillTruncated = errors.New("pipeline: truncated spill bin")
+	// ErrSpillChecksum marks a structurally complete bin whose CRC32 does
+	// not match its contents.
+	ErrSpillChecksum = errors.New("pipeline: spill bin checksum mismatch")
+	// ErrSpillMismatch marks a bin that does not belong to this run: wrong
+	// magic/version, a fingerprint for a different configuration, wrong
+	// rank/bin coordinates, or a record whose declared item count cannot
+	// describe its payload.
+	ErrSpillMismatch = errors.New("pipeline: spill bin does not match this run")
+)
+
+// Spill bin file framing (all integers little-endian):
+//
+//	magic   "DKSB"   4 bytes
+//	version uint16   (1)
+//	rank    uint32   original rank id that owns the bin
+//	bin     uint32   bin index on that rank
+//	bins    uint32   total bins per rank this run
+//	fphash  uint64   recover.Fingerprint.Hash() of the run
+//	crc32   uint32   IEEE, over the 22 header bytes after the magic
+//
+// followed by zero or more records:
+//
+//	items   uint32   exchanged units in the payload (words or images)
+//	length  uint32   payload bytes
+//	crc32   uint32   IEEE, over the payload
+//	payload length bytes (LE uint64 k-mer keys, or supermer wire images)
+//
+// EOF at a record boundary is a clean end; EOF inside a record is
+// ErrSpillTruncated.
+const (
+	spillMagic      = "DKSB"
+	spillVersion    = 1
+	spillHeaderLen  = 4 + 22 + 4
+	spillExt        = ".spill"
+	spillTmpSuffix  = ".spill.tmp"
+	spillQuarantine = ".partial"
+	// maxSpillRecord caps one record's payload allocation; real records
+	// are bounded by a round's received payload, far below this.
+	maxSpillRecord = 1 << 28
+)
+
+// spillHeader identifies one bin file.
+type spillHeader struct {
+	rank, bin, bins int
+	fphash          uint64
+}
+
+// writeSpillHeader encodes the CRC-framed file header.
+func writeSpillHeader(w io.Writer, h spillHeader) error {
+	var buf [spillHeaderLen]byte
+	copy(buf[:4], spillMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], spillVersion)
+	binary.LittleEndian.PutUint32(buf[6:10], uint32(h.rank))
+	binary.LittleEndian.PutUint32(buf[10:14], uint32(h.bin))
+	binary.LittleEndian.PutUint32(buf[14:18], uint32(h.bins))
+	binary.LittleEndian.PutUint64(buf[18:26], h.fphash)
+	binary.LittleEndian.PutUint32(buf[26:30], crc32.ChecksumIEEE(buf[4:26]))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readSpillHeader decodes and validates the file header, returning
+// ErrSpillTruncated / ErrSpillChecksum / ErrSpillMismatch on damage.
+func readSpillHeader(r io.Reader) (spillHeader, error) {
+	var buf [spillHeaderLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return spillHeader{}, fmt.Errorf("spill header: %w", spillEOF(err))
+	}
+	if string(buf[:4]) != spillMagic {
+		return spillHeader{}, fmt.Errorf("spill magic %q: %w", buf[:4], ErrSpillMismatch)
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[26:30]), crc32.ChecksumIEEE(buf[4:26]); got != want {
+		return spillHeader{}, fmt.Errorf("spill header crc %08x != %08x: %w", got, want, ErrSpillChecksum)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != spillVersion {
+		return spillHeader{}, fmt.Errorf("spill version %d (want %d): %w", v, spillVersion, ErrSpillMismatch)
+	}
+	return spillHeader{
+		rank:   int(binary.LittleEndian.Uint32(buf[6:10])),
+		bin:    int(binary.LittleEndian.Uint32(buf[10:14])),
+		bins:   int(binary.LittleEndian.Uint32(buf[14:18])),
+		fphash: binary.LittleEndian.Uint64(buf[18:26]),
+	}, nil
+}
+
+// appendSpillRecord frames one record onto dst.
+func appendSpillRecord(dst []byte, payload []byte, items int) []byte {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(items))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readSpillBin decodes a bin stream: header, then records until a clean
+// EOF, calling fn with each verified payload (valid only during the
+// call — the buffer is reused). want, when non-nil, pins the expected
+// coordinates so a misnamed or foreign file can never be counted.
+// Damage surfaces as a sentinel-wrapped error, never a panic.
+func readSpillBin(r io.Reader, want *spillHeader, fn func(payload []byte, items int) error) error {
+	h, err := readSpillHeader(r)
+	if err != nil {
+		return err
+	}
+	if want != nil && h != *want {
+		return fmt.Errorf("spill bin holds rank %d bin %d/%d run %016x, want rank %d bin %d/%d run %016x: %w",
+			h.rank, h.bin, h.bins, h.fphash, want.rank, want.bin, want.bins, want.fphash, ErrSpillMismatch)
+	}
+	var hdr [12]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // clean end at a record boundary
+			}
+			return fmt.Errorf("spill record header: %w", spillEOF(err))
+		}
+		if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+			return fmt.Errorf("spill record header: %w", spillEOF(err))
+		}
+		items := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		length := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxSpillRecord {
+			return fmt.Errorf("spill record declares %d payload bytes: %w", length, ErrSpillMismatch)
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("spill record payload: %w", spillEOF(err))
+		}
+		if got, want := binary.LittleEndian.Uint32(hdr[8:12]), crc32.ChecksumIEEE(payload); got != want {
+			return fmt.Errorf("spill record crc %08x != %08x: %w", got, want, ErrSpillChecksum)
+		}
+		if err := fn(payload, items); err != nil {
+			return err
+		}
+	}
+}
+
+// leUint64 decodes one little-endian word of a spill record payload.
+func leUint64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// spillEOF maps io.ReadFull's end-of-input errors onto ErrSpillTruncated,
+// keeping other I/O errors intact (the recover package's eofAs idiom).
+func spillEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrSpillTruncated
+	}
+	return err
+}
+
+// spillBinsOf returns the effective bin count of a run, 0 when spilling
+// is off (the Result convention: SpillBins echoes the mode).
+func spillBinsOf(cfg Config) int {
+	if cfg.Spill.Dir == "" {
+		return 0
+	}
+	return cfg.Spill.bins()
+}
+
+// spillCtl is the run-wide spill state shared by every rank: the
+// directory, bin geometry, run fingerprint, and the metrics the writers
+// feed. Built once per run after the directory hygiene check.
+type spillCtl struct {
+	dir    string
+	bins   int
+	fphash uint64
+	rec    *obs.Recorder
+	// bytes and sealed are nil without a registry (the newExchanger
+	// pattern: metric registration is guarded, recording is nil-checked).
+	bytes  *obs.Counter
+	sealed *obs.Counter
+}
+
+// newSpillCtl validates the spill directory and builds the shared state.
+func newSpillCtl(cfg Config) (*spillCtl, error) {
+	ctl := &spillCtl{
+		dir:    cfg.Spill.Dir,
+		bins:   cfg.Spill.bins(),
+		fphash: buildFingerprint(cfg).Hash(),
+		rec:    cfg.Obs,
+	}
+	if cfg.Obs != nil {
+		if reg := cfg.Obs.Registry(); reg != nil {
+			ctl.bytes = reg.Counter("pipeline_spill_bytes_total", "Payload bytes appended to spill bin files (pass 1).")
+			ctl.sealed = reg.Counter("pipeline_spill_bins_total", "Spill bin files sealed for pass-2 counting.")
+		}
+	}
+	if err := ctl.prepareDir(); err != nil {
+		return nil, err
+	}
+	return ctl, nil
+}
+
+// prepareDir refuses a spill directory holding prior spill state — from
+// a different configuration (counting into it would mix incompatible
+// partitions), from an interrupted run (.spill.tmp), or quarantined by a
+// degraded one (.partial). Spill bins are scratch, not a resume format:
+// a fresh run always starts from an empty bin set, so any leftover is a
+// refusal with a clear reason, never silent reuse. Unrelated files are
+// ignored — a shared temp dir stays usable.
+func (ctl *spillCtl) prepareDir() error {
+	if err := os.MkdirAll(ctl.dir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(ctl.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, spillTmpSuffix):
+			return fmt.Errorf("pipeline: spill dir %s holds partial bin %s from an interrupted run; remove it or use a fresh directory", ctl.dir, name)
+		case strings.HasSuffix(name, spillQuarantine):
+			return fmt.Errorf("pipeline: spill dir %s holds quarantined bin %s from a degraded run; remove it or use a fresh directory", ctl.dir, name)
+		case strings.HasSuffix(name, spillExt):
+			f, err := os.Open(filepath.Join(ctl.dir, name))
+			if err != nil {
+				return err
+			}
+			h, err := readSpillHeader(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("pipeline: spill dir %s holds unreadable bin %s: %w", ctl.dir, name, err)
+			}
+			if h.fphash != ctl.fphash || h.bins != ctl.bins {
+				return fmt.Errorf("pipeline: spill dir %s holds bin %s from a different configuration (run %016x, %d bins; this run %016x, %d bins): %w",
+					ctl.dir, name, h.fphash, h.bins, ctl.fphash, ctl.bins, ErrSpillMismatch)
+			}
+			return fmt.Errorf("pipeline: spill dir %s holds leftover bin %s from a previous run of this configuration; remove it or use a fresh directory", ctl.dir, name)
+		}
+	}
+	return nil
+}
+
+// rank builds one rank's private spill writer set.
+func (ctl *spillCtl) rank(rank int) *rankSpill {
+	return &rankSpill{
+		ctl:   ctl,
+		rank:  rank,
+		wr:    make([]*spillBinWriter, ctl.bins),
+		stage: make([][]byte, ctl.bins),
+		items: make([]int, ctl.bins),
+	}
+}
+
+// spillBinWriter is one open bin file, written as .spill.tmp and renamed
+// to .spill at seal time (the recover package's atomic-write idiom), so a
+// crash mid-run never leaves a file pass 2 would mistake for complete.
+type spillBinWriter struct {
+	f     *os.File
+	bw    *bufio.Writer
+	path  string // final .spill path
+	frame []byte // pooled record-framing scratch
+}
+
+// rankSpill is one rank's pass-1 spill state: lazily opened bin writers
+// plus per-round staging buffers that re-partition the received items
+// into bins before appending one CRC record per non-empty bin.
+type rankSpill struct {
+	ctl   *spillCtl
+	rank  int
+	wr    []*spillBinWriter
+	stage [][]byte
+	items []int
+}
+
+// binPath returns the final path of one sealed bin file.
+func (s *rankSpill) binPath(bin int) string {
+	return filepath.Join(s.ctl.dir, fmt.Sprintf("r%04d-b%04d%s", s.rank, bin, spillExt))
+}
+
+// resetStage truncates the per-round staging buffers in place.
+func (s *rankSpill) resetStage() {
+	for b := range s.stage {
+		s.stage[b] = s.stage[b][:0]
+		s.items[b] = 0
+	}
+}
+
+// spillWords re-partitions one round's received k-mer words into bins by
+// key hash and appends each non-empty bin's staging as one record.
+// Returns the items spilled (for the span) — the count hook's equivalent
+// of the insert it defers to pass 2.
+func (s *rankSpill) spillWords(parts [][]uint64) (uint64, error) {
+	s.resetStage()
+	var n uint64
+	for _, part := range parts {
+		for _, key := range part {
+			b := kernels.SpillBinOf(key, s.ctl.bins)
+			s.stage[b] = binary.LittleEndian.AppendUint64(s.stage[b], key)
+			s.items[b]++
+			n++
+		}
+	}
+	return n, s.flushStage()
+}
+
+// spillWire re-partitions one round's received supermer images into bins
+// by minimizer. The wire does not carry the minimizer, but every k-mer
+// of a supermer shares it (BuildWindowed breaks runs on minimizer
+// change), so it is recomputed from the image's first k-mer — the same
+// pure function the sender used, keeping each distinct key in exactly
+// one bin. The bytes are exchanged data: a decode failure is an error,
+// never a panic.
+func (s *rankSpill) spillWire(wire kernels.SupermerWire, mc minimizer.Config, parts [][]byte) (uint64, error) {
+	s.resetStage()
+	stride := wire.Stride()
+	var n uint64
+	for _, part := range parts {
+		images, err := wire.Count(part)
+		if err != nil {
+			return n, err
+		}
+		for i := 0; i < images; i++ {
+			img := part[i*stride : (i+1)*stride]
+			seq, _, err := wire.Decode(img)
+			if err != nil {
+				return n, err
+			}
+			var first uint64
+			for j := 0; j < mc.K; j++ {
+				first = first<<2 | uint64(seq.At(j))
+			}
+			min := minimizer.Of(dna.Kmer(first), mc.K, mc.M, mc.Ord)
+			b := minimizer.SpillBinOf(min, mc.M, mc.Ord, s.ctl.bins)
+			s.stage[b] = append(s.stage[b], img...)
+			s.items[b]++
+			n++
+		}
+	}
+	return n, s.flushStage()
+}
+
+// flushStage appends each non-empty staging buffer as one record to its
+// bin writer, opening writers lazily so empty bins get no file.
+func (s *rankSpill) flushStage() error {
+	for b := range s.stage {
+		if len(s.stage[b]) == 0 {
+			continue
+		}
+		w := s.wr[b]
+		if w == nil {
+			path := s.binPath(b)
+			f, err := os.Create(path + ".tmp") // r%04d-b%04d.spill.tmp
+			if err != nil {
+				return err
+			}
+			w = &spillBinWriter{f: f, bw: bufio.NewWriter(f), path: path}
+			if err := writeSpillHeader(w.bw, spillHeader{rank: s.rank, bin: b, bins: s.ctl.bins, fphash: s.ctl.fphash}); err != nil {
+				f.Close()
+				return err
+			}
+			s.wr[b] = w
+		}
+		w.frame = appendSpillRecord(w.frame[:0], s.stage[b], s.items[b])
+		if _, err := w.bw.Write(w.frame); err != nil {
+			return err
+		}
+		if s.ctl.bytes != nil {
+			s.ctl.bytes.Add(uint64(len(s.stage[b])))
+		}
+	}
+	return nil
+}
+
+// seal flushes, closes and atomically renames every open bin from
+// .spill.tmp to .spill — the boundary between pass 1 and pass 2. After
+// seal, a crash leaves only complete, named bins (plus whatever pass 2
+// has not yet removed); before it, only .tmp files a fresh run refuses.
+func (s *rankSpill) seal() error {
+	for _, w := range s.wr {
+		if w == nil {
+			continue
+		}
+		if err := w.bw.Flush(); err != nil {
+			w.f.Close()
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(w.path+".tmp", w.path); err != nil {
+			return err
+		}
+		if s.ctl.sealed != nil {
+			s.ctl.sealed.Inc()
+		}
+	}
+	return nil
+}
+
+// readBin streams one sealed bin's verified records through fn. A bin
+// that never opened a writer is empty — valid, zero records.
+func (s *rankSpill) readBin(bin int, fn func(payload []byte, items int) error) error {
+	if s.wr[bin] == nil {
+		return nil
+	}
+	f, err := os.Open(s.binPath(bin))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	want := spillHeader{rank: s.rank, bin: bin, bins: s.ctl.bins, fphash: s.ctl.fphash}
+	if err := readSpillBin(bufio.NewReader(f), &want, fn); err != nil {
+		return fmt.Errorf("%s: %w", s.binPath(bin), err)
+	}
+	return nil
+}
+
+// cleanup disposes of this rank's bins after pass 2: removed outright on
+// an exact run, renamed to .partial on a degraded one so the discarded
+// state is quarantined for inspection rather than silently deleted.
+// Failures are ignored — the counts are already folded; leftover files
+// only make the next run's hygiene check refuse the directory.
+func (s *rankSpill) cleanup(exact bool) {
+	for b, w := range s.wr {
+		if w == nil {
+			continue
+		}
+		path := s.binPath(b)
+		if exact {
+			os.Remove(path)
+		} else {
+			os.Rename(path, path+spillQuarantine)
+		}
+	}
+}

@@ -1,0 +1,464 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	"dedukt/internal/cluster"
+	"dedukt/internal/fastq"
+	"dedukt/internal/fault"
+	"dedukt/internal/genome"
+)
+
+// spillLeftovers lists the spill artifacts (bins, temps, quarantines)
+// remaining in dir.
+func spillLeftovers(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), spillExt) || strings.HasSuffix(e.Name(), spillQuarantine) {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TestSpillMatchesInMemory is the out-of-core equivalence property at the
+// heart of the spill mode: across engines, modes, schedules, exchange
+// strategies, streaming, randomized k/m/window choices, and recoverable
+// fault injection, the two-pass spill path must reproduce the in-memory
+// spectrum bit-for-bit — counts, histogram, top-k, and per-rank loads —
+// and leave no bin files behind on success.
+func TestSpillMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	type tcase struct {
+		engine   string
+		streamed bool
+		overlap  bool
+		faulted  bool
+		exch     Exchange
+	}
+	var cases []tcase
+	for _, engine := range []string{"gpu", "cpu"} {
+		for _, streamed := range []bool{false, true} {
+			for _, overlap := range []bool{false, true} {
+				for _, faulted := range []bool{false, true} {
+					for _, exch := range []Exchange{ExchangeFlat, ExchangeHier} {
+						cases = append(cases, tcase{engine, streamed, overlap, faulted, exch})
+					}
+				}
+			}
+		}
+	}
+	for i, tc := range cases {
+		// Alternate the exchanged unit across cases so both wire formats
+		// (and, in kmer mode, canonical folding every fourth case) cover
+		// every other dimension.
+		mode := []Mode{KmerMode, SupermerMode}[i%2]
+		canonical := mode == KmerMode && i%4 == 0
+		name := fmt.Sprintf("%s/%s/stream=%v/overlap=%v/faulted=%v/%s",
+			tc.engine, mode, tc.streamed, tc.overlap, tc.faulted, tc.exch)
+		// Per-case randomized operating point and dataset.
+		k := []int{15, 17, 21}[rng.Intn(3)]
+		m := []int{5, 7}[rng.Intn(2)]
+		window := []int{9, 15}[rng.Intn(2)]
+		reads := testReads(t, 6_000+rng.Intn(4_000), 3+rng.Float64()*2)
+		t.Run(name, func(t *testing.T) {
+			layout := smallGPULayout(1)
+			if tc.engine == "cpu" {
+				layout = smallCPULayout()
+			}
+			cfg := Default(layout, mode)
+			cfg.K, cfg.M, cfg.Window = k, m, window
+			cfg.Canonical = canonical
+			cfg.Overlap = tc.overlap
+			cfg.Exchange = tc.exch
+			if tc.exch == ExchangeHier {
+				cfg.Layout.Net.RanksPerNode = 2
+			}
+			if tc.faulted {
+				cfg.Fault = fault.Config{
+					Seed: uint64(200 + i), Delay: 0.02, DelayFor: 100 * time.Microsecond,
+					Drop: 0.03, Corrupt: 0.02,
+				}
+				cfg.MaxRetries = 8 // plenty: every payload must recover
+			}
+			want, err := Run(cfg, reads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scfg := cfg
+			scfg.Spill = SpillConfig{Dir: t.TempDir(), Bins: 7}
+			var got *Result
+			if tc.streamed {
+				scfg.MemBudgetBytes = int64(cfg.Layout.Ranks() * streamBytesPerBase * 2_500)
+				got, err = RunStream(scfg, fastq.NewSliceSource(reads))
+			} else {
+				got, err = Run(scfg, reads)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Spilled || got.SpillBins != 7 {
+				t.Fatalf("spill accounting wrong: Spilled=%v SpillBins=%d", got.Spilled, got.SpillBins)
+			}
+			if tc.streamed && got.Rounds < 2 {
+				t.Fatalf("streamed spill run should be multi-round, got %d rounds", got.Rounds)
+			}
+			if want.Incomplete || got.Incomplete {
+				t.Fatalf("injected faults must recover fully (incomplete: in-memory=%v spilled=%v)",
+					want.Incomplete, got.Incomplete)
+			}
+			sameCounts(t, want, got)
+			if !reflect.DeepEqual(want.PerRankKmers, got.PerRankKmers) {
+				t.Fatalf("per-rank loads differ:\n in-memory %v\n spilled   %v", want.PerRankKmers, got.PerRankKmers)
+			}
+			checkAgainstOracle(t, cfg, reads, got)
+			if left := spillLeftovers(t, scfg.Spill.Dir); len(left) != 0 {
+				t.Fatalf("exact run left spill artifacts behind: %v", left)
+			}
+		})
+	}
+}
+
+// TestSpillDefaultBins: the zero Bins value runs with the documented
+// default and reports it.
+func TestSpillDefaultBins(t *testing.T) {
+	reads := testReads(t, 5_000, 3)
+	cfg := Default(smallGPULayout(1), SupermerMode)
+	cfg.Spill = SpillConfig{Dir: t.TempDir()}
+	res, err := Run(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Spilled || res.SpillBins != defaultSpillBins {
+		t.Fatalf("Spilled=%v SpillBins=%d, want true/%d", res.Spilled, res.SpillBins, defaultSpillBins)
+	}
+}
+
+// TestSpillBoundedMemory is the out-of-core counting regression: stream a
+// dataset whose spectrum footprint is ≥8× the working-set budget through
+// the spill path and assert the sampled peak live heap stays under
+// budget + a fixed slack. The in-memory path would hold the full
+// per-rank tables — far above that ceiling — so the test fails if
+// pass 2 ever regresses to materializing the whole spectrum slice.
+func TestSpillBoundedMemory(t *testing.T) {
+	const budget = int64(512 << 10)
+	// Generate and write the dataset inside a helper so the read slice
+	// dies before the baseline measurement. ErrRate 0 keeps the count
+	// per genomic k-mer at the coverage; the spectrum is large because
+	// the genome is, not because of error noise.
+	dataset := func() string {
+		g, err := genome.Generate("wide", genome.Config{
+			Length: 1_200_000, RepeatFraction: 0.1, RepeatMinLen: 100,
+			RepeatMaxLen: 300, GC: 0.5, Seed: 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := genome.DefaultLongReads()
+		prof.MeanLen = 500
+		prof.ErrRate = 0
+		reads, err := genome.SimulateReads(g, 2, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "wide.fastq")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := fastq.NewWriter(f)
+		for _, rec := range reads {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}()
+
+	layout := cluster.SummitCPU(1)
+	layout.RanksPerNode = 2
+	layout.Net.RanksPerNode = 2
+	cfg := Default(layout, KmerMode)
+	cfg.MemBudgetBytes = budget
+	cfg.Spill = SpillConfig{Dir: t.TempDir(), Bins: 64}
+
+	// Tighten the GC so sampled HeapAlloc tracks live data instead of
+	// round-loop garbage awaiting collection.
+	defer debug.SetGCPercent(debug.SetGCPercent(20))
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	sampler := startHeapSampler()
+
+	src, err := fastq.OpenStream(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	res, err := RunStream(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := sampler.Stop()
+
+	if res.Rounds < 8 {
+		t.Fatalf("want a deeply multi-round run, got %d rounds", res.Rounds)
+	}
+	// The spectrum must genuinely dwarf the budget: at ≥12 bytes per
+	// distinct key (packed key + count, before load-factor headroom) the
+	// single-table path could not fit budget+slack.
+	if res.DistinctKmers*12 < uint64(8*budget) {
+		t.Fatalf("spectrum footprint %d bytes is under 8x budget %d", res.DistinctKmers*12, 8*budget)
+	}
+	// Fixed slack: runtime overhead, the per-bin working-set tables, the
+	// spill writers' buffers, and GC lag — everything except a
+	// full-spectrum table.
+	const slack = 16 << 20
+	used := int64(peak) - int64(base.HeapAlloc)
+	t.Logf("peak live heap over baseline: %.1f MiB (budget %.1f MiB, %d rounds, %d distinct)",
+		float64(used)/(1<<20), float64(budget)/(1<<20), res.Rounds, res.DistinctKmers)
+	if used > budget+slack {
+		t.Fatalf("peak live heap %d bytes over baseline exceeds budget %d + slack %d", used, budget, slack)
+	}
+	if left := spillLeftovers(t, cfg.Spill.Dir); len(left) != 0 {
+		t.Fatalf("exact run left spill artifacts behind: %v", left)
+	}
+}
+
+// TestSpillQuarantineOnDegraded: when the retry budget exhausts and the
+// run degrades to a lower bound, the degraded ranks' bins are renamed to
+// .partial instead of deleted — discarded state is quarantined for
+// inspection, never silently thrown away — and no live .spill files
+// remain.
+func TestSpillQuarantineOnDegraded(t *testing.T) {
+	reads := testReads(t, 6_000, 3)
+	cfg := Default(smallGPULayout(1), SupermerMode)
+	cfg.Spill = SpillConfig{Dir: t.TempDir(), Bins: 5}
+	cfg.Fault = fault.Config{Seed: 7, Drop: 0.8}
+	cfg.MaxRetries = -1 // no retries: degrade immediately
+	res, err := Run(cfg, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incomplete {
+		t.Fatal("run with Drop=0.8 and no retries should degrade")
+	}
+	left := spillLeftovers(t, cfg.Spill.Dir)
+	partials := 0
+	for _, name := range left {
+		if !strings.HasSuffix(name, spillQuarantine) {
+			t.Fatalf("degraded run left a non-quarantined artifact %s (all: %v)", name, left)
+		}
+		partials++
+	}
+	if partials == 0 {
+		t.Fatal("degraded run should quarantine at least one bin as .partial")
+	}
+	// The quarantined directory is refused by the next run, not reused.
+	if _, err := Run(cfg, reads); err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("dir with .partial bins: got %v, want quarantine refusal", err)
+	}
+}
+
+// TestSpillRefusesDirtyDir: pre-existing spill state — from another
+// configuration, an interrupted run, or a completed one — is refused
+// with a clear, specific error. Only a clean (or unrelated-files-only)
+// directory is accepted.
+func TestSpillRefusesDirtyDir(t *testing.T) {
+	reads := testReads(t, 4_000, 3)
+	mkcfg := func(t *testing.T) Config {
+		cfg := Default(smallGPULayout(1), SupermerMode)
+		cfg.Spill = SpillConfig{Dir: t.TempDir(), Bins: 4}
+		return cfg
+	}
+
+	t.Run("unrelated files ignored", func(t *testing.T) {
+		cfg := mkcfg(t)
+		if err := os.WriteFile(filepath.Join(cfg.Spill.Dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(cfg, reads); err != nil {
+			t.Fatalf("unrelated file should not block spilling: %v", err)
+		}
+	})
+
+	t.Run("interrupted tmp refused", func(t *testing.T) {
+		cfg := mkcfg(t)
+		if err := os.WriteFile(filepath.Join(cfg.Spill.Dir, "r0000-b0001"+spillTmpSuffix), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(cfg, reads); err == nil || !strings.Contains(err.Error(), "interrupted") {
+			t.Fatalf("got %v, want interrupted-run refusal", err)
+		}
+	})
+
+	t.Run("foreign config refused", func(t *testing.T) {
+		cfg := mkcfg(t)
+		var buf bytes.Buffer
+		if err := writeSpillHeader(&buf, spillHeader{rank: 0, bin: 0, bins: 4, fphash: 0xdeadbeef}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cfg.Spill.Dir, "r0000-b0000"+spillExt), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(cfg, reads); !errors.Is(err, ErrSpillMismatch) {
+			t.Fatalf("got %v, want ErrSpillMismatch", err)
+		}
+	})
+
+	t.Run("leftover same config refused", func(t *testing.T) {
+		cfg := mkcfg(t)
+		var buf bytes.Buffer
+		h := spillHeader{rank: 0, bin: 0, bins: cfg.Spill.bins(), fphash: buildFingerprint(cfg).Hash()}
+		if err := writeSpillHeader(&buf, h); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cfg.Spill.Dir, "r0000-b0000"+spillExt), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(cfg, reads); err == nil || !strings.Contains(err.Error(), "leftover") {
+			t.Fatalf("got %v, want leftover-state refusal", err)
+		}
+	})
+
+	t.Run("garbage bin refused", func(t *testing.T) {
+		cfg := mkcfg(t)
+		if err := os.WriteFile(filepath.Join(cfg.Spill.Dir, "r0000-b0000"+spillExt), []byte("not a bin"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(cfg, reads); err == nil || !strings.Contains(err.Error(), "unreadable") {
+			t.Fatalf("got %v, want unreadable-bin refusal", err)
+		}
+	})
+}
+
+// TestSpillRejectsIncompatibleConfig pins the Validate rules: spilling
+// excludes exactly the features that require the full per-rank tables or
+// in-memory spectrum state, with structured errors.
+func TestSpillRejectsIncompatibleConfig(t *testing.T) {
+	base := func() Config {
+		cfg := Default(smallCPULayout(), KmerMode)
+		cfg.Spill = SpillConfig{Dir: t.TempDir()}
+		return cfg
+	}
+	if cfg := base(); cfg.Validate() != nil {
+		t.Fatalf("baseline spill config should validate: %v", cfg.Validate())
+	}
+	cases := map[string]Config{}
+	kt := base()
+	kt.KeepTables = true
+	cases["KeepTables"] = kt
+	ck := base()
+	ck.Ckpt = CkptConfig{Dir: t.TempDir(), Reopen: func(fastq.Cursor) (fastq.Source, error) { return nil, nil }}
+	cases["Ckpt"] = ck
+	fs := base()
+	fs.FilterSingletons = true
+	cases["FilterSingletons"] = fs
+	nb := base()
+	nb.Spill.Bins = -1
+	cases["negative bins"] = nb
+	hb := base()
+	hb.Spill.Bins = maxSpillBins + 1
+	cases["huge bins"] = hb
+	bo := base()
+	bo.Spill = SpillConfig{Bins: 8}
+	cases["bins without dir"] = bo
+	for name, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: want a validation error, got nil", name)
+		}
+	}
+}
+
+// FuzzSpillBin: whatever bytes a spill bin file holds — truncated,
+// bit-flipped, or pure garbage — the reader returns nil or an error
+// wrapping one of the spill sentinels. It never panics and never
+// reports damage as an unstructured error.
+func FuzzSpillBin(f *testing.F) {
+	// A valid two-record bin as the structural seed.
+	var valid bytes.Buffer
+	if err := writeSpillHeader(&valid, spillHeader{rank: 3, bin: 1, bins: 8, fphash: 0x1234}); err != nil {
+		f.Fatal(err)
+	}
+	rec := appendSpillRecord(nil, []byte{1, 2, 3, 4, 5, 6, 7, 8}, 1)
+	rec = appendSpillRecord(rec, bytes.Repeat([]byte{0xab}, 40), 5)
+	valid.Write(rec)
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:spillHeaderLen])   // header only: clean empty bin
+	f.Add(valid.Bytes()[:spillHeaderLen+7]) // truncated record header
+	f.Add(valid.Bytes()[:valid.Len()-3])    // truncated payload
+	f.Add([]byte(spillMagic))               // magic only
+	f.Add([]byte{})                         // empty file
+	f.Add([]byte("DKSBwrong version etc..."))
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[spillHeaderLen+14] ^= 0x40 // corrupt a payload byte
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := readSpillBin(bytes.NewReader(data), nil, func(payload []byte, items int) error {
+			if items < 0 {
+				t.Fatalf("negative item count %d", items)
+			}
+			return nil
+		})
+		if err == nil {
+			return
+		}
+		if errors.Is(err, ErrSpillTruncated) || errors.Is(err, ErrSpillChecksum) || errors.Is(err, ErrSpillMismatch) {
+			return
+		}
+		t.Fatalf("unstructured error %v", err)
+	})
+}
+
+// TestSpillReaderPinsCoordinates: a structurally valid bin belonging to
+// a different rank/bin/run is rejected with ErrSpillMismatch when the
+// caller pins expected coordinates — a misnamed or cross-wired file can
+// never be counted into the wrong partition.
+func TestSpillReaderPinsCoordinates(t *testing.T) {
+	var buf bytes.Buffer
+	h := spillHeader{rank: 2, bin: 5, bins: 8, fphash: 42}
+	if err := writeSpillHeader(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	want := h
+	if err := readSpillBin(bytes.NewReader(buf.Bytes()), &want, nil); err != nil {
+		t.Fatalf("matching coordinates: %v", err)
+	}
+	for name, w := range map[string]spillHeader{
+		"rank":   {rank: 3, bin: 5, bins: 8, fphash: 42},
+		"bin":    {rank: 2, bin: 6, bins: 8, fphash: 42},
+		"bins":   {rank: 2, bin: 5, bins: 16, fphash: 42},
+		"fphash": {rank: 2, bin: 5, bins: 8, fphash: 43},
+	} {
+		w := w
+		if err := readSpillBin(bytes.NewReader(buf.Bytes()), &w, nil); !errors.Is(err, ErrSpillMismatch) {
+			t.Fatalf("wrong %s: got %v, want ErrSpillMismatch", name, err)
+		}
+	}
+}

@@ -82,7 +82,11 @@ func runStream(cfg Config, src fastq.Source, man *recov.Manifest) (*Result, erro
 	for r := range sources {
 		sources[r] = &streamHandle{prod: prod}
 	}
-	res, err := runWorld(cfg, nil, sources, nil, seats, ck, rv)
+	spl, err := maybeSpill(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runWorld(cfg, nil, sources, nil, seats, ck, rv, spl)
 	if err != nil {
 		return nil, err
 	}
